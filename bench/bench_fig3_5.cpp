@@ -1,0 +1,54 @@
+// Fig. 3.5: timing error probability versus normalized clock period for one
+// barrier interval of Radix -- thread 0 is consistently the worst, about 4x
+// the thread with the lowest error probability.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace synts;
+
+    bench::banner("Fig. 3.5",
+                  "Error probability vs normalized clock period, Radix, 1 interval");
+
+    core::experiment_config cfg;
+    const core::benchmark_experiment experiment(workload::benchmark_id::radix,
+                                                circuit::pipe_stage::simple_alu, cfg);
+
+    util::text_table table({"r", "T0", "T1", "T2", "T3", "T0/min"});
+    double worst_ratio = 0.0;
+    for (double r = 1.0; r >= 0.60; r -= 0.04) {
+        table.begin_row();
+        table.cell(r, 2);
+        double t0 = 0.0;
+        double min_err = 1.0;
+        for (std::size_t t = 0; t < 4; ++t) {
+            const double e = experiment.error_model(t, 0).error_probability(0, r);
+            table.cell(e, 4);
+            if (t == 0) {
+                t0 = e;
+            }
+            min_err = std::min(min_err, e);
+        }
+        const double ratio = min_err > 0.0 ? t0 / min_err : 0.0;
+        table.cell(ratio, 2);
+        worst_ratio = std::max(worst_ratio, ratio);
+        if (ratio == 0.0) {
+            // Below the error onset everywhere; keep rows informative.
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const double t0_deep = experiment.error_model(0, 0).error_probability(0, 0.64);
+    const double t3_deep = experiment.error_model(3, 0).error_probability(0, 0.64);
+    bench::compare_line("T0 / lowest-thread error ratio at deep speculation",
+                        t3_deep > 0 ? t0_deep / t3_deep : 0.0, 4.0, 1);
+    bench::note("Paper: 'Thread 0 consistently has the highest error probability...");
+    bench::note("about 4x greater than the thread with the lowest error probability.'");
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Fig. 5.10: Hamming-distance bar graphs for the vector ALUs of the
+// HD 7970 SIMD unit. The paper shows 6 of 16 VALUs over 16k instructions
+// (the rest evaluated over 100k) -- all qualitatively identical, implying
+// homogeneous error probabilities, so the GPGPU case needs no SynTS.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "gpgpu/hamming.h"
+#include "gpgpu/kernels.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace synts;
+
+    bench::banner("Fig. 5.10", "VALU output Hamming-distance histograms, HD 7970");
+
+    double worst_kernel_tvd = 0.0;
+    util::text_table summary(
+        {"kernel", "instructions/VALU", "mean Hamming", "max pairwise TVD",
+         "homogeneous"});
+
+    for (const auto kernel : gpgpu::all_gpgpu_kernels()) {
+        const auto traces =
+            gpgpu::execute_kernel(kernel, gpgpu::hd7970_valu_count, 16000, 42);
+        const auto report = gpgpu::analyze_homogeneity(traces);
+        const auto hist0 = gpgpu::hamming_histogram(traces[0]);
+
+        summary.begin_row();
+        summary.cell(std::string(gpgpu::gpgpu_kernel_name(kernel)));
+        summary.cell(static_cast<long long>(traces[0].size()));
+        summary.cell(hist0.mean(), 2);
+        summary.cell(report.max_tvd, 4);
+        summary.cell(std::string(report.is_homogeneous() ? "yes" : "NO"));
+        worst_kernel_tvd = std::max(worst_kernel_tvd, report.max_tvd);
+    }
+    std::printf("%s\n", summary.render().c_str());
+
+    // Render the first 6 VALUs of MatrixMult as ASCII bar graphs, matching
+    // the figure's layout.
+    const auto traces = gpgpu::execute_kernel(gpgpu::gpgpu_kernel::matrixmult,
+                                              gpgpu::hd7970_valu_count, 16000, 42);
+    for (std::size_t v = 0; v < 6; ++v) {
+        std::printf("  Vector ALU %zu (Hamming distance 0..32):\n", v);
+        const auto hist = gpgpu::hamming_histogram(traces[v]);
+        // Compact rendering: bucket pairs to keep the graph small.
+        std::string bars;
+        std::uint64_t peak = 1;
+        for (std::size_t d = 0; d <= 32; ++d) {
+            peak = std::max(peak, hist.count_at(d));
+        }
+        for (std::size_t d = 0; d <= 32; d += 2) {
+            const std::uint64_t count = hist.count_at(d) + (d + 1 <= 32 ? hist.count_at(d + 1) : 0);
+            const auto width = static_cast<std::size_t>(
+                40.0 * static_cast<double>(count) / static_cast<double>(2 * peak));
+            std::printf("    %2zu-%2zu %s\n", d, std::min<std::size_t>(d + 1, 32),
+                        std::string(width, '#').c_str());
+        }
+    }
+
+    std::printf("\n");
+    bench::note("Paper conclusion: 'Similar hamming distance means ... homogeneity");
+    bench::note("in error probabilities. Hence, per-core timing speculation will");
+    bench::note("work just fine for this particular architecture and workload.'");
+    std::printf("  worst cross-VALU total-variation distance over 9 kernels: %.4f\n",
+                worst_kernel_tvd);
+    std::printf("  homogeneity threshold: 0.08 -> GPGPU case is homogeneous: %s\n\n",
+                worst_kernel_tvd <= 0.08 ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,162 @@
+// Figs. 6.11-6.16: offline Pareto fronts -- energy versus execution time,
+// normalized to Nominal, for SynTS / Per-core TS / No-TS across a theta
+// sweep (Eq. 4.4). One block per (benchmark, stage) pair the paper plots:
+//
+//   6.11 FMM      SimpleALU   (SynTS: 21% lower energy / 18% faster)
+//   6.12 Cholesky SimpleALU   ( 6% lower energy / 10.3% faster, text: Radix)
+//   6.13 Cholesky Decode      (27.6% lower energy / 20% faster)
+//   6.14 Raytrace Decode      (25.1% lower energy / 21% faster)
+//   6.15 Cholesky ComplexALU  (SynTS dominates; fronts do not converge)
+//   6.16 Raytrace ComplexALU  (same qualitative statement)
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace synts;
+using core::policy_kind;
+
+struct figure_spec {
+    const char* id;
+    workload::benchmark_id benchmark;
+    circuit::pipe_stage stage;
+    double paper_energy_gap_pct;  // SynTS energy advantage at matched speed
+    double paper_speed_gap_pct;   // SynTS speed advantage at low energy
+};
+
+/// At the fastest comparable point: how much faster is SynTS than Per-core
+/// TS; at Per-core's energy floor: how much less energy does SynTS burn at
+/// equal-or-better speed.
+struct front_comparison {
+    double energy_gap_pct = 0.0;
+    double speed_gap_pct = 0.0;
+};
+
+front_comparison compare_fronts(const std::vector<core::pareto_point>& synts,
+                                const std::vector<core::pareto_point>& per_core)
+{
+    // The paper's figure annotations mark the widest separation between the
+    // two fronts (the extremes coincide by construction: both policies
+    // collapse to all-min-energy or all-min-time there). Scan every
+    // Per-core point and report the largest energy gap at matched-or-better
+    // speed and the largest speed gap at matched-or-better energy.
+    front_comparison cmp;
+    for (const auto& pc : per_core) {
+        for (const auto& sy : synts) {
+            if (sy.time <= pc.time * 1.005 && pc.energy > 0.0) {
+                cmp.energy_gap_pct =
+                    std::max(cmp.energy_gap_pct, 100.0 * (1.0 - sy.energy / pc.energy));
+            }
+            if (sy.energy <= pc.energy * 1.02 && pc.time > 0.0) {
+                cmp.speed_gap_pct =
+                    std::max(cmp.speed_gap_pct, 100.0 * (1.0 - sy.time / pc.time));
+            }
+        }
+    }
+    return cmp;
+}
+
+} // namespace
+
+int main()
+{
+    const figure_spec figures[] = {
+        {"Fig. 6.11", workload::benchmark_id::fmm, circuit::pipe_stage::simple_alu, 21.0,
+         18.0},
+        {"Fig. 6.12", workload::benchmark_id::cholesky, circuit::pipe_stage::simple_alu,
+         6.0, 10.3},
+        {"Fig. 6.13", workload::benchmark_id::cholesky, circuit::pipe_stage::decode, 27.6,
+         20.0},
+        {"Fig. 6.14", workload::benchmark_id::raytrace, circuit::pipe_stage::decode, 25.1,
+         21.0},
+        {"Fig. 6.15", workload::benchmark_id::cholesky, circuit::pipe_stage::complex_alu,
+         0.0, 0.0},
+        {"Fig. 6.16", workload::benchmark_id::raytrace, circuit::pipe_stage::complex_alu,
+         0.0, 0.0},
+    };
+
+    const auto multipliers = core::default_theta_multipliers();
+
+    for (const auto& fig : figures) {
+        bench::banner(fig.id,
+                      std::string(workload::benchmark_name(fig.benchmark)) + " / " +
+                          circuit::pipe_stage_name(fig.stage) +
+                          " -- offline Pareto fronts (normalized to Nominal)");
+
+        core::experiment_config cfg;
+        const core::benchmark_experiment experiment(fig.benchmark, fig.stage, cfg);
+
+        const auto synts =
+            core::pareto_sweep(experiment, policy_kind::synts_offline, multipliers);
+        const auto per_core =
+            core::pareto_sweep(experiment, policy_kind::per_core_ts, multipliers);
+        const auto no_ts = core::pareto_sweep(experiment, policy_kind::no_ts, multipliers);
+
+        util::text_table table({"theta x", "SynTS E", "SynTS T", "PerCore E",
+                                "PerCore T", "NoTS E", "NoTS T"});
+        for (std::size_t i = 0; i < multipliers.size(); ++i) {
+            table.begin_row();
+            table.cell(multipliers[i], 3);
+            table.cell(synts[i].energy, 3);
+            table.cell(synts[i].time, 3);
+            table.cell(per_core[i].energy, 3);
+            table.cell(per_core[i].time, 3);
+            table.cell(no_ts[i].energy, 3);
+            table.cell(no_ts[i].time, 3);
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        const front_comparison cmp = compare_fronts(synts, per_core);
+        if (fig.paper_energy_gap_pct > 0.0) {
+            bench::compare_line("SynTS energy advantage at matched speed (%)",
+                                cmp.energy_gap_pct, fig.paper_energy_gap_pct, 1);
+            bench::compare_line("SynTS speed advantage at Per-core's energy floor (%)",
+                                cmp.speed_gap_pct, fig.paper_speed_gap_pct, 1);
+        } else {
+            std::printf("  SynTS energy advantage at matched speed: %.1f%%\n",
+                        cmp.energy_gap_pct);
+            std::printf("  SynTS speed advantage at energy floor:   %.1f%%\n",
+                        cmp.speed_gap_pct);
+            bench::note("Paper: ComplexALU fronts of Per-core TS / No-TS do not");
+            bench::note("converge close to SynTS; only dominance is claimed.");
+        }
+        // Dominance check at every theta.
+        bool dominates = true;
+        for (std::size_t i = 0; i < multipliers.size(); ++i) {
+            const double synts_cost = synts[i].energy + multipliers[i] * synts[i].time;
+            const double pc_cost =
+                per_core[i].energy + multipliers[i] * per_core[i].time;
+            dominates = dominates && synts_cost <= pc_cost * (1.0 + 1e-9);
+        }
+        std::printf("  SynTS weighted cost <= Per-core TS at every theta: %s\n\n",
+                    dominates ? "yes" : "NO");
+
+        // CSV for re-plotting.
+        const std::string csv_name =
+            std::string("pareto_") + workload::benchmark_name(fig.benchmark).data() +
+            "_" + circuit::pipe_stage_name(fig.stage) + ".csv";
+        std::ofstream out(csv_name);
+        util::csv_writer csv(out);
+        csv.header({"theta_multiplier", "policy", "energy_norm", "time_norm"});
+        const auto dump = [&](const char* name,
+                              const std::vector<core::pareto_point>& points) {
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                csv.begin_row();
+                csv.field(multipliers[i]);
+                csv.field(std::string(name));
+                csv.field(points[i].energy);
+                csv.field(points[i].time);
+            }
+        };
+        dump("SynTS", synts);
+        dump("PerCoreTS", per_core);
+        dump("NoTS", no_ts);
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+// Fig. 6.18: normalized EDP of the seven reported SPLASH-2 benchmarks for
+// Decode, SimpleALU and ComplexALU -- SynTS (online), No-TS and Nominal,
+// all normalized to SynTS (offline). Fixed theta weighting energy and
+// execution time equally.
+//
+// Headline numbers reproduced here:
+//   * online-vs-offline SynTS overhead ~10.3% EDP on average,
+//   * online SynTS beats No-TS and Nominal on every benchmark and stage,
+//   * EDP reduction vs Per-core TS up to 26% / 25% / 7.5% for
+//     Decode / SimpleALU / ComplexALU (abstract), up to 55% vs No-TS
+//     (conclusion).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "util/statistics.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace synts;
+    using core::policy_kind;
+
+    bench::banner("Fig. 6.18",
+                  "Normalized EDP per benchmark and stage (vs SynTS offline)");
+
+    const circuit::pipe_stage stages[] = {circuit::pipe_stage::decode,
+                                          circuit::pipe_stage::simple_alu,
+                                          circuit::pipe_stage::complex_alu};
+
+    util::running_stats online_overhead;
+    struct stage_gain {
+        double best_vs_per_core = 0.0;
+        double best_vs_no_ts = 0.0;
+    };
+    stage_gain gains[3];
+    bool online_always_best = true;
+
+    for (std::size_t s = 0; s < 3; ++s) {
+        std::printf("  (%zu) %s\n", s + 1, circuit::pipe_stage_name(stages[s]));
+        util::text_table table({"benchmark", "SynTS(online)", "No TS", "Nominal",
+                                "PerCore TS", "online gain vs PerCore (%)"});
+
+        for (const auto id : workload::reported_benchmarks()) {
+            core::experiment_config cfg;
+            const core::benchmark_experiment experiment(id, stages[s], cfg);
+            const double theta = experiment.equal_weight_theta();
+
+            const auto runs = experiment.run_all_policies(theta);
+            const double offline_edp =
+                runs[static_cast<std::size_t>(policy_kind::synts_offline)].sum.edp();
+            const double online_edp =
+                runs[static_cast<std::size_t>(policy_kind::synts_online)].sum.edp();
+            const double no_ts_edp =
+                runs[static_cast<std::size_t>(policy_kind::no_ts)].sum.edp();
+            const double nominal_edp =
+                runs[static_cast<std::size_t>(policy_kind::nominal)].sum.edp();
+            const double per_core_edp =
+                runs[static_cast<std::size_t>(policy_kind::per_core_ts)].sum.edp();
+
+            table.begin_row();
+            table.cell(std::string(workload::benchmark_name(id)));
+            table.cell(online_edp / offline_edp, 3);
+            table.cell(no_ts_edp / offline_edp, 3);
+            table.cell(nominal_edp / offline_edp, 3);
+            table.cell(per_core_edp / offline_edp, 3);
+            const double gain_pc = 100.0 * (1.0 - online_edp / per_core_edp);
+            table.cell(gain_pc, 1);
+
+            online_overhead.add(100.0 * (online_edp / offline_edp - 1.0));
+            gains[s].best_vs_per_core = std::max(gains[s].best_vs_per_core, gain_pc);
+            gains[s].best_vs_no_ts = std::max(
+                gains[s].best_vs_no_ts, 100.0 * (1.0 - online_edp / no_ts_edp));
+            online_always_best =
+                online_always_best && online_edp < no_ts_edp && online_edp < nominal_edp;
+        }
+        std::printf("%s\n", table.render(4).c_str());
+    }
+
+    bench::compare_line("online vs offline SynTS EDP overhead, average (%)",
+                        online_overhead.mean(), 10.3, 1);
+    bench::compare_line("best EDP gain vs Per-core TS, Decode (%)",
+                        gains[0].best_vs_per_core, 26.0, 1);
+    bench::compare_line("best EDP gain vs Per-core TS, SimpleALU (%)",
+                        gains[1].best_vs_per_core, 25.0, 1);
+    bench::compare_line("best EDP gain vs Per-core TS, ComplexALU (%)",
+                        gains[2].best_vs_per_core, 7.5, 1);
+    const double best_no_ts = std::max(
+        {gains[0].best_vs_no_ts, gains[1].best_vs_no_ts, gains[2].best_vs_no_ts});
+    bench::compare_line("best EDP gain vs No-TS, any stage (%)", best_no_ts, 55.0, 1);
+    std::printf("  SynTS(online) beats No-TS and Nominal on all 7x3 cases: %s\n\n",
+                online_always_best ? "yes" : "NO");
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Microbenchmark: circuit-layer throughput -- dynamic timing steps per
+// second (the characterization bottleneck) and STA runtime per stage.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "circuit/dynamic_timing.h"
+#include "circuit/netlist_builder.h"
+#include "circuit/sta.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::circuit;
+
+const stage_netlist& stage_for(int index)
+{
+    static const stage_netlist decode = build_decode_stage();
+    static const stage_netlist simple = build_simple_alu();
+    static const stage_netlist complex_alu = build_complex_alu();
+    switch (index) {
+    case 0:
+        return decode;
+    case 1:
+        return simple;
+    default:
+        return complex_alu;
+    }
+}
+
+void bm_dynamic_timing_step(benchmark::State& state)
+{
+    const stage_netlist& stage = stage_for(static_cast<int>(state.range(0)));
+    const cell_library lib = cell_library::standard_22nm();
+    const voltage_model vm(0.04);
+    const auto corners = paper_voltage_levels();
+    dynamic_timing_simulator sim(stage.nl, lib, vm, corners);
+
+    synts::util::xoshiro256 rng(1);
+    const std::size_t width = stage.nl.input_count();
+    auto bits = std::make_unique<bool[]>(width);
+    std::vector<double> delays(corners.size());
+
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < width; ++i) {
+            bits[i] = rng.bernoulli(0.5);
+        }
+        benchmark::DoNotOptimize(
+            sim.step(std::span<const bool>(bits.get(), width), delays));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::string(pipe_stage_name(static_cast<pipe_stage>(state.range(0)))) +
+                   " " + std::to_string(stage.nl.gate_count()) + " gates x 7 corners");
+}
+BENCHMARK(bm_dynamic_timing_step)->DenseRange(0, 2, 1);
+
+void bm_sta(benchmark::State& state)
+{
+    const stage_netlist& stage = stage_for(static_cast<int>(state.range(0)));
+    const cell_library lib = cell_library::standard_22nm();
+    const static_timing_analyzer sta(stage.nl);
+    const auto delays = sta.nominal_gate_delays(lib);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sta.analyze(delays));
+    }
+}
+BENCHMARK(bm_sta)->DenseRange(0, 2, 1);
+
+void bm_build_stage(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(build_stage(static_cast<pipe_stage>(state.range(0))));
+    }
+}
+BENCHMARK(bm_build_stage)->DenseRange(0, 2, 1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmark: online-estimator cost per barrier interval -- the
+// software-side overhead of SynTS-online (the hardware overhead is covered
+// by bench_sec6_3).
+
+#include <benchmark/benchmark.h>
+
+#include "core/config_space.h"
+#include "core/online_estimator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::core;
+
+interval_characterization make_interval(std::size_t instructions, std::uint64_t seed)
+{
+    interval_characterization data;
+    data.instruction_count = instructions;
+    synts::util::xoshiro256 rng(seed);
+    for (std::size_t n = 0; n < instructions; ++n) {
+        const double delay = rng.bernoulli(0.05) ? 950.0 : rng.uniform(100.0, 400.0);
+        data.sampling_delays_ps.push_back(static_cast<float>(delay));
+        data.sampling_instr_index.push_back(static_cast<std::uint32_t>(n));
+        ++data.vector_count;
+    }
+    data.delay_histograms.emplace_back(0.0, 1050.0, 64);
+    return data;
+}
+
+config_space make_space()
+{
+    return config_space::paper_grid(std::vector<double>{1000.0, 1130.0, 1270.0, 1390.0,
+                                                        1630.0, 2210.0, 2630.0});
+}
+
+void bm_sample_interval(benchmark::State& state)
+{
+    const config_space space = make_space();
+    const auto data = make_interval(static_cast<std::size_t>(state.range(0)), 7);
+    const online_estimator estimator;
+    synts::energy::energy_params params;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(estimator.sample_interval(space, data, 1.2, params));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) / 10);
+}
+BENCHMARK(bm_sample_interval)->RangeMultiplier(4)->Range(1000, 256000);
+
+void bm_curve_lookup(benchmark::State& state)
+{
+    const config_space space = make_space();
+    const auto data = make_interval(50000, 9);
+    const online_estimator estimator;
+    synts::energy::energy_params params;
+    const auto sample = estimator.sample_interval(space, data, 1.2, params);
+    const auto curve = sample.make_curve(space);
+    double r = 0.64;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(curve.error_probability(0, r));
+        r += 0.001;
+        if (r > 1.0) {
+            r = 0.64;
+        }
+    }
+}
+BENCHMARK(bm_curve_lookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Microbenchmark: optimizer runtime scaling.
+//
+// SynTS-Poly is O(M^2 Q^2 S^2) -- polynomial, suitable for per-barrier
+// online use -- while exhaustive search is (QS)^M. This bench demonstrates
+// the scaling claim on randomized instances and measures the exact B&B
+// solver for comparison.
+
+#include <benchmark/benchmark.h>
+
+#include "../tests/solver_fixtures.h"
+#include "core/milp.h"
+#include "core/solver.h"
+
+namespace {
+
+using synts::test::make_random_instance;
+
+void bm_synts_poly_threads(benchmark::State& state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    auto inst = make_random_instance(m, 7, 6, 42 + m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synts::core::solve_synts_poly(inst.input));
+    }
+    state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+BENCHMARK(bm_synts_poly_threads)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void bm_synts_poly_grid(benchmark::State& state)
+{
+    const auto q = static_cast<std::size_t>(state.range(0));
+    auto inst = make_random_instance(4, q, q, 77 + q);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synts::core::solve_synts_poly(inst.input));
+    }
+    state.SetComplexityN(static_cast<benchmark::IterationCount>(q * q));
+}
+BENCHMARK(bm_synts_poly_grid)->DenseRange(2, 12, 2)->Complexity();
+
+void bm_branch_and_bound(benchmark::State& state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    auto inst = make_random_instance(m, 7, 6, 13 + m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synts::core::solve_branch_and_bound(inst.input));
+    }
+}
+BENCHMARK(bm_branch_and_bound)->DenseRange(2, 8, 2);
+
+void bm_exhaustive(benchmark::State& state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    auto inst = make_random_instance(m, 4, 4, 5 + m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synts::core::solve_exhaustive(inst.input));
+    }
+}
+BENCHMARK(bm_exhaustive)->DenseRange(2, 4, 1);
+
+void bm_per_core_ts(benchmark::State& state)
+{
+    auto inst = make_random_instance(4, 7, 6, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synts::core::solve_per_core_ts(inst.input));
+    }
+}
+BENCHMARK(bm_per_core_ts);
+
+void bm_milp_model_build(benchmark::State& state)
+{
+    auto inst = make_random_instance(4, 7, 6, 9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synts::core::milp_model::build(inst.input));
+    }
+}
+BENCHMARK(bm_milp_model_build);
+
+} // namespace
+
+BENCHMARK_MAIN();

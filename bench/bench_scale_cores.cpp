@@ -1,0 +1,68 @@
+// Scaling study: SynTS on wider CMPs.
+//
+// The paper's abstract frames SynTS as jointly optimizing "the many-core
+// processor", but evaluates M = 4. This bench sweeps the core count: with
+// more threads, Per-core TS wastes energy on more slack threads while the
+// barrier is still closed by the slowest one, so SynTS's advantage should
+// persist or grow -- and SynTS-Poly's polynomial runtime (vs the MILP's
+// exponential worst case) is what makes the wider configurations tractable
+// online.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "core/solver.h"
+#include "util/table.h"
+
+int main()
+{
+    using namespace synts;
+    using core::policy_kind;
+
+    bench::banner("Scaling", "SynTS vs baselines as the core count grows (Radix)");
+
+    util::text_table table({"cores", "SynTS EDP", "PerCore EDP", "NoTS EDP",
+                            "gain vs PerCore (%)", "poly solve (us/interval)"});
+
+    for (const std::size_t cores : {2ull, 4ull, 8ull, 16ull}) {
+        core::experiment_config cfg;
+        cfg.thread_count = cores;
+        const core::benchmark_experiment experiment(workload::benchmark_id::radix,
+                                                    circuit::pipe_stage::simple_alu,
+                                                    cfg);
+        const double theta = experiment.equal_weight_theta();
+
+        const auto nominal = experiment.run_policy(policy_kind::nominal, theta);
+        const auto synts = experiment.run_policy(policy_kind::synts_offline, theta);
+        const auto per_core = experiment.run_policy(policy_kind::per_core_ts, theta);
+        const auto no_ts = experiment.run_policy(policy_kind::no_ts, theta);
+
+        // Solver latency at this width (the online budget question).
+        const core::solver_input input = experiment.make_solver_input(0, theta);
+        const auto t0 = std::chrono::steady_clock::now();
+        constexpr int reps = 20;
+        for (int i = 0; i < reps; ++i) {
+            (void)core::solve_synts_poly(input);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double micros =
+            std::chrono::duration<double, std::micro>(t1 - t0).count() / reps;
+
+        table.begin_row();
+        table.cell(static_cast<long long>(cores));
+        table.cell(synts.sum.edp() / nominal.sum.edp(), 3);
+        table.cell(per_core.sum.edp() / nominal.sum.edp(), 3);
+        table.cell(no_ts.sum.edp() / nominal.sum.edp(), 3);
+        table.cell(100.0 * (1.0 - synts.sum.edp() / per_core.sum.edp()), 1);
+        table.cell(micros, 1);
+    }
+    std::printf("%s\n", table.render().c_str());
+    bench::note("SynTS's EDP advantage over Per-core TS persists as the machine");
+    bench::note("widens, and the polynomial optimizer stays in the tens-of-");
+    bench::note("microseconds range per barrier interval -- the practicality");
+    bench::note("argument behind Algorithm 1.");
+    std::printf("\n");
+    return 0;
+}

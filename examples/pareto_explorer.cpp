@@ -1,0 +1,105 @@
+// pareto_explorer.cpp -- sweep the energy/performance weight theta and dump
+// the Pareto fronts of all policies for one (benchmark, stage) pair as CSV.
+//
+// Usage: ./examples/pareto_explorer [benchmark] [stage]
+//   benchmark: fmm radix lu-contig lu-ncontig fft water-sp barnes raytrace
+//              cholesky ocean              (default: cholesky)
+//   stage:     decode simple complex       (default: decode)
+//
+// Output: pareto_explorer.csv in the working directory plus a console
+// summary. This regenerates the raw data behind Figs. 6.11-6.16 for any
+// benchmark, including the ones the paper omitted for space.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace synts;
+
+workload::benchmark_id parse_benchmark(const char* name)
+{
+    for (const auto id : workload::all_benchmarks()) {
+        std::string lowered(workload::benchmark_name(id));
+        for (auto& c : lowered) {
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        if (lowered == name) {
+            return id;
+        }
+    }
+    std::fprintf(stderr, "unknown benchmark '%s', using cholesky\n", name);
+    return workload::benchmark_id::cholesky;
+}
+
+circuit::pipe_stage parse_stage(const char* name)
+{
+    if (std::strcmp(name, "simple") == 0) {
+        return circuit::pipe_stage::simple_alu;
+    }
+    if (std::strcmp(name, "complex") == 0) {
+        return circuit::pipe_stage::complex_alu;
+    }
+    if (std::strcmp(name, "decode") == 0) {
+        return circuit::pipe_stage::decode;
+    }
+    std::fprintf(stderr, "unknown stage '%s', using decode\n", name);
+    return circuit::pipe_stage::decode;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const workload::benchmark_id benchmark =
+        argc > 1 ? parse_benchmark(argv[1]) : workload::benchmark_id::cholesky;
+    const circuit::pipe_stage stage =
+        argc > 2 ? parse_stage(argv[2]) : circuit::pipe_stage::decode;
+
+    std::printf("Pareto exploration: %s / %s\n",
+                workload::benchmark_name(benchmark).data(),
+                circuit::pipe_stage_name(stage));
+
+    core::experiment_config config;
+    const core::benchmark_experiment experiment(benchmark, stage, config);
+    const auto multipliers = core::default_theta_multipliers();
+
+    const core::policy_kind kinds[] = {core::policy_kind::synts_offline,
+                                       core::policy_kind::synts_online,
+                                       core::policy_kind::per_core_ts,
+                                       core::policy_kind::no_ts};
+
+    std::ofstream file("pareto_explorer.csv");
+    util::csv_writer csv(file);
+    csv.header({"policy", "theta_multiplier", "energy_vs_nominal", "time_vs_nominal",
+                "edp_vs_nominal"});
+
+    for (const auto kind : kinds) {
+        const auto points = core::pareto_sweep(experiment, kind, multipliers);
+        double best_edp = 1e300;
+        double best_multiplier = 1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            csv.begin_row();
+            csv.field(std::string(core::policy_name(kind)));
+            csv.field(multipliers[i]);
+            csv.field(points[i].energy);
+            csv.field(points[i].time);
+            csv.field(points[i].energy * points[i].time);
+            if (points[i].energy * points[i].time < best_edp) {
+                best_edp = points[i].energy * points[i].time;
+                best_multiplier = multipliers[i];
+            }
+        }
+        std::printf("  %-17s best EDP %.3f (at theta x%.3f)\n",
+                    std::string(core::policy_name(kind)).c_str(), best_edp,
+                    best_multiplier);
+    }
+    std::printf("Wrote pareto_explorer.csv (%zu thetas x 4 policies).\n",
+                multipliers.size());
+    return 0;
+}

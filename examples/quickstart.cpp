@@ -1,0 +1,76 @@
+// quickstart.cpp -- the five-minute tour of the SynTS library.
+//
+//   1. Pick a SPLASH-2 workload and a pipe stage.
+//   2. Run the cross-layer characterization (workload -> architectural
+//      simulation -> gate-level dynamic timing -> per-thread error curves).
+//   3. Solve SynTS-OPT with Algorithm 1 and compare against the baselines.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main()
+{
+    using namespace synts;
+
+    // 1. A 4-core CMP running Radix, analyzing the SimpleALU stage.
+    core::experiment_config config;
+    config.thread_count = 4;
+    config.seed = 42;
+
+    std::printf("Characterizing Radix / SimpleALU (gem5-style simulation + gate-level\n"
+                "dynamic timing at 7 voltage corners)...\n\n");
+    const core::benchmark_experiment experiment(workload::benchmark_id::radix,
+                                                circuit::pipe_stage::simple_alu, config);
+
+    // 2. Inspect the per-thread error curves the characterization produced.
+    const core::config_space& space = experiment.space();
+    std::printf("Stage nominal period at 1.0 V: %.0f ps; V levels: %zu; TSR levels: %zu\n",
+                space.tnom_ps(0), space.voltage_count(), space.tsr_count());
+    std::printf("\nPer-thread error probability err_i(r) in barrier interval 0:\n");
+    std::printf("  %-8s", "r");
+    for (std::size_t t = 0; t < experiment.thread_count(); ++t) {
+        std::printf("T%-9zu", t);
+    }
+    std::printf("\n");
+    for (std::size_t k = 0; k < space.tsr_count(); ++k) {
+        std::printf("  %-8.3f", space.tsr(k));
+        for (std::size_t t = 0; t < experiment.thread_count(); ++t) {
+            std::printf("%-10.5f",
+                        experiment.error_model(t, 0).error_probability(0, space.tsr(k)));
+        }
+        std::printf("\n");
+    }
+
+    // 3. Optimize each barrier interval and compare policies.
+    const double theta = experiment.equal_weight_theta();
+    std::printf("\nEqual-weight theta = %.5g; running all policies over %zu barrier "
+                "intervals...\n\n",
+                theta, experiment.interval_count());
+
+    const auto runs = experiment.run_all_policies(theta);
+    const auto& nominal = runs.front();
+    std::printf("  %-17s %-10s %-10s %-10s\n", "policy", "energy", "time", "EDP");
+    for (const auto& run : runs) {
+        std::printf("  %-17s %-10.3f %-10.3f %-10.3f\n",
+                    std::string(core::policy_name(run.kind)).c_str(),
+                    run.sum.energy / nominal.sum.energy,
+                    run.sum.time_ps / nominal.sum.time_ps,
+                    run.sum.edp() / nominal.sum.edp());
+    }
+
+    // The chosen per-thread operating points of SynTS (offline), interval 0.
+    const auto synts_run = experiment.run_policy(core::policy_kind::synts_offline, theta);
+    std::printf("\nSynTS (offline) operating points, interval 0:\n");
+    for (std::size_t t = 0; t < experiment.thread_count(); ++t) {
+        const auto& m = synts_run.intervals[0].solution.metrics[t];
+        std::printf("  thread %zu: V = %.2f V, r = %.3f, t_clk = %.0f ps, "
+                    "p_err = %.4f\n",
+                    t, m.vdd, m.tsr, m.clock_period_ps, m.error_probability);
+    }
+    std::printf("\nDone. See examples/pareto_explorer and examples/online_adaptive for\n"
+                "the theta sweep and the sampling-based online controller.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include "arch/branch_predictor.h"
+
+#include <stdexcept>
+
+namespace synts::arch {
+
+gshare_predictor::gshare_predictor(std::uint32_t index_bits)
+{
+    if (index_bits == 0 || index_bits > 24) {
+        throw std::invalid_argument("gshare_predictor: index_bits must be 1..24");
+    }
+    counters_.assign(std::size_t{1} << index_bits, 1); // weakly not-taken
+    index_mask_ = (std::uint64_t{1} << index_bits) - 1;
+}
+
+bool gshare_predictor::predict_and_update(std::uint64_t pc, bool taken) noexcept
+{
+    const std::uint64_t index = ((pc >> 2) ^ history_) & index_mask_;
+    std::uint8_t& counter = counters_[index];
+    const bool predicted_taken = counter >= 2;
+    const bool mispredicted = predicted_taken != taken;
+
+    if (taken && counter < 3) {
+        ++counter;
+    } else if (!taken && counter > 0) {
+        --counter;
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & index_mask_;
+
+    ++stats_.branches;
+    if (mispredicted) {
+        ++stats_.mispredictions;
+    }
+    return mispredicted;
+}
+
+void gshare_predictor::reset() noexcept
+{
+    for (auto& c : counters_) {
+        c = 1;
+    }
+    history_ = 0;
+    stats_ = branch_stats{};
+}
+
+} // namespace synts::arch

@@ -1,0 +1,52 @@
+// branch_predictor.h -- gshare-style branch predictor.
+//
+// Mispredictions contribute pipeline flush cycles to CPI_base; like cache
+// misses, per-thread differences in branch behavior differentiate thread
+// execution latency (the "No-TS"/DVFS-balancing baseline exploits exactly
+// this kind of variation -- see the related-work discussion in the paper).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace synts::arch {
+
+/// Outcome counters of a predictor instance.
+struct branch_stats {
+    std::uint64_t branches = 0;
+    std::uint64_t mispredictions = 0;
+
+    /// mispredictions / branches (0 when no branches executed).
+    [[nodiscard]] double misprediction_rate() const noexcept
+    {
+        return branches == 0
+                   ? 0.0
+                   : static_cast<double>(mispredictions) / static_cast<double>(branches);
+    }
+};
+
+/// Global-history XOR-indexed table of 2-bit saturating counters.
+class gshare_predictor {
+public:
+    /// `index_bits` sets the table to 2^index_bits counters (max 24).
+    explicit gshare_predictor(std::uint32_t index_bits = 12);
+
+    /// Predicts, updates with the actual direction, and returns true when
+    /// the prediction was wrong.
+    bool predict_and_update(std::uint64_t pc, bool taken) noexcept;
+
+    /// Statistics so far.
+    [[nodiscard]] const branch_stats& stats() const noexcept { return stats_; }
+
+    /// Clears table, history, and statistics.
+    void reset() noexcept;
+
+private:
+    std::vector<std::uint8_t> counters_;
+    std::uint64_t history_ = 0;
+    std::uint64_t index_mask_ = 0;
+    branch_stats stats_;
+};
+
+} // namespace synts::arch

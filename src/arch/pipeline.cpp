@@ -1,0 +1,62 @@
+#include "arch/pipeline.h"
+
+namespace synts::arch {
+
+inorder_core::inorder_core(const core_config& config)
+    : config_(config), dcache_(config.dcache), predictor_(config.predictor_index_bits)
+{
+}
+
+exec_stats inorder_core::execute(std::span<const micro_op> ops)
+{
+    exec_stats stats;
+    stats.instructions = ops.size();
+
+    for (const micro_op& op : ops) {
+        std::uint64_t cycles = 1; // issue slot of an in-order pipe
+        switch (op.cls) {
+        case op_class::load:
+        case op_class::store: {
+            const std::uint32_t latency = dcache_.access(op.address);
+            if (latency > dcache_.config().hit_latency_cycles) {
+                const std::uint64_t extra = latency - dcache_.config().hit_latency_cycles;
+                stats.dcache_miss_cycles += extra;
+                cycles += extra;
+            }
+            break;
+        }
+        case op_class::branch: {
+            if (predictor_.predict_and_update(pc_, op.branch_taken)) {
+                stats.branch_penalty_cycles += config_.branch_mispredict_penalty;
+                cycles += config_.branch_mispredict_penalty;
+            }
+            break;
+        }
+        case op_class::int_mul:
+            stats.long_op_cycles += config_.mul_latency_cycles;
+            cycles += config_.mul_latency_cycles;
+            break;
+        case op_class::fp:
+            stats.long_op_cycles += config_.fp_latency_cycles;
+            cycles += config_.fp_latency_cycles;
+            break;
+        case op_class::int_add:
+        case op_class::int_sub:
+        case op_class::int_logic:
+        case op_class::nop:
+            break;
+        }
+        stats.cycles += cycles;
+        pc_ += 4;
+    }
+    return stats;
+}
+
+void inorder_core::reset()
+{
+    dcache_.reset();
+    predictor_.reset();
+    pc_ = 0x1000;
+}
+
+} // namespace synts::arch

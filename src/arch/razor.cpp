@@ -1,0 +1,42 @@
+#include "arch/razor.h"
+
+namespace synts::arch {
+
+razor_run_stats replay_delay_trace(std::span<const double> delays_ps, double t_clk_ps,
+                                   std::uint64_t base_cycles,
+                                   std::uint32_t penalty_cycles)
+{
+    razor_run_stats stats;
+    stats.instructions = delays_ps.size();
+    stats.base_cycles = base_cycles;
+    stats.clock_period = t_clk_ps;
+    for (const double delay : delays_ps) {
+        if (delay > t_clk_ps) {
+            ++stats.error_count;
+        }
+    }
+    stats.recovery_cycles =
+        stats.error_count * static_cast<std::uint64_t>(penalty_cycles);
+    return stats;
+}
+
+razor_run_stats run_bernoulli_errors(std::uint64_t instruction_count,
+                                     double error_probability, double t_clk,
+                                     std::uint64_t base_cycles, util::xoshiro256& rng,
+                                     std::uint32_t penalty_cycles)
+{
+    razor_run_stats stats;
+    stats.instructions = instruction_count;
+    stats.base_cycles = base_cycles;
+    stats.clock_period = t_clk;
+    for (std::uint64_t i = 0; i < instruction_count; ++i) {
+        if (rng.bernoulli(error_probability)) {
+            ++stats.error_count;
+        }
+    }
+    stats.recovery_cycles =
+        stats.error_count * static_cast<std::uint64_t>(penalty_cycles);
+    return stats;
+}
+
+} // namespace synts::arch

@@ -1,0 +1,85 @@
+// razor.h -- Razor-style timing-error detection and recovery accounting.
+//
+// Under timing speculation the clock period t_clk may be shorter than an
+// instruction's sensitized path delay; the Razor shadow latch detects the
+// mismatch and the pipeline replays, costing C_penalty cycles (5 for the
+// Razor design the paper adopts from de Kruijf et al.). Two replay modes are
+// provided:
+//
+//   * trace replay  -- consumes the per-instruction sensitized-delay trace
+//                      produced by circuit/dynamic_timing; an instruction
+//                      errors iff delay > t_clk. This grounds the error
+//                      probability in actual circuit activity.
+//   * Bernoulli     -- draws errors at a fixed probability; used to verify
+//                      the closed-form SPI model (Eq. 4.1) by Monte Carlo.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace synts::arch {
+
+/// Default Razor replay penalty, cycles (paper, Section 4.1).
+inline constexpr std::uint32_t razor_default_penalty_cycles = 5;
+
+/// Outcome of one speculative run.
+struct razor_run_stats {
+    std::uint64_t instructions = 0;
+    std::uint64_t base_cycles = 0;     ///< error-free cycles (CPI_base * N)
+    std::uint64_t error_count = 0;     ///< detected timing errors
+    std::uint64_t recovery_cycles = 0; ///< error_count * penalty
+    double clock_period = 0.0;         ///< t_clk used, arbitrary time unit
+
+    /// Total cycles including recovery.
+    [[nodiscard]] std::uint64_t total_cycles() const noexcept
+    {
+        return base_cycles + recovery_cycles;
+    }
+
+    /// Observed error probability per instruction.
+    [[nodiscard]] double error_probability() const noexcept
+    {
+        return instructions == 0 ? 0.0
+                                 : static_cast<double>(error_count) /
+                                       static_cast<double>(instructions);
+    }
+
+    /// Measured seconds-per-instruction (same unit as clock_period), the
+    /// quantity Eq. 4.1 models as t_clk * (p_err * C_penalty + CPI_base).
+    [[nodiscard]] double seconds_per_instruction() const noexcept
+    {
+        return instructions == 0 ? 0.0
+                                 : clock_period * static_cast<double>(total_cycles()) /
+                                       static_cast<double>(instructions);
+    }
+
+    /// Wall-clock time of the run (same unit as clock_period).
+    [[nodiscard]] double execution_time() const noexcept
+    {
+        return clock_period * static_cast<double>(total_cycles());
+    }
+};
+
+/// Replays a sensitized-delay trace at clock period `t_clk_ps`: every
+/// instruction whose delay exceeds the period errors and pays
+/// `penalty_cycles`. `base_cycles` is the error-free cycle count of the
+/// same instruction window (from the pipeline model).
+[[nodiscard]] razor_run_stats replay_delay_trace(std::span<const double> delays_ps,
+                                                 double t_clk_ps,
+                                                 std::uint64_t base_cycles,
+                                                 std::uint32_t penalty_cycles =
+                                                     razor_default_penalty_cycles);
+
+/// Monte Carlo run: `instruction_count` instructions, each erroring with
+/// probability `error_probability`.
+[[nodiscard]] razor_run_stats run_bernoulli_errors(std::uint64_t instruction_count,
+                                                   double error_probability,
+                                                   double t_clk, std::uint64_t base_cycles,
+                                                   util::xoshiro256& rng,
+                                                   std::uint32_t penalty_cycles =
+                                                       razor_default_penalty_cycles);
+
+} // namespace synts::arch

@@ -1,0 +1,73 @@
+#include "arch/stage_taps.h"
+
+namespace synts::arch {
+
+namespace {
+
+void write_bits(std::span<bool> bits, std::size_t offset, std::uint64_t value,
+                std::size_t count) noexcept
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        bits[offset + i] = ((value >> i) & 1) != 0;
+    }
+}
+
+} // namespace
+
+stage_tap::stage_tap(circuit::pipe_stage stage,
+                     const circuit::stage_input_layout& layout) noexcept
+    : stage_(stage), layout_(layout)
+{
+    width_ = layout.instruction_bits + layout.operand_a_bits + layout.operand_b_bits +
+             layout.opcode_bits;
+}
+
+bool stage_tap::drives_stage(const micro_op& op) const noexcept
+{
+    switch (stage_) {
+    case circuit::pipe_stage::decode:
+        return true; // every instruction passes through Decode
+    case circuit::pipe_stage::simple_alu:
+        return uses_simple_alu(op.cls);
+    case circuit::pipe_stage::complex_alu:
+        return uses_complex_alu(op.cls);
+    }
+    return false;
+}
+
+bool stage_tap::extract(const micro_op& op, std::span<bool> bits) const noexcept
+{
+    if (!drives_stage(op) || bits.size() != width_) {
+        return false;
+    }
+    switch (stage_) {
+    case circuit::pipe_stage::decode: {
+        write_bits(bits, 0, op.encoding, layout_.instruction_bits);
+        return true;
+    }
+    case circuit::pipe_stage::simple_alu: {
+        write_bits(bits, 0, op.operand_a, layout_.operand_a_bits);
+        write_bits(bits, layout_.operand_a_bits, op.operand_b, layout_.operand_b_bits);
+        // op select: bit0 = subtract, bits 1..2 = {00 arith, 01 and, 10 or,
+        // 11 xor}; logic variant chosen from the encoding's low bits.
+        std::uint64_t select = 0;
+        if (op.cls == op_class::int_sub) {
+            select = 0b001;
+        } else if (op.cls == op_class::int_logic) {
+            const std::uint64_t variant = 1 + (op.encoding & 0x3) % 3; // 1..3
+            select = variant << 1;
+        }
+        write_bits(bits, layout_.operand_a_bits + layout_.operand_b_bits, select,
+                   layout_.opcode_bits);
+        return true;
+    }
+    case circuit::pipe_stage::complex_alu: {
+        write_bits(bits, 0, op.operand_a, layout_.operand_a_bits);
+        write_bits(bits, layout_.operand_a_bits, op.operand_b, layout_.operand_b_bits);
+        return true;
+    }
+    }
+    return false;
+}
+
+} // namespace synts::arch

@@ -1,0 +1,42 @@
+// stage_taps.h -- per-stage input-vector extraction.
+//
+// The cross-layer methodology (paper Fig. 5.8) feeds "cycle-by-cycle input
+// vectors for each stage" from the architectural simulation into the
+// gate-level netlists. A stage tap converts a micro-op into the primary
+// input bit vector of one stage netlist -- or reports that the op does not
+// exercise that stage (a multiply never toggles the SimpleALU operand
+// latches, etc.).
+
+#pragma once
+
+#include <span>
+
+#include "arch/isa.h"
+#include "circuit/netlist_builder.h"
+
+namespace synts::arch {
+
+/// Extracts stage input vectors from micro-ops.
+class stage_tap {
+public:
+    /// Binds the tap to a stage and its input layout.
+    stage_tap(circuit::pipe_stage stage, const circuit::stage_input_layout& layout) noexcept;
+
+    /// Total primary-input width of the stage netlist.
+    [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+    /// True when `op` exercises the stage.
+    [[nodiscard]] bool drives_stage(const micro_op& op) const noexcept;
+
+    /// Fills `bits` (size width()) with the stage input vector for `op`.
+    /// Returns false (leaving `bits` untouched) when the op does not drive
+    /// the stage.
+    bool extract(const micro_op& op, std::span<bool> bits) const noexcept;
+
+private:
+    circuit::pipe_stage stage_;
+    circuit::stage_input_layout layout_;
+    std::size_t width_ = 0;
+};
+
+} // namespace synts::arch

@@ -1,0 +1,91 @@
+// trace.h -- dynamic thread traces with barrier structure.
+//
+// A thread trace is the ordered micro-op stream one thread executes,
+// annotated with the positions of its barrier arrivals. Interval k of the
+// thread is ops[barrier_points[k-1] .. barrier_points[k]) (with an implicit
+// 0 start). All threads of a program have the same number of intervals --
+// that is what barrier synchronization means.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/isa.h"
+
+namespace synts::arch {
+
+/// One thread's dynamic micro-op stream plus its barrier arrival points.
+struct thread_trace {
+    std::vector<micro_op> ops;
+    /// Indices into `ops`, strictly increasing; the last entry must equal
+    /// ops.size() (every trace ends at a barrier).
+    std::vector<std::size_t> barrier_points;
+
+    /// Number of barrier intervals.
+    [[nodiscard]] std::size_t interval_count() const noexcept
+    {
+        return barrier_points.size();
+    }
+
+    /// Micro-ops of interval `k`. Throws std::out_of_range for a bad index.
+    [[nodiscard]] std::span<const micro_op> interval(std::size_t k) const
+    {
+        if (k >= barrier_points.size()) {
+            throw std::out_of_range("thread_trace: interval index out of range");
+        }
+        const std::size_t begin = k == 0 ? 0 : barrier_points[k - 1];
+        const std::size_t end = barrier_points[k];
+        return std::span<const micro_op>(ops).subspan(begin, end - begin);
+    }
+
+    /// Structural checks; throws std::logic_error on violation.
+    void validate() const
+    {
+        std::size_t previous = 0;
+        bool first = true;
+        for (const std::size_t point : barrier_points) {
+            const bool increases = first ? point > 0 : point > previous;
+            if (!increases) {
+                throw std::logic_error("thread_trace: barrier points must strictly increase");
+            }
+            previous = point;
+            first = false;
+        }
+        if (!barrier_points.empty() && barrier_points.back() != ops.size()) {
+            throw std::logic_error("thread_trace: trace must end at a barrier");
+        }
+    }
+};
+
+/// A complete multi-threaded program trace: one thread per core. All
+/// threads must expose the same interval count.
+struct program_trace {
+    std::vector<thread_trace> threads;
+
+    /// Number of threads (M in the paper's notation).
+    [[nodiscard]] std::size_t thread_count() const noexcept { return threads.size(); }
+
+    /// Shared interval count (0 for an empty program).
+    [[nodiscard]] std::size_t interval_count() const noexcept
+    {
+        return threads.empty() ? 0 : threads.front().interval_count();
+    }
+
+    /// Validates each thread and the interval-count agreement.
+    void validate() const
+    {
+        for (const auto& t : threads) {
+            t.validate();
+        }
+        for (const auto& t : threads) {
+            if (t.interval_count() != interval_count()) {
+                throw std::logic_error("program_trace: threads disagree on interval count");
+            }
+        }
+    }
+};
+
+} // namespace synts::arch

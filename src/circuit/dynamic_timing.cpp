@@ -1,0 +1,116 @@
+#include "circuit/dynamic_timing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuit/sta.h"
+
+namespace synts::circuit {
+
+dynamic_timing_simulator::dynamic_timing_simulator(const netlist& nl, const cell_library& lib,
+                                                   const voltage_model& vm,
+                                                   std::span<const double> vdd_levels)
+    : nl_(nl)
+{
+    if (vdd_levels.empty()) {
+        throw std::invalid_argument("dynamic_timing_simulator: need at least one corner");
+    }
+    const static_timing_analyzer sta(nl_);
+    const std::vector<double> nominal = sta.nominal_gate_delays(lib);
+    const auto gates = nl_.gates();
+
+    corners_.reserve(vdd_levels.size());
+    for (const double vdd : vdd_levels) {
+        corner c;
+        c.vdd = vdd;
+        c.gate_delay_ps.resize(gates.size());
+        vm.scale_gate_delays(gates, nominal, c.gate_delay_ps, vdd);
+        c.nominal_period_ps = sta.analyze(c.gate_delay_ps).critical_delay_ps;
+        corners_.push_back(std::move(c));
+    }
+
+    values_.assign(nl_.net_count(), 0);
+    changed_.assign(nl_.net_count(), 0);
+    toggle_ps_.assign(corners_.size() * nl_.net_count(), 0.0);
+}
+
+void dynamic_timing_simulator::reset()
+{
+    std::fill(values_.begin(), values_.end(), 0);
+    std::fill(changed_.begin(), changed_.end(), 0);
+    std::fill(toggle_ps_.begin(), toggle_ps_.end(), 0.0);
+}
+
+double dynamic_timing_simulator::step(std::span<const bool> inputs,
+                                      std::span<double> out_delay_ps)
+{
+    const std::size_t input_count = nl_.input_count();
+    const std::size_t net_count = nl_.net_count();
+    const std::size_t corner_count_ = corners_.size();
+    if (inputs.size() != input_count) {
+        throw std::invalid_argument("dynamic_timing_simulator: input vector width mismatch");
+    }
+    if (out_delay_ps.size() != corner_count_) {
+        throw std::invalid_argument("dynamic_timing_simulator: corner buffer mismatch");
+    }
+
+    // Primary inputs switch at the launching clock edge (time 0).
+    for (std::size_t i = 0; i < input_count; ++i) {
+        const std::uint8_t next = inputs[i] ? 1 : 0;
+        changed_[i] = (next != values_[i]) ? 1 : 0;
+        values_[i] = next;
+        if (changed_[i]) {
+            for (std::size_t c = 0; c < corner_count_; ++c) {
+                toggle_ps_[c * net_count + i] = 0.0;
+            }
+        }
+    }
+
+    const auto gates = nl_.gates();
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const gate& g = gates[gi];
+        bool in_bits[3] = {false, false, false};
+        for (std::size_t i = 0; i < g.input_count; ++i) {
+            in_bits[i] = values_[g.inputs[i]] != 0;
+        }
+        const bool next =
+            evaluate_cell(g.kind, std::span<const bool>(in_bits, g.input_count));
+        const net_id out = g.output;
+        const bool toggled = (next ? 1 : 0) != values_[out];
+        values_[out] = next ? 1 : 0;
+        changed_[out] = toggled ? 1 : 0;
+        if (!toggled) {
+            continue;
+        }
+        for (std::size_t c = 0; c < corner_count_; ++c) {
+            double latest_input = 0.0;
+            for (std::size_t i = 0; i < g.input_count; ++i) {
+                const net_id in = g.inputs[i];
+                if (changed_[in]) {
+                    latest_input = std::max(latest_input, toggle_ps_[c * net_count + in]);
+                }
+            }
+            toggle_ps_[c * net_count + out] = latest_input + corners_[c].gate_delay_ps[gi];
+        }
+    }
+
+    double worst = 0.0;
+    for (std::size_t c = 0; c < corner_count_; ++c) {
+        double latest = 0.0;
+        for (const net_id out : nl_.output_nets()) {
+            if (changed_[out]) {
+                latest = std::max(latest, toggle_ps_[c * net_count + out]);
+            }
+        }
+        out_delay_ps[c] = latest;
+        worst = std::max(worst, latest);
+    }
+    return worst;
+}
+
+bool dynamic_timing_simulator::output_value(std::size_t i) const noexcept
+{
+    return values_[nl_.output_net(i)] != 0;
+}
+
+} // namespace synts::circuit

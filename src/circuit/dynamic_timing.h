@@ -1,0 +1,82 @@
+// dynamic_timing.h -- per-vector sensitized-path delay simulation.
+//
+// This is the reproduction's stand-in for gate-level dynamic timing analysis
+// of the synthesized pipe stages: for every consecutive pair of input
+// vectors, an event-driven pass computes when each toggling net settles, and
+// the vector's *sensitized delay* is the settle time of the latest-toggling
+// primary output. A timing error occurs at clock period t_clk when the
+// sensitized delay exceeds t_clk -- exactly the err(r) = P(delay > r * t_nom)
+// relation the paper characterizes (Fig. 3.5).
+//
+// The simulator evaluates all requested voltage corners in one topological
+// pass so cross-voltage delay traces stay sample-aligned.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/cell_library.h"
+#include "circuit/netlist.h"
+#include "circuit/voltage_model.h"
+
+namespace synts::circuit {
+
+/// Multi-corner dynamic timing simulator bound to one netlist.
+class dynamic_timing_simulator {
+public:
+    /// Binds to `nl` (which must outlive the simulator) and prepares delay
+    /// tables for every supply level in `vdd_levels`.
+    dynamic_timing_simulator(const netlist& nl, const cell_library& lib,
+                             const voltage_model& vm, std::span<const double> vdd_levels);
+
+    /// Number of voltage corners.
+    [[nodiscard]] std::size_t corner_count() const noexcept { return corners_.size(); }
+
+    /// Supply of corner `c`.
+    [[nodiscard]] double corner_vdd(std::size_t c) const noexcept
+    {
+        return corners_[c].vdd;
+    }
+
+    /// STA critical-path delay (the stage's nominal period t_nom) at
+    /// corner `c`.
+    [[nodiscard]] double nominal_period_ps(std::size_t c) const noexcept
+    {
+        return corners_[c].nominal_period_ps;
+    }
+
+    /// Clears all state to the all-zero vector. The first step after a
+    /// reset measures the transition from that baseline.
+    void reset();
+
+    /// Applies the next input vector (size must equal input_count of the
+    /// netlist) and writes the sensitized delay at every corner into
+    /// `out_delay_ps` (size corner_count). Returns the worst corner delay.
+    double step(std::span<const bool> inputs, std::span<double> out_delay_ps);
+
+    /// Functional value of primary output `i` after the latest step.
+    [[nodiscard]] bool output_value(std::size_t i) const noexcept;
+
+    /// Functional values of all nets (for debugging/tests).
+    [[nodiscard]] std::span<const std::uint8_t> net_values() const noexcept
+    {
+        return values_;
+    }
+
+private:
+    struct corner {
+        double vdd = 1.0;
+        double nominal_period_ps = 0.0;
+        std::vector<double> gate_delay_ps; ///< per gate
+    };
+
+    const netlist& nl_;
+    std::vector<corner> corners_;
+    std::vector<std::uint8_t> values_;  ///< per net, current value
+    std::vector<std::uint8_t> changed_; ///< per net, toggled in current step
+    std::vector<double> toggle_ps_;     ///< [corner * net_count + net]
+};
+
+} // namespace synts::circuit

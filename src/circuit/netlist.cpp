@@ -1,0 +1,160 @@
+#include "circuit/netlist.h"
+
+#include <stdexcept>
+
+namespace synts::circuit {
+
+netlist::netlist(std::string name)
+    : name_(std::move(name))
+{
+}
+
+net_id netlist::add_input(std::string name)
+{
+    if (!gates_.empty()) {
+        throw std::logic_error("netlist: all inputs must be added before gates");
+    }
+    input_names_.push_back(std::move(name));
+    fanout_.push_back(0);
+    return static_cast<net_id>(net_total_++);
+}
+
+std::vector<net_id> netlist::add_input_bus(const std::string& base, std::size_t width)
+{
+    std::vector<net_id> nets;
+    nets.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        nets.push_back(add_input(base + "[" + std::to_string(i) + "]"));
+    }
+    return nets;
+}
+
+net_id netlist::add_gate(cell_kind kind, std::span<const net_id> inputs)
+{
+    const std::size_t arity = cell_input_count(kind);
+    if (inputs.size() != arity) {
+        throw std::invalid_argument("netlist: arity mismatch for cell " +
+                                    std::string(cell_kind_name(kind)));
+    }
+    if (kind == cell_kind::dff) {
+        throw std::invalid_argument("netlist: DFF cells are not allowed in "
+                                    "combinational netlists");
+    }
+    gate g;
+    g.kind = kind;
+    g.input_count = static_cast<std::uint8_t>(arity);
+    for (std::size_t i = 0; i < arity; ++i) {
+        if (inputs[i] >= net_total_) {
+            throw std::invalid_argument("netlist: gate input references nonexistent net");
+        }
+        g.inputs[i] = inputs[i];
+        ++fanout_[inputs[i]];
+    }
+    g.output = static_cast<net_id>(net_total_++);
+    fanout_.push_back(0);
+    gates_.push_back(g);
+    return g.output;
+}
+
+net_id netlist::add_gate0(cell_kind kind)
+{
+    return add_gate(kind, {});
+}
+
+net_id netlist::add_gate1(cell_kind kind, net_id a)
+{
+    const std::array<net_id, 1> in{a};
+    return add_gate(kind, in);
+}
+
+net_id netlist::add_gate2(cell_kind kind, net_id a, net_id b)
+{
+    const std::array<net_id, 2> in{a, b};
+    return add_gate(kind, in);
+}
+
+net_id netlist::add_gate3(cell_kind kind, net_id a, net_id b, net_id c)
+{
+    const std::array<net_id, 3> in{a, b, c};
+    return add_gate(kind, in);
+}
+
+void netlist::mark_output(std::string name, net_id net)
+{
+    if (net >= net_total_) {
+        throw std::invalid_argument("netlist: output references nonexistent net");
+    }
+    output_names_.push_back(std::move(name));
+    output_nets_.push_back(net);
+    ++fanout_[net];
+}
+
+void netlist::mark_output_bus(const std::string& base, std::span<const net_id> nets)
+{
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+        mark_output(base + "[" + std::to_string(i) + "]", nets[i]);
+    }
+}
+
+gate_id netlist::driver_of(net_id net) const noexcept
+{
+    if (net < input_names_.size()) {
+        return static_cast<gate_id>(gates_.size()); // sentinel: primary input
+    }
+    return static_cast<gate_id>(net - input_names_.size());
+}
+
+double netlist::total_area_um2(const cell_library& lib) const noexcept
+{
+    double area = 0.0;
+    for (const auto& g : gates_) {
+        area += lib.params(g.kind).area_um2;
+    }
+    return area;
+}
+
+double netlist::total_leakage_nw(const cell_library& lib) const noexcept
+{
+    double leak = 0.0;
+    for (const auto& g : gates_) {
+        leak += lib.params(g.kind).leakage_nw;
+    }
+    return leak;
+}
+
+std::array<std::size_t, cell_kind_count> netlist::kind_histogram() const noexcept
+{
+    std::array<std::size_t, cell_kind_count> counts{};
+    for (const auto& g : gates_) {
+        ++counts[static_cast<std::size_t>(g.kind)];
+    }
+    return counts;
+}
+
+void netlist::validate() const
+{
+    const std::size_t inputs = input_names_.size();
+    for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+        const gate& g = gates_[gi];
+        const net_id own = static_cast<net_id>(inputs + gi);
+        if (g.output != own) {
+            throw std::logic_error("netlist: gate output net out of sequence");
+        }
+        if (g.input_count != cell_input_count(g.kind)) {
+            throw std::logic_error("netlist: stored arity mismatch");
+        }
+        for (std::size_t i = 0; i < g.input_count; ++i) {
+            if (g.inputs[i] >= own) {
+                throw std::logic_error("netlist: gate reads a net it precedes "
+                                       "(not topological)");
+            }
+        }
+    }
+    for (const net_id net : output_nets_) {
+        if (net >= net_total_) {
+            throw std::logic_error("netlist: dangling primary output");
+        }
+    }
+}
+
+} // namespace synts::circuit

@@ -1,0 +1,129 @@
+// netlist.h -- gate-level combinational netlist.
+//
+// Netlists are built net-by-net: every gate's input nets must exist before
+// the gate is added, so the gate array is in topological order by
+// construction (verified by validate()). This makes single-pass functional
+// simulation, static timing, and dynamic timing all linear-time.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/cell_library.h"
+
+namespace synts::circuit {
+
+/// Index of a net (wire). Net 0..input_count-1 are the primary inputs.
+using net_id = std::uint32_t;
+
+/// Index of a gate instance within a netlist.
+using gate_id = std::uint32_t;
+
+/// Sentinel for "no net".
+inline constexpr net_id no_net = 0xFFFFFFFFu;
+
+/// One gate instance: cell class, up to three input nets, one output net.
+struct gate {
+    cell_kind kind = cell_kind::buf;
+    std::array<net_id, 3> inputs{no_net, no_net, no_net};
+    std::uint8_t input_count = 0;
+    net_id output = no_net;
+};
+
+/// A combinational gate-level netlist with named primary inputs/outputs.
+class netlist {
+public:
+    /// Creates an empty netlist labeled `name` (reports only).
+    explicit netlist(std::string name = "netlist");
+
+    /// Adds a primary input and returns its net.
+    net_id add_input(std::string name);
+
+    /// Adds `width` inputs named `<base>[0..width-1]`, LSB first.
+    std::vector<net_id> add_input_bus(const std::string& base, std::size_t width);
+
+    /// Adds a gate driving a fresh net; `inputs` must all be existing nets.
+    /// Throws std::invalid_argument on arity mismatch or undriven input.
+    net_id add_gate(cell_kind kind, std::span<const net_id> inputs);
+
+    /// Convenience arity-specific wrappers.
+    net_id add_gate0(cell_kind kind);
+    net_id add_gate1(cell_kind kind, net_id a);
+    net_id add_gate2(cell_kind kind, net_id a, net_id b);
+    net_id add_gate3(cell_kind kind, net_id a, net_id b, net_id c);
+
+    /// Declares `net` a primary output named `name`.
+    void mark_output(std::string name, net_id net);
+
+    /// Declares nets as the output bus `<base>[i]`, LSB first.
+    void mark_output_bus(const std::string& base, std::span<const net_id> nets);
+
+    /// Name of the netlist.
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    /// Number of primary inputs.
+    [[nodiscard]] std::size_t input_count() const noexcept { return input_names_.size(); }
+    /// Number of primary outputs.
+    [[nodiscard]] std::size_t output_count() const noexcept { return output_nets_.size(); }
+    /// Number of gate instances.
+    [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+    /// Total number of nets (inputs + gate outputs).
+    [[nodiscard]] std::size_t net_count() const noexcept { return net_total_; }
+
+    /// Gate table in topological order.
+    [[nodiscard]] std::span<const gate> gates() const noexcept { return gates_; }
+    /// Net driven by primary output `i`.
+    [[nodiscard]] net_id output_net(std::size_t i) const noexcept { return output_nets_[i]; }
+    /// All primary output nets.
+    [[nodiscard]] std::span<const net_id> output_nets() const noexcept { return output_nets_; }
+    /// Name of primary input `i`.
+    [[nodiscard]] const std::string& input_name(std::size_t i) const noexcept
+    {
+        return input_names_[i];
+    }
+    /// Name of primary output `i`.
+    [[nodiscard]] const std::string& output_name(std::size_t i) const noexcept
+    {
+        return output_names_[i];
+    }
+
+    /// Fanout endpoint count of each net (gate input pins plus primary
+    /// outputs). Index by net_id.
+    [[nodiscard]] std::span<const std::uint32_t> fanout_counts() const noexcept
+    {
+        return fanout_;
+    }
+
+    /// Gate driving `net`, or an id >= gate_count() when `net` is a primary
+    /// input. The driver of net n (n >= input_count) is gate n - input_count.
+    [[nodiscard]] gate_id driver_of(net_id net) const noexcept;
+
+    /// Total cell area from `lib`.
+    [[nodiscard]] double total_area_um2(const cell_library& lib) const noexcept;
+
+    /// Total leakage power from `lib` (at nominal supply), in nW.
+    [[nodiscard]] double total_leakage_nw(const cell_library& lib) const noexcept;
+
+    /// Per-cell-class instance counts, indexed by cell_kind.
+    [[nodiscard]] std::array<std::size_t, cell_kind_count> kind_histogram() const noexcept;
+
+    /// Structural checks: every gate input precedes the gate (acyclic /
+    /// topological), arities match, outputs exist. Throws std::logic_error
+    /// with a description on violation; returns normally otherwise.
+    void validate() const;
+
+private:
+    std::string name_;
+    std::vector<std::string> input_names_;
+    std::vector<gate> gates_;
+    std::vector<std::string> output_names_;
+    std::vector<net_id> output_nets_;
+    std::vector<std::uint32_t> fanout_;
+    std::size_t net_total_ = 0;
+};
+
+} // namespace synts::circuit

@@ -1,0 +1,412 @@
+#include "circuit/netlist_builder.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace synts::circuit {
+
+full_adder_result add_full_adder(netlist& nl, net_id a, net_id b, net_id carry_in)
+{
+    const net_id propagate = nl.add_gate2(cell_kind::xor2, a, b);
+    const net_id sum = nl.add_gate2(cell_kind::xor2, propagate, carry_in);
+    const net_id generate = nl.add_gate2(cell_kind::and2, a, b);
+    const net_id chain = nl.add_gate2(cell_kind::and2, propagate, carry_in);
+    const net_id carry = nl.add_gate2(cell_kind::or2, generate, chain);
+    return {sum, carry};
+}
+
+adder_result add_ripple_adder(netlist& nl, std::span<const net_id> a,
+                              std::span<const net_id> b, net_id carry_in)
+{
+    if (a.size() != b.size() || a.empty()) {
+        throw std::invalid_argument("add_ripple_adder: operand width mismatch");
+    }
+    adder_result result;
+    result.sum.reserve(a.size());
+    net_id carry = carry_in;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto fa = add_full_adder(nl, a[i], b[i], carry);
+        result.sum.push_back(fa.sum);
+        carry = fa.carry;
+    }
+    result.carry_out = carry;
+    return result;
+}
+
+adder_result add_kogge_stone_adder(netlist& nl, std::span<const net_id> a,
+                                   std::span<const net_id> b, net_id carry_in)
+{
+    if (a.size() != b.size() || a.empty()) {
+        throw std::invalid_argument("add_kogge_stone_adder: operand width mismatch");
+    }
+    const std::size_t width = a.size();
+
+    std::vector<net_id> propagate(width);
+    std::vector<net_id> generate(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        propagate[i] = nl.add_gate2(cell_kind::xor2, a[i], b[i]);
+        generate[i] = nl.add_gate2(cell_kind::and2, a[i], b[i]);
+    }
+
+    // Fold carry_in into bit 0's generate: g0' = g0 | (p0 & cin).
+    const net_id cin_chain = nl.add_gate2(cell_kind::and2, propagate[0], carry_in);
+    generate[0] = nl.add_gate2(cell_kind::or2, generate[0], cin_chain);
+
+    std::vector<net_id> group_p = propagate;
+    std::vector<net_id> group_g = generate;
+    for (std::size_t distance = 1; distance < width; distance *= 2) {
+        std::vector<net_id> next_p = group_p;
+        std::vector<net_id> next_g = group_g;
+        for (std::size_t i = distance; i < width; ++i) {
+            const net_id carried = nl.add_gate2(cell_kind::and2, group_p[i],
+                                                group_g[i - distance]);
+            next_g[i] = nl.add_gate2(cell_kind::or2, group_g[i], carried);
+            next_p[i] = nl.add_gate2(cell_kind::and2, group_p[i], group_p[i - distance]);
+        }
+        group_p = std::move(next_p);
+        group_g = std::move(next_g);
+    }
+
+    adder_result result;
+    result.sum.reserve(width);
+    result.sum.push_back(nl.add_gate2(cell_kind::xor2, propagate[0], carry_in));
+    for (std::size_t i = 1; i < width; ++i) {
+        result.sum.push_back(nl.add_gate2(cell_kind::xor2, propagate[i], group_g[i - 1]));
+    }
+    result.carry_out = group_g[width - 1];
+    return result;
+}
+
+std::vector<net_id> add_decoder(netlist& nl, std::span<const net_id> select)
+{
+    if (select.empty() || select.size() > 8) {
+        throw std::invalid_argument("add_decoder: select width must be 1..8");
+    }
+    std::vector<net_id> inverted(select.size());
+    for (std::size_t i = 0; i < select.size(); ++i) {
+        inverted[i] = nl.add_gate1(cell_kind::inv, select[i]);
+    }
+
+    // Literal pairs: for each adjacent bit pair, pre-AND the four minterm
+    // combinations; outputs then AND one product per pair (plus a literal
+    // when the width is odd).
+    struct pair_products {
+        std::array<net_id, 4> product{}; // index = (hi_bit << 1) | lo_bit
+    };
+    std::vector<pair_products> pairs;
+    for (std::size_t i = 0; i + 1 < select.size(); i += 2) {
+        pair_products pp;
+        for (int combo = 0; combo < 4; ++combo) {
+            const net_id lo = (combo & 1) ? select[i] : inverted[i];
+            const net_id hi = (combo & 2) ? select[i + 1] : inverted[i + 1];
+            pp.product[static_cast<std::size_t>(combo)] =
+                nl.add_gate2(cell_kind::and2, lo, hi);
+        }
+        pairs.push_back(pp);
+    }
+    const bool odd = (select.size() % 2) != 0;
+
+    const std::size_t outputs = std::size_t{1} << select.size();
+    std::vector<net_id> one_hot;
+    one_hot.reserve(outputs);
+    for (std::size_t code = 0; code < outputs; ++code) {
+        std::vector<net_id> terms;
+        for (std::size_t p = 0; p < pairs.size(); ++p) {
+            const std::size_t combo = (code >> (2 * p)) & 3;
+            terms.push_back(pairs[p].product[combo]);
+        }
+        if (odd) {
+            const std::size_t top = select.size() - 1;
+            terms.push_back((code >> top) & 1 ? select[top] : inverted[top]);
+        }
+        one_hot.push_back(add_and_tree(nl, terms));
+    }
+    return one_hot;
+}
+
+namespace {
+
+net_id add_reduction_tree(netlist& nl, std::span<const net_id> nets, cell_kind two_in,
+                          cell_kind three_in)
+{
+    if (nets.empty()) {
+        throw std::invalid_argument("reduction tree: empty input");
+    }
+    std::vector<net_id> level(nets.begin(), nets.end());
+    while (level.size() > 1) {
+        std::vector<net_id> next;
+        std::size_t i = 0;
+        while (i < level.size()) {
+            const std::size_t remaining = level.size() - i;
+            if (remaining == 3 || (remaining > 3 && remaining % 2 == 1)) {
+                next.push_back(nl.add_gate3(three_in, level[i], level[i + 1], level[i + 2]));
+                i += 3;
+            } else if (remaining >= 2) {
+                next.push_back(nl.add_gate2(two_in, level[i], level[i + 1]));
+                i += 2;
+            } else {
+                next.push_back(level[i]);
+                i += 1;
+            }
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+} // namespace
+
+net_id add_or_tree(netlist& nl, std::span<const net_id> nets)
+{
+    return add_reduction_tree(nl, nets, cell_kind::or2, cell_kind::or3);
+}
+
+net_id add_and_tree(netlist& nl, std::span<const net_id> nets)
+{
+    return add_reduction_tree(nl, nets, cell_kind::and2, cell_kind::and3);
+}
+
+std::vector<net_id> add_control_pla(netlist& nl, std::span<const net_id> inputs,
+                                    std::size_t output_count, std::size_t terms_per_output,
+                                    std::uint64_t seed)
+{
+    if (inputs.size() < 3) {
+        throw std::invalid_argument("add_control_pla: need at least 3 inputs");
+    }
+    util::xoshiro256 rng(seed);
+
+    std::vector<net_id> inverted(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        inverted[i] = nl.add_gate1(cell_kind::inv, inputs[i]);
+    }
+
+    std::vector<net_id> outputs;
+    outputs.reserve(output_count);
+    for (std::size_t o = 0; o < output_count; ++o) {
+        std::vector<net_id> terms;
+        terms.reserve(terms_per_output);
+        for (std::size_t t = 0; t < terms_per_output; ++t) {
+            const auto picks = util::sample_without_replacement(rng, inputs.size(), 3);
+            std::array<net_id, 3> literals{};
+            for (std::size_t l = 0; l < 3; ++l) {
+                const bool positive = rng.bernoulli(0.5);
+                literals[l] = positive ? inputs[picks[l]] : inverted[picks[l]];
+            }
+            terms.push_back(nl.add_gate3(cell_kind::and3, literals[0], literals[1],
+                                         literals[2]));
+        }
+        outputs.push_back(add_or_tree(nl, terms));
+    }
+    return outputs;
+}
+
+stage_netlist build_decode_stage()
+{
+    stage_netlist stage;
+    stage.nl = netlist("decode");
+    stage.layout.instruction_bits = 32;
+
+    netlist& nl = stage.nl;
+    const std::vector<net_id> word = nl.add_input_bus("insn", 32);
+
+    // Field split mirrors a classic RISC encoding: opcode = word[26..31],
+    // rs = word[21..25], rt = word[16..20], imm = word[0..15].
+    const std::vector<net_id> opcode(word.begin() + 26, word.end());
+    const std::vector<net_id> rs(word.begin() + 21, word.begin() + 26);
+    const std::vector<net_id> rt(word.begin() + 16, word.begin() + 21);
+    const std::vector<net_id> imm(word.begin(), word.begin() + 16);
+
+    const std::vector<net_id> opcode_one_hot = add_decoder(nl, opcode);
+    const std::vector<net_id> rs_one_hot = add_decoder(nl, rs);
+    const std::vector<net_id> rt_one_hot = add_decoder(nl, rt);
+
+    // Synthesized control logic over opcode and low function bits.
+    std::vector<net_id> pla_inputs(opcode);
+    pla_inputs.insert(pla_inputs.end(), imm.begin(), imm.begin() + 6);
+    const std::vector<net_id> controls =
+        add_control_pla(nl, pla_inputs, /*output_count=*/24, /*terms_per_output=*/4,
+                        /*seed=*/0x5EED0DECull);
+
+    // Immediate extension: upper halfword = sign ? imm[15] : 0, selected by
+    // the first control signal (sign- vs zero-extend).
+    const net_id zero = nl.add_gate0(cell_kind::const0);
+    const net_id sign = imm[15];
+    std::vector<net_id> imm_ext;
+    imm_ext.reserve(32);
+    for (std::size_t i = 0; i < 16; ++i) {
+        imm_ext.push_back(nl.add_gate1(cell_kind::buf, imm[i]));
+    }
+    for (std::size_t i = 16; i < 32; ++i) {
+        imm_ext.push_back(nl.add_gate3(cell_kind::mux2, zero, sign, controls[0]));
+    }
+
+    // Hazard detection: rs one-hot AND rt one-hot, reduced by a *linear*
+    // OR chain (the way a synthesizer maps a wide priority/bypass network
+    // under area pressure). The chain is the stage's critical path, and it
+    // is rarely sensitized: a toggle enters at the colliding register's
+    // position and ripples to the end, so low-numbered register collisions
+    // sensitize the deepest paths. This produces the gradually rising,
+    // thread-dependent Decode error curves of Figs. 6.13/6.14.
+    std::vector<net_id> match_bits;
+    match_bits.reserve(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        match_bits.push_back(nl.add_gate2(cell_kind::and2, rs_one_hot[i], rt_one_hot[i]));
+    }
+    net_id same_register = match_bits[0];
+    for (std::size_t i = 1; i < 32; ++i) {
+        same_register = nl.add_gate2(cell_kind::or2, same_register, match_bits[i]);
+    }
+
+    // Operand-forwarding enables gated by the hazard flag: extends the
+    // rare deep path by one level and fans it out to visible outputs.
+    std::vector<net_id> forward_enable;
+    forward_enable.reserve(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        forward_enable.push_back(nl.add_gate2(cell_kind::and2, same_register, imm[i]));
+    }
+
+    nl.mark_output_bus("opcode_1h", opcode_one_hot);
+    nl.mark_output_bus("rs_1h", rs_one_hot);
+    nl.mark_output_bus("rt_1h", rt_one_hot);
+    nl.mark_output_bus("ctl", controls);
+    nl.mark_output_bus("imm_ext", imm_ext);
+    nl.mark_output_bus("fwd_en", forward_enable);
+    nl.mark_output("same_register", same_register);
+
+    nl.validate();
+    return stage;
+}
+
+stage_netlist build_simple_alu()
+{
+    stage_netlist stage;
+    stage.nl = netlist("simple_alu");
+    stage.layout.operand_a_bits = 32;
+    stage.layout.operand_b_bits = 32;
+    stage.layout.opcode_bits = 3;
+
+    netlist& nl = stage.nl;
+    const std::vector<net_id> a = nl.add_input_bus("a", 32);
+    const std::vector<net_id> b = nl.add_input_bus("b", 32);
+    const std::vector<net_id> op = nl.add_input_bus("op", 3);
+
+    // op encoding: op[0] = subtract, op[1..2] select {arith, and, or, xor}.
+    const net_id subtract = op[0];
+
+    // Adder operand: b ^ subtract, carry-in = subtract.
+    std::vector<net_id> b_adj;
+    b_adj.reserve(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        b_adj.push_back(nl.add_gate2(cell_kind::xor2, b[i], subtract));
+    }
+    const adder_result adder = add_ripple_adder(nl, a, b_adj, subtract);
+
+    std::vector<net_id> result;
+    result.reserve(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        const net_id bit_and = nl.add_gate2(cell_kind::and2, a[i], b[i]);
+        const net_id bit_or = nl.add_gate2(cell_kind::or2, a[i], b[i]);
+        const net_id bit_xor = nl.add_gate2(cell_kind::xor2, a[i], b[i]);
+        // 4:1 select via three mux2 gates: ((arith, and), (or, xor)).
+        const net_id lo = nl.add_gate3(cell_kind::mux2, adder.sum[i], bit_and, op[1]);
+        const net_id hi = nl.add_gate3(cell_kind::mux2, bit_or, bit_xor, op[1]);
+        result.push_back(nl.add_gate3(cell_kind::mux2, lo, hi, op[2]));
+    }
+
+    // Zero flag: NOR-reduction of the result.
+    const net_id any_set = add_or_tree(nl, result);
+    const net_id zero_flag = nl.add_gate1(cell_kind::inv, any_set);
+
+    nl.mark_output_bus("result", result);
+    nl.mark_output("carry_out", adder.carry_out);
+    nl.mark_output("zero", zero_flag);
+
+    nl.validate();
+    return stage;
+}
+
+stage_netlist build_complex_alu()
+{
+    stage_netlist stage;
+    stage.nl = netlist("complex_alu");
+    stage.layout.operand_a_bits = 16;
+    stage.layout.operand_b_bits = 16;
+
+    netlist& nl = stage.nl;
+    const std::vector<net_id> a = nl.add_input_bus("a", 16);
+    const std::vector<net_id> b = nl.add_input_bus("b", 16);
+    constexpr std::size_t width = 16;
+
+    // Partial products.
+    std::vector<std::vector<net_id>> pp(width, std::vector<net_id>(width));
+    for (std::size_t i = 0; i < width; ++i) {
+        for (std::size_t j = 0; j < width; ++j) {
+            pp[j][i] = nl.add_gate2(cell_kind::and2, a[i], b[j]);
+        }
+    }
+
+    // Carry-save array: row r adds pp[r] into the running sum.
+    const net_id zero = nl.add_gate0(cell_kind::const0);
+    std::vector<net_id> product;
+    product.reserve(2 * width);
+
+    std::vector<net_id> row_sum(pp[0]);   // current partial sums, bits i..i+width-1
+    std::vector<net_id> row_carry(width, zero);
+
+    product.push_back(row_sum[0]);
+    for (std::size_t r = 1; r < width; ++r) {
+        std::vector<net_id> next_sum(width);
+        std::vector<net_id> next_carry(width);
+        for (std::size_t i = 0; i < width; ++i) {
+            const net_id sum_in = (i + 1 < width) ? row_sum[i + 1] : zero;
+            const auto fa = add_full_adder(nl, sum_in, pp[r][i], row_carry[i]);
+            next_sum[i] = fa.sum;
+            next_carry[i] = fa.carry;
+        }
+        row_sum = std::move(next_sum);
+        row_carry = std::move(next_carry);
+        product.push_back(row_sum[0]);
+    }
+
+    // Final row: ripple the remaining sum/carry vectors together.
+    std::vector<net_id> final_a(row_sum.begin() + 1, row_sum.end());
+    final_a.push_back(zero);
+    const adder_result top = add_ripple_adder(nl, final_a, row_carry, zero);
+    for (const net_id bit : top.sum) {
+        product.push_back(bit);
+    }
+
+    nl.mark_output_bus("product", product);
+
+    nl.validate();
+    return stage;
+}
+
+const char* pipe_stage_name(pipe_stage stage) noexcept
+{
+    switch (stage) {
+    case pipe_stage::decode:
+        return "Decode";
+    case pipe_stage::simple_alu:
+        return "SimpleALU";
+    case pipe_stage::complex_alu:
+        return "ComplexALU";
+    }
+    return "?";
+}
+
+stage_netlist build_stage(pipe_stage stage)
+{
+    switch (stage) {
+    case pipe_stage::decode:
+        return build_decode_stage();
+    case pipe_stage::simple_alu:
+        return build_simple_alu();
+    case pipe_stage::complex_alu:
+        return build_complex_alu();
+    }
+    throw std::invalid_argument("build_stage: unknown stage");
+}
+
+} // namespace synts::circuit

@@ -1,0 +1,117 @@
+// netlist_builder.h -- structural generators for the pipe-stage netlists.
+//
+// The paper synthesizes the Illinois Verilog Model (IVM) Alpha pipeline with
+// Synopsys Design Compiler and analyzes three stages: Decode, SimpleALU and
+// ComplexALU. We substitute structural generators that produce circuits with
+// the same *timing character*:
+//
+//   * decode_stage   -- opcode/register one-hot decoders plus synthesized
+//                       random control logic (two-level PLA): shallow,
+//                       wide, control-dominated paths.
+//   * simple_alu     -- 32-bit ripple-carry adder/subtractor plus a bitwise
+//                       logic unit: the carry chain gives strongly
+//                       data-dependent sensitized delays (long chains are
+//                       rare -- the empirical basis of timing speculation).
+//   * complex_alu    -- 16x16 carry-save array multiplier: deep
+//                       multi-row paths whose sensitization depends on
+//                       operand magnitudes.
+//
+// All generators return both the netlist and an input-layout description so
+// the architecture layer (arch/stage_taps) can drive them cycle by cycle.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace synts::circuit {
+
+/// Sum/carry bundle returned by adder generators.
+struct adder_result {
+    std::vector<net_id> sum; ///< LSB-first sum bits
+    net_id carry_out = no_net;
+};
+
+/// Appends a full adder (5 gates) and returns {sum, carry}.
+struct full_adder_result {
+    net_id sum = no_net;
+    net_id carry = no_net;
+};
+full_adder_result add_full_adder(netlist& nl, net_id a, net_id b, net_id carry_in);
+
+/// Appends a ripple-carry adder over LSB-first operand buses of equal width.
+adder_result add_ripple_adder(netlist& nl, std::span<const net_id> a,
+                              std::span<const net_id> b, net_id carry_in);
+
+/// Appends a Kogge-Stone parallel-prefix adder (log-depth). Used for
+/// structural variety and as a cross-check in tests.
+adder_result add_kogge_stone_adder(netlist& nl, std::span<const net_id> a,
+                                   std::span<const net_id> b, net_id carry_in);
+
+/// Appends a full binary decoder: `select.size()` bits -> 2^n one-hot
+/// outputs (LSB-first select).
+std::vector<net_id> add_decoder(netlist& nl, std::span<const net_id> select);
+
+/// Appends a balanced OR-reduction tree over `nets`; returns the root.
+net_id add_or_tree(netlist& nl, std::span<const net_id> nets);
+
+/// Appends a balanced AND-reduction tree over `nets`; returns the root.
+net_id add_and_tree(netlist& nl, std::span<const net_id> nets);
+
+/// Appends a deterministic pseudo-random two-level PLA: `output_count`
+/// signals, each the OR of `terms_per_output` AND3 terms over randomly
+/// chosen (possibly inverted) literals of `inputs`. Stands in for
+/// synthesized control logic. The structure depends only on `seed`.
+std::vector<net_id> add_control_pla(netlist& nl, std::span<const net_id> inputs,
+                                    std::size_t output_count, std::size_t terms_per_output,
+                                    std::uint64_t seed);
+
+/// Input-bit layout of a generated pipe-stage netlist. Bits are consumed
+/// LSB-first per field, fields in the order listed.
+struct stage_input_layout {
+    std::size_t instruction_bits = 0; ///< decode: instruction word width
+    std::size_t operand_a_bits = 0;   ///< ALUs: first operand width
+    std::size_t operand_b_bits = 0;   ///< ALUs: second operand width
+    std::size_t opcode_bits = 0;      ///< ALUs: operation-select width
+};
+
+/// A pipe-stage circuit: netlist plus the input layout needed to drive it.
+struct stage_netlist {
+    netlist nl{"stage"};
+    stage_input_layout layout{};
+};
+
+/// Builds the Decode stage: 32-bit instruction word in; opcode decoder
+/// (6 -> 64), two register decoders (5 -> 32), 24 control signals from a
+/// pseudo-random PLA over opcode/function bits, and sign-/zero-extended
+/// immediate.
+[[nodiscard]] stage_netlist build_decode_stage();
+
+/// Builds the SimpleALU stage: 32-bit operands, 3-bit op select
+/// {add, sub, and, or, xor, pass-b}; outputs result bus, carry-out and a
+/// zero flag.
+[[nodiscard]] stage_netlist build_simple_alu();
+
+/// Builds the ComplexALU stage: 16x16 -> 32 array multiplier.
+[[nodiscard]] stage_netlist build_complex_alu();
+
+/// The three analyzed pipe stages, in the paper's order.
+enum class pipe_stage : std::uint8_t {
+    decode = 0,
+    simple_alu = 1,
+    complex_alu = 2,
+};
+
+/// Number of analyzed pipe stages.
+inline constexpr std::size_t pipe_stage_count = 3;
+
+/// Display name ("Decode", "SimpleALU", "ComplexALU").
+[[nodiscard]] const char* pipe_stage_name(pipe_stage stage) noexcept;
+
+/// Builds the netlist for `stage`.
+[[nodiscard]] stage_netlist build_stage(pipe_stage stage);
+
+} // namespace synts::circuit

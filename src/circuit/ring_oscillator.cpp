@@ -1,0 +1,43 @@
+#include "circuit/ring_oscillator.h"
+
+#include <stdexcept>
+
+namespace synts::circuit {
+
+namespace {
+// Stage delay of a 22 nm-flavored inverter driving its ring neighbor.
+constexpr double inverter_stage_delay_ps = 6.9;
+} // namespace
+
+ring_oscillator::ring_oscillator(std::size_t stages, alpha_power_fit fit)
+    : stages_(stages), fit_(fit), stage_delay_nominal_ps_(inverter_stage_delay_ps)
+{
+    if (stages < 3 || stages % 2 == 0) {
+        throw std::invalid_argument("ring_oscillator: stages must be odd and >= 3");
+    }
+}
+
+double ring_oscillator::period_ps(double vdd) const noexcept
+{
+    // A full oscillation traverses the ring twice (rise + fall).
+    return 2.0 * static_cast<double>(stages_) * stage_delay_nominal_ps_ *
+           alpha_power_scale(fit_, vdd);
+}
+
+std::vector<ring_oscillator_point> ring_oscillator::sweep(
+    std::span<const double> vdd_levels) const
+{
+    std::vector<ring_oscillator_point> points;
+    points.reserve(vdd_levels.size());
+    const double reference = period_ps(1.0);
+    for (const double vdd : vdd_levels) {
+        ring_oscillator_point p;
+        p.vdd = vdd;
+        p.period_ps = period_ps(vdd);
+        p.normalized_period = p.period_ps / reference;
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace synts::circuit

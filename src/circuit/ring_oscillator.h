@@ -1,0 +1,48 @@
+// ring_oscillator.h -- regenerates Table 5.1 from first principles.
+//
+// The paper obtains the voltage -> nominal-clock-period table by simulating
+// 22 nm ring oscillators in HSPICE. We substitute an odd-length inverter
+// ring whose stage delay follows the alpha-power law fitted to the published
+// table; bench_table5_1 prints the regenerated multipliers next to the
+// paper's values.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/voltage_model.h"
+
+namespace synts::circuit {
+
+/// One measured point of the ring-oscillator sweep.
+struct ring_oscillator_point {
+    double vdd = 0.0;               ///< supply, volts
+    double period_ps = 0.0;         ///< oscillation period at this supply
+    double normalized_period = 0.0; ///< period / period(1.0 V)
+};
+
+/// Odd-stage inverter ring with alpha-power-law stage delay.
+class ring_oscillator {
+public:
+    /// Creates a ring with `stages` inverters (must be odd and >= 3) using
+    /// the given fitted delay law. Throws std::invalid_argument otherwise.
+    explicit ring_oscillator(std::size_t stages, alpha_power_fit fit);
+
+    /// Oscillation period at supply `vdd`: 2 * stages * stage_delay(vdd).
+    [[nodiscard]] double period_ps(double vdd) const noexcept;
+
+    /// Sweeps the supplied voltage levels and returns normalized periods.
+    [[nodiscard]] std::vector<ring_oscillator_point>
+    sweep(std::span<const double> vdd_levels) const;
+
+    /// Number of inverter stages.
+    [[nodiscard]] std::size_t stages() const noexcept { return stages_; }
+
+private:
+    std::size_t stages_;
+    alpha_power_fit fit_;
+    double stage_delay_nominal_ps_;
+};
+
+} // namespace synts::circuit

@@ -1,0 +1,79 @@
+#include "circuit/sta.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace synts::circuit {
+
+static_timing_analyzer::static_timing_analyzer(const netlist& nl)
+    : nl_(nl)
+{
+}
+
+std::vector<double> static_timing_analyzer::nominal_gate_delays(const cell_library& lib) const
+{
+    const auto gates = nl_.gates();
+    const auto fanout = nl_.fanout_counts();
+    std::vector<double> delays(gates.size(), 0.0);
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        delays[gi] = lib.delay_ps(gates[gi].kind, fanout[gates[gi].output]);
+    }
+    return delays;
+}
+
+timing_report static_timing_analyzer::analyze(std::span<const double> gate_delays_ps) const
+{
+    const auto gates = nl_.gates();
+    if (gate_delays_ps.size() != gates.size()) {
+        throw std::invalid_argument("static_timing_analyzer: delay table size mismatch");
+    }
+
+    timing_report report;
+    report.arrival_ps.assign(nl_.net_count(), 0.0);
+    // Track, per gate, which input pin determined the arrival (for path
+    // recovery).
+    std::vector<net_id> worst_input(gates.size(), no_net);
+
+    const std::size_t input_count = nl_.input_count();
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const gate& g = gates[gi];
+        double worst = 0.0;
+        net_id worst_net = no_net;
+        for (std::size_t i = 0; i < g.input_count; ++i) {
+            const double t = report.arrival_ps[g.inputs[i]];
+            if (worst_net == no_net || t > worst) {
+                worst = t;
+                worst_net = g.inputs[i];
+            }
+        }
+        worst_input[gi] = worst_net;
+        report.arrival_ps[g.output] = worst + gate_delays_ps[gi];
+    }
+
+    for (const net_id out : nl_.output_nets()) {
+        if (report.critical_output == no_net ||
+            report.arrival_ps[out] > report.critical_delay_ps) {
+            report.critical_delay_ps = report.arrival_ps[out];
+            report.critical_output = out;
+        }
+    }
+
+    // Recover the critical path by walking worst inputs back to a primary
+    // input.
+    net_id cursor = report.critical_output;
+    while (cursor != no_net && cursor >= input_count) {
+        const gate_id gi = static_cast<gate_id>(cursor - input_count);
+        report.critical_path.push_back(gi);
+        cursor = worst_input[gi];
+    }
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+    return report;
+}
+
+timing_report static_timing_analyzer::analyze_nominal(const cell_library& lib) const
+{
+    const auto delays = nominal_gate_delays(lib);
+    return analyze(delays);
+}
+
+} // namespace synts::circuit

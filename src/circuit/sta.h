@@ -1,0 +1,49 @@
+// sta.h -- static timing analysis over the combinational netlists.
+//
+// STA computes the topological worst-case arrival time at every net, giving
+// the stage's critical-path delay. That delay *is* the nominal clock period
+// t_nom of the stage at the analyzed supply: the period at which the core is
+// guaranteed error-free (Section 4.1 of the paper). Timing speculation then
+// runs at t_clk = r * t_nom with r < 1.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/cell_library.h"
+#include "circuit/netlist.h"
+
+namespace synts::circuit {
+
+/// Result of one STA run.
+struct timing_report {
+    double critical_delay_ps = 0.0;      ///< worst arrival over primary outputs
+    std::vector<double> arrival_ps;      ///< per-net arrival, indexed by net_id
+    std::vector<gate_id> critical_path;  ///< gate chain from inputs to the worst output
+    net_id critical_output = no_net;     ///< primary output net with worst arrival
+};
+
+/// Static timing analyzer. Per-gate delays are supplied by the caller so the
+/// same engine serves nominal analysis, voltage-scaled analysis, and
+/// what-if experiments.
+class static_timing_analyzer {
+public:
+    /// Binds the analyzer to a netlist; the netlist must outlive it.
+    explicit static_timing_analyzer(const netlist& nl);
+
+    /// Computes per-gate delays from `lib` (fanout-loaded, nominal supply).
+    [[nodiscard]] std::vector<double> nominal_gate_delays(const cell_library& lib) const;
+
+    /// Runs STA with the given per-gate delay table (one entry per gate, in
+    /// gate order). Throws std::invalid_argument if sizes mismatch.
+    [[nodiscard]] timing_report analyze(std::span<const double> gate_delays_ps) const;
+
+    /// Convenience: nominal-supply STA straight from a library.
+    [[nodiscard]] timing_report analyze_nominal(const cell_library& lib) const;
+
+private:
+    const netlist& nl_;
+};
+
+} // namespace synts::circuit

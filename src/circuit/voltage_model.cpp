@@ -1,0 +1,149 @@
+#include "circuit/voltage_model.h"
+
+#include <cmath>
+
+#include "circuit/netlist.h"
+#include "util/rng.h"
+
+namespace synts::circuit {
+
+namespace {
+
+constexpr std::array<double, voltage_level_count> table_vdd = {1.0, 0.92, 0.86, 0.8,
+                                                               0.72, 0.68, 0.65};
+constexpr std::array<double, voltage_level_count> table_tnom = {1.0, 1.13, 1.27, 1.39,
+                                                                1.63, 2.21, 2.63};
+
+} // namespace
+
+std::span<const double> paper_voltage_levels() noexcept
+{
+    return table_vdd;
+}
+
+std::span<const double> paper_tnom_multipliers() noexcept
+{
+    return table_tnom;
+}
+
+double alpha_power_scale(const alpha_power_fit& fit, double vdd) noexcept
+{
+    const auto law = [&fit](double v) {
+        return v / std::pow(v - fit.vth, fit.alpha);
+    };
+    return law(vdd) / law(1.0);
+}
+
+alpha_power_fit fit_alpha_power_law()
+{
+    // Deterministic coarse-to-fine grid search minimizing the RMS error of
+    // the normalized delay multipliers against Table 5.1.
+    auto rms_for = [](double vth, double alpha) {
+        const alpha_power_fit candidate{vth, alpha, 0.0};
+        double total = 0.0;
+        for (std::size_t i = 0; i < voltage_level_count; ++i) {
+            const double predicted = alpha_power_scale(candidate, table_vdd[i]);
+            const double diff = predicted - table_tnom[i];
+            total += diff * diff;
+        }
+        return std::sqrt(total / static_cast<double>(voltage_level_count));
+    };
+
+    alpha_power_fit best{0.3, 1.3, 1e300};
+    double vth_lo = 0.10;
+    double vth_hi = 0.60;
+    double alpha_lo = 0.8;
+    double alpha_hi = 2.5;
+    for (int round = 0; round < 5; ++round) {
+        constexpr int steps = 40;
+        for (int i = 0; i <= steps; ++i) {
+            const double vth =
+                vth_lo + (vth_hi - vth_lo) * static_cast<double>(i) / steps;
+            if (vth >= 0.64) {
+                continue; // keep V - Vth positive at the lowest table entry
+            }
+            for (int j = 0; j <= steps; ++j) {
+                const double alpha =
+                    alpha_lo + (alpha_hi - alpha_lo) * static_cast<double>(j) / steps;
+                const double err = rms_for(vth, alpha);
+                if (err < best.rms_error) {
+                    best = {vth, alpha, err};
+                }
+            }
+        }
+        // Shrink the search box around the best point.
+        const double vth_span = (vth_hi - vth_lo) * 0.2;
+        const double alpha_span = (alpha_hi - alpha_lo) * 0.2;
+        vth_lo = std::max(0.05, best.vth - vth_span);
+        vth_hi = std::min(0.63, best.vth + vth_span);
+        alpha_lo = std::max(0.5, best.alpha - alpha_span);
+        alpha_hi = best.alpha + alpha_span;
+    }
+    return best;
+}
+
+voltage_model::voltage_model(double class_spread)
+    : spread_magnitude_(class_spread)
+{
+    // Deterministic per-class spread in [-class_spread, +class_spread],
+    // derived from the cell-kind index so experiments are reproducible.
+    util::xoshiro256 rng(0xC1A55C0DEull);
+    for (std::size_t k = 0; k < cell_kind_count; ++k) {
+        spread_[k] = rng.uniform(-1.0, 1.0) * class_spread;
+    }
+    // Keep the mean deviation at zero so the aggregate tracks Table 5.1.
+    double mean = 0.0;
+    for (const double s : spread_) {
+        mean += s;
+    }
+    mean /= static_cast<double>(cell_kind_count);
+    for (double& s : spread_) {
+        s -= mean;
+    }
+    if (class_spread == 0.0) {
+        spread_.fill(0.0);
+    }
+}
+
+double voltage_model::tnom_multiplier(double vdd) const noexcept
+{
+    if (vdd >= table_vdd.front()) {
+        return table_tnom.front();
+    }
+    if (vdd <= table_vdd.back()) {
+        return table_tnom.back();
+    }
+    for (std::size_t i = 1; i < voltage_level_count; ++i) {
+        if (vdd >= table_vdd[i]) {
+            const double hi_v = table_vdd[i - 1];
+            const double lo_v = table_vdd[i];
+            const double t = (vdd - lo_v) / (hi_v - lo_v);
+            return table_tnom[i] * (1.0 - t) + table_tnom[i - 1] * t;
+        }
+    }
+    return table_tnom.back();
+}
+
+double voltage_model::cell_scale(cell_kind kind, double vdd) const noexcept
+{
+    const double base = tnom_multiplier(vdd);
+    const double deviation = spread_[static_cast<std::size_t>(kind)] * (1.0 - vdd);
+    return base * (1.0 + deviation);
+}
+
+double voltage_model::class_spread_of(cell_kind kind) const noexcept
+{
+    return spread_[static_cast<std::size_t>(kind)];
+}
+
+void voltage_model::scale_gate_delays(std::span<const gate> gates,
+                                      std::span<const double> nominal,
+                                      std::span<double> scaled, double vdd) const
+{
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        scaled[gi] = nominal[gi] * cell_scale(gates[gi].kind, vdd) /
+                     cell_scale(gates[gi].kind, 1.0);
+    }
+}
+
+} // namespace synts::circuit

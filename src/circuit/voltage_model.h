@@ -1,0 +1,85 @@
+// voltage_model.h -- supply-voltage dependence of circuit delay.
+//
+// The paper takes two artifacts from HSPICE + PTM 22 nm:
+//   1. Table 5.1 -- nominal clock period multiplier t_nom(V) for the seven
+//      supported supply levels, and
+//   2. the (approximately uniform) scaling of sensitized path delays with V.
+//
+// This module carries the exact Table 5.1 data, an alpha-power-law fit to it
+// (used by the ring-oscillator regeneration in ring_oscillator.h), and a
+// per-cell-class delay scale. The per-class scale deliberately deviates from
+// perfectly uniform scaling by a small spread so that the online estimator's
+// single-voltage extrapolation (Section 4.3) is realistically approximate;
+// set `uniform_scaling` for the ablation that removes the spread.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "circuit/cell_library.h"
+
+namespace synts::circuit {
+
+/// Number of discrete supply levels (Q in the paper's notation).
+inline constexpr std::size_t voltage_level_count = 7;
+
+/// Table 5.1: supported Vdd levels, volts, descending.
+[[nodiscard]] std::span<const double> paper_voltage_levels() noexcept;
+
+/// Table 5.1: nominal clock period multiplier at each level (1.0 at 1.0 V).
+[[nodiscard]] std::span<const double> paper_tnom_multipliers() noexcept;
+
+/// Alpha-power-law parameters d(V) proportional to V / (V - Vth)^alpha.
+struct alpha_power_fit {
+    double vth = 0.0;      ///< threshold voltage, volts
+    double alpha = 0.0;    ///< velocity-saturation exponent
+    double rms_error = 0.0;///< fit residual against Table 5.1 multipliers
+};
+
+/// Least-squares fit of the alpha-power law to Table 5.1 (grid search with
+/// local refinement; deterministic).
+[[nodiscard]] alpha_power_fit fit_alpha_power_law();
+
+/// Delay multiplier of the fitted alpha-power law at supply `vdd`,
+/// normalized to 1.0 at 1.0 V.
+[[nodiscard]] double alpha_power_scale(const alpha_power_fit& fit, double vdd) noexcept;
+
+/// Voltage model used by timing simulation: maps (cell class, Vdd) to a
+/// delay multiplier. The average multiplier across classes tracks Table 5.1
+/// exactly (piecewise-linear in V between table points); each class carries
+/// a small deterministic deviation growing as (1 - V).
+class voltage_model {
+public:
+    /// `class_spread` is the maximum relative per-class deviation at the
+    /// lowest supply (default 4%); pass 0 for perfectly uniform scaling.
+    explicit voltage_model(double class_spread = 0.04);
+
+    /// Table 5.1 multiplier at `vdd` (piecewise-linear interpolation;
+    /// clamped at the table ends).
+    [[nodiscard]] double tnom_multiplier(double vdd) const noexcept;
+
+    /// Delay multiplier for `kind` at `vdd`, equal to
+    /// tnom_multiplier(vdd) * (1 + spread_k * (1 - vdd)).
+    [[nodiscard]] double cell_scale(cell_kind kind, double vdd) const noexcept;
+
+    /// Per-class relative spread coefficients (for reports/tests).
+    [[nodiscard]] double class_spread_of(cell_kind kind) const noexcept;
+
+    /// True when constructed with zero spread (uniform-scaling ablation).
+    [[nodiscard]] bool is_uniform() const noexcept { return spread_magnitude_ == 0.0; }
+
+    /// Scales a per-gate nominal delay table to supply `vdd` for the given
+    /// netlist gates. `nominal` and `scaled` must both have one entry per
+    /// gate.
+    void scale_gate_delays(std::span<const struct gate> gates,
+                           std::span<const double> nominal,
+                           std::span<double> scaled, double vdd) const;
+
+private:
+    double spread_magnitude_;
+    std::array<double, cell_kind_count> spread_{};
+};
+
+} // namespace synts::circuit

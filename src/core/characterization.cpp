@@ -1,0 +1,96 @@
+#include "core/characterization.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "arch/stage_taps.h"
+#include "circuit/dynamic_timing.h"
+
+namespace synts::core {
+
+empirical_error_model stage_characterization::make_error_model(std::size_t thread,
+                                                               std::size_t interval) const
+{
+    const interval_characterization& data = threads.at(thread).at(interval);
+    return empirical_error_model(data.delay_histograms, tnom_ps, data.drive_fraction());
+}
+
+characterizer::characterizer(const circuit::cell_library& lib,
+                             const circuit::voltage_model& vm,
+                             characterization_config config)
+    : lib_(lib), vm_(vm), config_(std::move(config))
+{
+}
+
+stage_characterization characterizer::characterize(const arch::program_trace& program,
+                                                   circuit::pipe_stage stage) const
+{
+    program.validate();
+
+    const circuit::stage_netlist stage_nl = circuit::build_stage(stage);
+    const auto corners = circuit::paper_voltage_levels();
+
+    stage_characterization result;
+    result.stage = stage;
+    result.corner_vdd.assign(corners.begin(), corners.end());
+
+    // Architectural profiling (N_i, CPI_base_i per interval).
+    arch::multicore_profiler profiler(config_.core);
+    result.arch_profiles = profiler.profile(program);
+
+    const arch::stage_tap tap(stage, stage_nl.layout);
+    const auto bits_storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(bits_storage.get(), tap.width());
+    std::vector<double> corner_delays(corners.size());
+
+    result.threads.resize(program.thread_count());
+    for (std::size_t t = 0; t < program.thread_count(); ++t) {
+        // One simulator per thread: the stage's datapath state is private
+        // to the core the thread runs on.
+        circuit::dynamic_timing_simulator sim(stage_nl.nl, lib_, vm_, corners);
+        if (result.tnom_ps.empty()) {
+            result.tnom_ps.resize(corners.size());
+            for (std::size_t c = 0; c < corners.size(); ++c) {
+                result.tnom_ps[c] = sim.nominal_period_ps(c);
+            }
+        }
+
+        const arch::thread_trace& trace = program.threads[t];
+        auto& intervals = result.threads[t];
+        intervals.reserve(trace.interval_count());
+
+        for (std::size_t k = 0; k < trace.interval_count(); ++k) {
+            interval_characterization data;
+            data.delay_histograms.reserve(corners.size());
+            for (std::size_t c = 0; c < corners.size(); ++c) {
+                data.delay_histograms.emplace_back(
+                    0.0, result.tnom_ps[c] * config_.histogram_headroom,
+                    config_.histogram_bins);
+            }
+
+            const auto ops = trace.interval(k);
+            data.instruction_count = ops.size();
+            for (std::size_t n = 0; n < ops.size(); ++n) {
+                if (!tap.extract(ops[n], bits)) {
+                    continue;
+                }
+                sim.step(std::span<const bool>(bits_storage.get(), tap.width()),
+                         corner_delays);
+
+                ++data.vector_count;
+                for (std::size_t c = 0; c < corners.size(); ++c) {
+                    data.delay_histograms[c].add(corner_delays[c]);
+                }
+                if (config_.keep_sampling_trace) {
+                    data.sampling_delays_ps.push_back(
+                        static_cast<float>(corner_delays[0]));
+                    data.sampling_instr_index.push_back(static_cast<std::uint32_t>(n));
+                }
+            }
+            intervals.push_back(std::move(data));
+        }
+    }
+    return result;
+}
+
+} // namespace synts::core

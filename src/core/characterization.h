@@ -1,0 +1,94 @@
+// characterization.h -- the cross-layer methodology of Fig. 5.8.
+//
+// Pipeline: the workload's program trace runs on the architectural
+// simulator (for N_i and CPI_base_i per barrier interval) while each
+// micro-op's stage input vector drives the gate-level netlist through the
+// multi-corner dynamic timing simulator. The result, per (thread, interval),
+// is a sensitized-delay distribution at every voltage corner -- the raw
+// material for the empirical error models err_i(r) -- plus the
+// vector-aligned delay trace at the sampling voltage that the online
+// estimator replays.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/multicore.h"
+#include "arch/trace.h"
+#include "circuit/cell_library.h"
+#include "circuit/netlist_builder.h"
+#include "circuit/voltage_model.h"
+#include "core/error_model.h"
+#include "util/histogram.h"
+
+namespace synts::core {
+
+/// Circuit-level characterization of one thread in one barrier interval.
+struct interval_characterization {
+    /// Sensitized-delay histogram per voltage corner.
+    std::vector<util::histogram> delay_histograms;
+    /// Raw per-vector delays at the sampling corner (corner 0 = nominal V).
+    std::vector<float> sampling_delays_ps;
+    /// Instruction index (within the interval) of each vector above.
+    std::vector<std::uint32_t> sampling_instr_index;
+    /// Total instructions in the interval (driving or not).
+    std::uint64_t instruction_count = 0;
+    /// Vectors that actually drove the stage.
+    std::uint64_t vector_count = 0;
+
+    /// Fraction of instructions exercising the stage.
+    [[nodiscard]] double drive_fraction() const noexcept
+    {
+        return instruction_count == 0
+                   ? 0.0
+                   : static_cast<double>(vector_count) /
+                         static_cast<double>(instruction_count);
+    }
+};
+
+/// Characterization of one pipe stage over a whole program.
+struct stage_characterization {
+    circuit::pipe_stage stage = circuit::pipe_stage::decode;
+    /// Stage nominal period (STA critical path) per voltage corner, ps.
+    std::vector<double> tnom_ps;
+    /// Voltage of each corner.
+    std::vector<double> corner_vdd;
+    /// [thread][interval].
+    std::vector<std::vector<interval_characterization>> threads;
+    /// Architectural profiles aligned with `threads` ([thread][interval]).
+    std::vector<arch::thread_profile> arch_profiles;
+
+    /// Builds the empirical error model of (thread, interval).
+    [[nodiscard]] empirical_error_model make_error_model(std::size_t thread,
+                                                         std::size_t interval) const;
+};
+
+/// Tunables of the characterization pass.
+struct characterization_config {
+    std::size_t histogram_bins = 512;
+    /// Histogram upper bound as a multiple of the corner's nominal period.
+    double histogram_headroom = 1.05;
+    /// Keep the raw sampling-corner delay trace (needed by SynTS-online).
+    bool keep_sampling_trace = true;
+    arch::core_config core{};
+};
+
+/// Cross-layer characterizer: owns the stage netlists and timing machinery.
+class characterizer {
+public:
+    /// Corners follow circuit::paper_voltage_levels() (corner 0 = 1.0 V).
+    characterizer(const circuit::cell_library& lib, const circuit::voltage_model& vm,
+                  characterization_config config = {});
+
+    /// Characterizes `program` against one pipe stage.
+    [[nodiscard]] stage_characterization characterize(const arch::program_trace& program,
+                                                      circuit::pipe_stage stage) const;
+
+private:
+    const circuit::cell_library& lib_;
+    const circuit::voltage_model& vm_;
+    characterization_config config_;
+};
+
+} // namespace synts::core

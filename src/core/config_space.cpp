@@ -1,0 +1,66 @@
+#include "core/config_space.h"
+
+#include <stdexcept>
+
+#include "circuit/voltage_model.h"
+
+namespace synts::core {
+
+config_space::config_space(std::vector<double> voltages, std::vector<double> tsr_levels,
+                           std::vector<double> tnom_ps)
+    : voltages_(std::move(voltages)), tsr_levels_(std::move(tsr_levels)),
+      tnom_ps_(std::move(tnom_ps))
+{
+    if (voltages_.empty() || tsr_levels_.empty()) {
+        throw std::invalid_argument("config_space: empty grid");
+    }
+    if (voltages_.size() != tnom_ps_.size()) {
+        throw std::invalid_argument("config_space: tnom per voltage required");
+    }
+    for (std::size_t k = 1; k < tsr_levels_.size(); ++k) {
+        if (tsr_levels_[k] <= tsr_levels_[k - 1]) {
+            throw std::invalid_argument("config_space: TSR levels must ascend");
+        }
+    }
+    if (tsr_levels_.back() != 1.0) {
+        throw std::invalid_argument("config_space: last TSR level must be 1 (R_S = 1)");
+    }
+    for (const double t : tnom_ps_) {
+        if (t <= 0.0) {
+            throw std::invalid_argument("config_space: nominal periods must be positive");
+        }
+    }
+}
+
+std::vector<double> config_space::default_tsr_levels()
+{
+    // Six levels, evenly spaced over [0.64, 1.0].
+    return {0.64, 0.712, 0.784, 0.856, 0.928, 1.0};
+}
+
+config_space config_space::paper_grid(std::span<const double> tnom_ps)
+{
+    const auto levels = circuit::paper_voltage_levels();
+    if (tnom_ps.size() != levels.size()) {
+        throw std::invalid_argument("config_space::paper_grid: need one tnom per "
+                                    "Table 5.1 voltage");
+    }
+    return config_space(std::vector<double>(levels.begin(), levels.end()),
+                        default_tsr_levels(),
+                        std::vector<double>(tnom_ps.begin(), tnom_ps.end()));
+}
+
+thread_assignment config_space::nominal_assignment() const noexcept
+{
+    // Voltages are stored highest-first (Table 5.1 order); nominal is the
+    // highest voltage at r = 1.
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < voltages_.size(); ++j) {
+        if (voltages_[j] > voltages_[best]) {
+            best = j;
+        }
+    }
+    return thread_assignment{best, tsr_levels_.size() - 1};
+}
+
+} // namespace synts::core

@@ -1,0 +1,73 @@
+// config_space.h -- the discrete voltage x timing-speculation-ratio grid.
+//
+// Section 4.1: core i picks voltage V_i from Q discrete levels and TSR r_i
+// from S discrete levels (R_S = 1); its clock period is
+// t_clk = r_i * t_nom(V_i). t_nom depends on the analyzed pipe stage (its
+// critical path) as well as the voltage, so a config_space is built per
+// stage from the stage's per-corner STA periods.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace synts::core {
+
+/// One (voltage level, TSR level) choice for a thread.
+struct thread_assignment {
+    std::size_t voltage_index = 0; ///< j in [0, Q)
+    std::size_t tsr_index = 0;     ///< k in [0, S)
+
+    friend bool operator==(const thread_assignment&, const thread_assignment&) = default;
+};
+
+/// The discrete V x R grid plus the per-voltage nominal periods.
+class config_space {
+public:
+    /// Builds a space; `tnom_ps[j]` is the stage's error-free clock period
+    /// at `voltages[j]`. tsr levels must be ascending with last == 1.
+    /// Throws std::invalid_argument on inconsistent inputs.
+    config_space(std::vector<double> voltages, std::vector<double> tsr_levels,
+                 std::vector<double> tnom_ps);
+
+    /// The paper's default grid: Table 5.1 voltages and six TSR levels
+    /// spanning [0.64, 1.0] (Section 6.2). `tnom_ps` must align with
+    /// circuit::paper_voltage_levels().
+    [[nodiscard]] static config_space paper_grid(std::span<const double> tnom_ps);
+
+    /// Six evenly spaced ratios 0.64 .. 1.0 (Section 6.2: "six clock
+    /// periods that are a fraction r in [0.64, 1] of the nominal").
+    [[nodiscard]] static std::vector<double> default_tsr_levels();
+
+    /// Q -- number of voltage levels.
+    [[nodiscard]] std::size_t voltage_count() const noexcept { return voltages_.size(); }
+    /// S -- number of TSR levels.
+    [[nodiscard]] std::size_t tsr_count() const noexcept { return tsr_levels_.size(); }
+    /// Voltage of level j, volts.
+    [[nodiscard]] double voltage(std::size_t j) const noexcept { return voltages_[j]; }
+    /// TSR of level k.
+    [[nodiscard]] double tsr(std::size_t k) const noexcept { return tsr_levels_[k]; }
+    /// Nominal (error-free) period at voltage level j, ps.
+    [[nodiscard]] double tnom_ps(std::size_t j) const noexcept { return tnom_ps_[j]; }
+    /// Speculative clock period of an assignment: r_k * t_nom(V_j), ps.
+    [[nodiscard]] double clock_period_ps(const thread_assignment& a) const noexcept
+    {
+        return tsr_levels_[a.tsr_index] * tnom_ps_[a.voltage_index];
+    }
+
+    /// Index of the nominal operating point: highest voltage, r = 1.
+    [[nodiscard]] thread_assignment nominal_assignment() const noexcept;
+
+    /// All voltages / TSRs / periods as spans (for reports).
+    [[nodiscard]] std::span<const double> voltages() const noexcept { return voltages_; }
+    [[nodiscard]] std::span<const double> tsr_levels() const noexcept { return tsr_levels_; }
+    [[nodiscard]] std::span<const double> tnom_levels_ps() const noexcept { return tnom_ps_; }
+
+private:
+    std::vector<double> voltages_;
+    std::vector<double> tsr_levels_;
+    std::vector<double> tnom_ps_;
+};
+
+} // namespace synts::core

@@ -1,0 +1,161 @@
+#include "core/critical_sections.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace synts::core {
+
+double lock_aware_makespan(std::span<const thread_metrics> metrics,
+                           std::span<const double> serial_fraction)
+{
+    if (metrics.size() != serial_fraction.size()) {
+        throw std::invalid_argument("lock_aware_makespan: size mismatch");
+    }
+    double slowest_thread = 0.0;
+    double lock_busy = 0.0;
+    double min_parallel = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const double s = serial_fraction[i];
+        if (s < 0.0 || s > 1.0) {
+            throw std::invalid_argument("lock_aware_makespan: fraction out of [0, 1]");
+        }
+        slowest_thread = std::max(slowest_thread, metrics[i].time_ps);
+        lock_busy += s * metrics[i].time_ps;
+        min_parallel = std::min(min_parallel, (1.0 - s) * metrics[i].time_ps);
+    }
+    if (metrics.empty()) {
+        return 0.0;
+    }
+    return std::max(slowest_thread, lock_busy + min_parallel);
+}
+
+double lock_aware_cost(const interval_solution& solution,
+                       std::span<const double> serial_fraction, double theta)
+{
+    return solution.total_energy +
+           theta * lock_aware_makespan(solution.metrics, serial_fraction);
+}
+
+namespace {
+
+[[nodiscard]] lock_aware_solution finalize(const solver_input& input,
+                                           std::span<const thread_assignment> assignment,
+                                           std::span<const double> serial_fraction)
+{
+    lock_aware_solution result;
+    result.solution = evaluate_assignment(input, assignment);
+    result.makespan_ps = lock_aware_makespan(result.solution.metrics, serial_fraction);
+    result.cost = result.solution.total_energy + input.theta * result.makespan_ps;
+    return result;
+}
+
+} // namespace
+
+lock_aware_solution solve_lock_aware_exhaustive(const solver_input& input,
+                                                std::span<const double> serial_fraction,
+                                                std::uint64_t max_combinations)
+{
+    input.validate();
+    if (serial_fraction.size() != input.thread_count()) {
+        throw std::invalid_argument("solve_lock_aware_exhaustive: fraction count");
+    }
+    const config_space& space = *input.space;
+    const std::size_t m = input.thread_count();
+    const std::uint64_t per_thread =
+        static_cast<std::uint64_t>(space.voltage_count()) * space.tsr_count();
+
+    double combinations = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        combinations *= static_cast<double>(per_thread);
+    }
+    if (combinations > static_cast<double>(max_combinations)) {
+        throw std::invalid_argument("solve_lock_aware_exhaustive: search too large");
+    }
+
+    const std::size_t s = space.tsr_count();
+    std::vector<std::size_t> flat(m, 0);
+    std::vector<thread_assignment> assignment(m);
+    std::vector<thread_assignment> best(m);
+    double best_cost = std::numeric_limits<double>::infinity();
+
+    for (;;) {
+        for (std::size_t i = 0; i < m; ++i) {
+            assignment[i] = thread_assignment{flat[i] / s, flat[i] % s};
+        }
+        const interval_solution sol = evaluate_assignment(input, assignment);
+        const double cost = sol.total_energy +
+                            input.theta * lock_aware_makespan(sol.metrics,
+                                                              serial_fraction);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = assignment;
+        }
+
+        std::size_t digit = 0;
+        while (digit < m) {
+            if (++flat[digit] < per_thread) {
+                break;
+            }
+            flat[digit] = 0;
+            ++digit;
+        }
+        if (digit == m) {
+            break;
+        }
+    }
+    return finalize(input, best, serial_fraction);
+}
+
+lock_aware_solution solve_lock_aware_descent(const solver_input& input,
+                                             std::span<const double> serial_fraction,
+                                             std::size_t max_rounds)
+{
+    input.validate();
+    if (serial_fraction.size() != input.thread_count()) {
+        throw std::invalid_argument("solve_lock_aware_descent: fraction count");
+    }
+    const config_space& space = *input.space;
+    const std::size_t m = input.thread_count();
+
+    // Seed with the barrier-objective optimum.
+    std::vector<thread_assignment> current = solve_synts_poly(input).assignments;
+    lock_aware_solution best = finalize(input, current, serial_fraction);
+
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+        bool improved = false;
+        for (std::size_t i = 0; i < m; ++i) {
+            thread_assignment best_move = current[i];
+            double best_move_cost = best.cost;
+            for (std::size_t j = 0; j < space.voltage_count(); ++j) {
+                for (std::size_t k = 0; k < space.tsr_count(); ++k) {
+                    const thread_assignment candidate{j, k};
+                    if (candidate == current[i]) {
+                        continue;
+                    }
+                    std::vector<thread_assignment> trial = current;
+                    trial[i] = candidate;
+                    const interval_solution sol = evaluate_assignment(input, trial);
+                    const double cost =
+                        sol.total_energy +
+                        input.theta *
+                            lock_aware_makespan(sol.metrics, serial_fraction);
+                    if (cost < best_move_cost - 1e-12) {
+                        best_move_cost = cost;
+                        best_move = candidate;
+                    }
+                }
+            }
+            if (!(best_move == current[i])) {
+                current[i] = best_move;
+                best = finalize(input, current, serial_fraction);
+                improved = true;
+            }
+        }
+        if (!improved) {
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace synts::core

@@ -1,0 +1,72 @@
+// critical_sections.h -- SynTS beyond barriers (the paper's future work).
+//
+// "As future work, this approach can be extended to multi-threaded
+// applications that use other synchronization mechanisms, besides barriers
+// for CMPs." This module takes that step for lock-based synchronization:
+// each thread's interval work splits into a parallel part and a part
+// executed inside a (single, shared) critical section. Critical sections
+// cannot overlap, so the interval's makespan is bounded below both by the
+// slowest thread and by the serialized lock occupancy:
+//
+//   t_exec = max( max_i t_i ,  sum_i s_i * t_i + min_i (1 - s_i) * t_i )
+//
+// where t_i is thread i's total execution time at its chosen (V, r) and
+// s_i its serial fraction. (The second bound: the lock is busy for
+// sum s_i t_i, and at least one thread's parallel work cannot be hidden
+// behind other threads' lock occupancy.) Timing speculation now has a new
+// twist: speeding up a thread with a large serial fraction shortens
+// *everyone's* critical path, so lock-heavy threads deserve aggressive
+// configurations even when they are not the latest arrivals.
+//
+// Optimizing the weighted cost over this makespan no longer decomposes the
+// way Lemma 4.2.1 exploits, so the module provides (a) an exhaustive
+// optimizer for small instances, and (b) a descent heuristic seeded by
+// SynTS-Poly, whose quality is validated against (a) in the tests.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/solver.h"
+#include "core/system_model.h"
+
+namespace synts::core {
+
+/// Per-thread serial (in-critical-section) fraction of the interval's
+/// instructions, each in [0, 1].
+using serial_fractions = std::vector<double>;
+
+/// Lock-aware makespan of an evaluated assignment.
+[[nodiscard]] double lock_aware_makespan(std::span<const thread_metrics> metrics,
+                                         std::span<const double> serial_fraction);
+
+/// Lock-aware weighted cost: total energy + theta * lock_aware_makespan.
+[[nodiscard]] double lock_aware_cost(const interval_solution& solution,
+                                     std::span<const double> serial_fraction,
+                                     double theta);
+
+/// A solution with its lock-aware objective.
+struct lock_aware_solution {
+    interval_solution solution;
+    double makespan_ps = 0.0;
+    double cost = 0.0;
+};
+
+/// Exhaustive lock-aware optimum (small instances; throws
+/// std::invalid_argument when (QS)^M exceeds `max_combinations`).
+[[nodiscard]] lock_aware_solution
+solve_lock_aware_exhaustive(const solver_input& input,
+                            std::span<const double> serial_fraction,
+                            std::uint64_t max_combinations = 50'000'000);
+
+/// Descent heuristic: seed with SynTS-Poly (barrier objective), then
+/// greedily apply the single-thread configuration move that most improves
+/// the lock-aware cost until no move helps. Polynomial:
+/// O(moves * M * Q * S) with moves bounded by `max_rounds * M`.
+[[nodiscard]] lock_aware_solution
+solve_lock_aware_descent(const solver_input& input,
+                         std::span<const double> serial_fraction,
+                         std::size_t max_rounds = 32);
+
+} // namespace synts::core

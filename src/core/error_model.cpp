@@ -1,0 +1,60 @@
+#include "core/error_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synts::core {
+
+empirical_error_model::empirical_error_model(std::vector<util::histogram> per_corner_delays,
+                                             std::vector<double> tnom_ps,
+                                             double drive_fraction)
+    : histograms_(std::move(per_corner_delays)), tnom_ps_(std::move(tnom_ps)),
+      drive_fraction_(drive_fraction)
+{
+    if (histograms_.empty() || histograms_.size() != tnom_ps_.size()) {
+        throw std::invalid_argument("empirical_error_model: corner arrays mismatch");
+    }
+    if (drive_fraction_ < 0.0 || drive_fraction_ > 1.0) {
+        throw std::invalid_argument("empirical_error_model: drive_fraction out of range");
+    }
+}
+
+double empirical_error_model::vector_error_probability(std::size_t voltage_index,
+                                                       double tsr) const
+{
+    if (voltage_index >= histograms_.size()) {
+        throw std::out_of_range("empirical_error_model: voltage index");
+    }
+    const double threshold = tsr * tnom_ps_[voltage_index];
+    return histograms_[voltage_index].exceedance(threshold);
+}
+
+double empirical_error_model::error_probability(std::size_t voltage_index, double tsr) const
+{
+    return vector_error_probability(voltage_index, tsr) * drive_fraction_;
+}
+
+synthetic_error_curve::synthetic_error_curve(double onset, double floor_tsr, double scale,
+                                             double power, double cap)
+    : onset_(onset), floor_tsr_(floor_tsr), scale_(scale), power_(power), cap_(cap)
+{
+    if (!(floor_tsr < onset)) {
+        throw std::invalid_argument("synthetic_error_curve: floor must precede onset");
+    }
+    if (scale < 0.0 || cap < 0.0 || power <= 0.0) {
+        throw std::invalid_argument("synthetic_error_curve: bad shape parameters");
+    }
+}
+
+double synthetic_error_curve::error_probability(std::size_t /*voltage_index*/,
+                                                double tsr) const
+{
+    if (tsr >= onset_) {
+        return 0.0;
+    }
+    const double normalized = (onset_ - tsr) / (onset_ - floor_tsr_);
+    const double err = scale_ * std::pow(normalized, power_);
+    return std::min(err, cap_);
+}
+
+} // namespace synts::core

@@ -1,0 +1,179 @@
+#include "core/experiment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synts::core {
+
+benchmark_experiment::benchmark_experiment(workload::benchmark_id benchmark,
+                                           circuit::pipe_stage stage,
+                                           const experiment_config& config)
+    : benchmark_(benchmark), stage_(stage), config_(config),
+      lib_(circuit::cell_library::standard_22nm()),
+      vm_(config.voltage_class_spread), engine_(config.sampling)
+{
+    const workload::benchmark_profile profile =
+        workload::make_profile(benchmark, config_.thread_count);
+    const arch::program_trace program =
+        workload::generate_program_trace(profile, config_.seed);
+
+    const characterizer chars(lib_, vm_, config_.characterization);
+    characterization_ = chars.characterize(program, stage);
+
+    space_ = config_space::paper_grid(characterization_.tnom_ps);
+
+    error_models_.reserve(thread_count());
+    for (std::size_t t = 0; t < characterization_.threads.size(); ++t) {
+        std::vector<empirical_error_model> per_interval;
+        per_interval.reserve(characterization_.threads[t].size());
+        for (std::size_t k = 0; k < characterization_.threads[t].size(); ++k) {
+            per_interval.push_back(characterization_.make_error_model(t, k));
+        }
+        error_models_.push_back(std::move(per_interval));
+    }
+}
+
+std::size_t benchmark_experiment::interval_count() const noexcept
+{
+    return characterization_.threads.empty() ? 0 : characterization_.threads.front().size();
+}
+
+std::size_t benchmark_experiment::thread_count() const noexcept
+{
+    return characterization_.threads.size();
+}
+
+solver_input benchmark_experiment::make_solver_input(std::size_t interval,
+                                                     double theta) const
+{
+    if (interval >= interval_count()) {
+        throw std::out_of_range("benchmark_experiment: interval index");
+    }
+    solver_input input;
+    input.space = &space_;
+    input.params = config_.params;
+    input.theta = theta;
+    for (std::size_t t = 0; t < thread_count(); ++t) {
+        const arch::interval_profile& p = characterization_.arch_profiles[t][interval];
+        input.workloads.push_back(
+            thread_workload{p.instruction_count, p.cpi_base});
+        input.error_models.push_back(&error_models_[t][interval]);
+    }
+    return input;
+}
+
+double benchmark_experiment::equal_weight_theta() const
+{
+    double energy = 0.0;
+    double time = 0.0;
+    for (std::size_t k = 0; k < interval_count(); ++k) {
+        const solver_input input = make_solver_input(k, 0.0);
+        const interval_solution nominal = nominal_solution(input);
+        energy += nominal.total_energy;
+        time += nominal.exec_time_ps;
+    }
+    if (time <= 0.0) {
+        throw std::logic_error("benchmark_experiment: degenerate nominal time");
+    }
+    return energy / time;
+}
+
+benchmark_experiment::policy_run benchmark_experiment::run_policy(policy_kind kind,
+                                                                  double theta) const
+{
+    policy_run run;
+    run.kind = kind;
+    run.intervals.reserve(interval_count());
+    for (std::size_t k = 0; k < interval_count(); ++k) {
+        const solver_input truth = make_solver_input(k, theta);
+
+        std::vector<const interval_characterization*> sampling_data;
+        if (kind == policy_kind::synts_online) {
+            sampling_data.reserve(thread_count());
+            for (std::size_t t = 0; t < thread_count(); ++t) {
+                sampling_data.push_back(&characterization_.threads[t][k]);
+            }
+        }
+        interval_outcome outcome = engine_.run_interval(kind, truth, sampling_data);
+        run.sum.energy += outcome.energy;
+        run.sum.time_ps += outcome.time_ps;
+        run.intervals.push_back(std::move(outcome));
+    }
+    return run;
+}
+
+benchmark_experiment::policy_run
+benchmark_experiment::run_synts_online_predicted(double theta, double smoothing) const
+{
+    policy_run run;
+    run.kind = policy_kind::synts_online;
+    run.intervals.reserve(interval_count());
+
+    workload_predictor predictor(thread_count(), smoothing);
+    for (std::size_t k = 0; k < interval_count(); ++k) {
+        const solver_input truth = make_solver_input(k, theta);
+
+        std::vector<const interval_characterization*> sampling_data;
+        sampling_data.reserve(thread_count());
+        for (std::size_t t = 0; t < thread_count(); ++t) {
+            sampling_data.push_back(&characterization_.threads[t][k]);
+        }
+
+        const std::vector<thread_workload> decision =
+            predictor.predict(truth.workloads);
+        interval_outcome outcome =
+            engine_.run_online_predicted(truth, sampling_data, decision);
+        predictor.observe(truth.workloads);
+
+        run.sum.energy += outcome.energy;
+        run.sum.time_ps += outcome.time_ps;
+        run.intervals.push_back(std::move(outcome));
+    }
+    return run;
+}
+
+std::vector<benchmark_experiment::policy_run>
+benchmark_experiment::run_all_policies(double theta) const
+{
+    std::vector<policy_run> runs;
+    runs.reserve(policy_count);
+    for (const policy_kind kind : all_policies()) {
+        runs.push_back(run_policy(kind, theta));
+    }
+    return runs;
+}
+
+std::vector<pareto_point> pareto_sweep(const benchmark_experiment& experiment,
+                                       policy_kind kind,
+                                       std::span<const double> theta_multipliers)
+{
+    const double theta_eq = experiment.equal_weight_theta();
+    const auto nominal = experiment.run_policy(policy_kind::nominal, theta_eq);
+
+    std::vector<pareto_point> points;
+    points.reserve(theta_multipliers.size());
+    for (const double multiplier : theta_multipliers) {
+        const double theta = theta_eq * multiplier;
+        const auto run = experiment.run_policy(kind, theta);
+        pareto_point p;
+        p.theta = theta;
+        p.energy = run.sum.energy / nominal.sum.energy;
+        p.time = run.sum.time_ps / nominal.sum.time_ps;
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::vector<double> default_theta_multipliers()
+{
+    // Log-spaced from 1/64x to 64x around the equal-weight theta: enough
+    // range to trace out both the low-energy and the high-performance ends
+    // of the Pareto front.
+    std::vector<double> multipliers;
+    for (int e = -6; e <= 6; ++e) {
+        multipliers.push_back(std::pow(2.0, e));
+    }
+    return multipliers;
+}
+
+} // namespace synts::core

@@ -1,0 +1,129 @@
+// experiment.h -- benchmark-level experiment driver.
+//
+// Ties the whole reproduction together: generate the SPLASH-2 program
+// trace, run the cross-layer characterization for a pipe stage, build the
+// config space from the stage's per-voltage nominal periods, and evaluate
+// any policy over all barrier intervals. This is the entry point used by
+// the examples and by every figure bench.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/cell_library.h"
+#include "circuit/netlist_builder.h"
+#include "circuit/voltage_model.h"
+#include "core/characterization.h"
+#include "core/workload_predictor.h"
+#include "core/config_space.h"
+#include "core/policies.h"
+#include "workload/splash2.h"
+
+namespace synts::core {
+
+/// Experiment-wide knobs.
+struct experiment_config {
+    std::size_t thread_count = 4;     ///< M (the paper's CMP study uses 4)
+    std::uint64_t seed = 42;          ///< workload generation seed
+    sampling_config sampling{};       ///< SynTS-online knobs
+    characterization_config characterization{};
+    energy::energy_params params{};
+    double voltage_class_spread = 0.04; ///< see voltage_model (0 = uniform)
+};
+
+/// A fully characterized (benchmark, stage) experiment, ready to evaluate
+/// policies at any theta.
+class benchmark_experiment {
+public:
+    /// Generates the workload, profiles the cores and characterizes the
+    /// stage. Heavyweight: run once and reuse.
+    benchmark_experiment(workload::benchmark_id benchmark, circuit::pipe_stage stage,
+                         const experiment_config& config = {});
+
+    /// The benchmark id.
+    [[nodiscard]] workload::benchmark_id benchmark() const noexcept { return benchmark_; }
+    /// The analyzed stage.
+    [[nodiscard]] circuit::pipe_stage stage() const noexcept { return stage_; }
+    /// Number of barrier intervals.
+    [[nodiscard]] std::size_t interval_count() const noexcept;
+    /// Number of threads.
+    [[nodiscard]] std::size_t thread_count() const noexcept;
+    /// The (V, r) grid with this stage's nominal periods.
+    [[nodiscard]] const config_space& space() const noexcept { return space_; }
+    /// The raw characterization (delay histograms etc.).
+    [[nodiscard]] const stage_characterization& characterization() const noexcept
+    {
+        return characterization_;
+    }
+    /// True error model of (thread, interval).
+    [[nodiscard]] const empirical_error_model& error_model(std::size_t thread,
+                                                           std::size_t interval) const
+    {
+        return error_models_.at(thread).at(interval);
+    }
+
+    /// Solver input (true curves, full workloads) for interval `k`.
+    [[nodiscard]] solver_input make_solver_input(std::size_t interval, double theta) const;
+
+    /// theta equalizing total nominal energy and execution time across all
+    /// intervals (Fig. 6.18's "weights energy and execution time equally").
+    [[nodiscard]] double equal_weight_theta() const;
+
+    /// Aggregated policy result over all intervals.
+    struct totals {
+        double energy = 0.0;
+        double time_ps = 0.0;
+        [[nodiscard]] double edp() const noexcept { return energy * time_ps; }
+    };
+
+    /// Per-interval outcomes plus the aggregate.
+    struct policy_run {
+        policy_kind kind = policy_kind::nominal;
+        std::vector<interval_outcome> intervals;
+        totals sum;
+    };
+
+    /// Runs one policy at `theta` over every interval.
+    [[nodiscard]] policy_run run_policy(policy_kind kind, double theta) const;
+
+    /// Convenience: runs all five policies at `theta`.
+    [[nodiscard]] std::vector<policy_run> run_all_policies(double theta) const;
+
+    /// SynTS-online with *predicted* workloads: interval 0 is bootstrapped
+    /// by the characterized workloads (the paper's offline-knowledge
+    /// assumption), then an EWMA workload predictor replaces it -- the
+    /// fully-online operating mode the paper's citations [8, 15, 16] hint
+    /// at. `smoothing` is the predictor's EWMA weight.
+    [[nodiscard]] policy_run run_synts_online_predicted(double theta,
+                                                        double smoothing = 0.6) const;
+
+private:
+    workload::benchmark_id benchmark_;
+    circuit::pipe_stage stage_;
+    experiment_config config_;
+    circuit::cell_library lib_;
+    circuit::voltage_model vm_;
+    stage_characterization characterization_;
+    config_space space_{{1.0}, {1.0}, {1.0}};
+    std::vector<std::vector<empirical_error_model>> error_models_; ///< [thread][interval]
+    policy_engine engine_;
+};
+
+/// One point of a Pareto sweep (Figs. 6.11-6.16).
+struct pareto_point {
+    double theta = 0.0;
+    double energy = 0.0;  ///< normalized to Nominal
+    double time = 0.0;    ///< normalized to Nominal
+};
+
+/// Sweeps theta over `theta_multipliers` x equal_weight_theta() and returns
+/// (energy, time) of `kind` normalized to the Nominal baseline.
+[[nodiscard]] std::vector<pareto_point>
+pareto_sweep(const benchmark_experiment& experiment, policy_kind kind,
+             std::span<const double> theta_multipliers);
+
+/// Default multiplier ladder for Pareto sweeps (log-spaced around 1).
+[[nodiscard]] std::vector<double> default_theta_multipliers();
+
+} // namespace synts::core

@@ -1,0 +1,209 @@
+#include "core/milp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace synts::core {
+
+namespace {
+thread_local branch_and_bound_stats tls_bnb_stats;
+} // namespace
+
+milp_model milp_model::build(const solver_input& input)
+{
+    input.validate();
+    const config_space& space = *input.space;
+
+    milp_model model;
+    model.m_ = input.thread_count();
+    model.q_ = space.voltage_count();
+    model.s_ = space.tsr_count();
+    model.theta_ = input.theta;
+    model.energy_.resize(model.m_ * model.q_ * model.s_);
+    model.time_.resize(model.m_ * model.q_ * model.s_);
+
+    for (std::size_t i = 0; i < model.m_; ++i) {
+        for (std::size_t j = 0; j < model.q_; ++j) {
+            for (std::size_t k = 0; k < model.s_; ++k) {
+                const thread_metrics metric =
+                    evaluate_thread(space, input.workloads[i], *input.error_models[i],
+                                    thread_assignment{j, k}, input.params);
+                model.energy_[model.index(i, j, k)] = metric.energy;
+                model.time_[model.index(i, j, k)] = metric.time_ps;
+            }
+        }
+    }
+    return model;
+}
+
+double milp_model::objective(std::span<const thread_assignment> assignments) const
+{
+    double energy = 0.0;
+    double texec = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+        const std::size_t idx = index(i, assignments[i].voltage_index,
+                                      assignments[i].tsr_index);
+        energy += energy_[idx];
+        texec = std::max(texec, time_[idx]);
+    }
+    return energy + theta_ * texec;
+}
+
+bool milp_model::is_feasible(std::span<const thread_assignment> assignments) const
+{
+    if (assignments.size() != m_) {
+        return false;
+    }
+    for (const thread_assignment& a : assignments) {
+        if (a.voltage_index >= q_ || a.tsr_index >= s_) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string milp_model::to_lp_string() const
+{
+    std::ostringstream lp;
+    lp << "\\ SynTS-MILP (Eqs. 4.5-4.10): M=" << m_ << " Q=" << q_ << " S=" << s_ << "\n";
+    lp << "Minimize\n obj: ";
+    bool first = true;
+    for (std::size_t i = 0; i < m_; ++i) {
+        for (std::size_t j = 0; j < q_; ++j) {
+            for (std::size_t k = 0; k < s_; ++k) {
+                const double c = energy_[index(i, j, k)];
+                if (!first) {
+                    lp << " + ";
+                }
+                lp << c << " x_" << i << "_" << j << "_" << k;
+                first = false;
+            }
+        }
+    }
+    lp << " + " << theta_ << " t_exec\n";
+
+    lp << "Subject To\n";
+    // Eq. 4.6: t_exec >= sum_jk time_ijk x_ijk  for each thread.
+    for (std::size_t i = 0; i < m_; ++i) {
+        lp << " texec_bound_" << i << ": t_exec";
+        for (std::size_t j = 0; j < q_; ++j) {
+            for (std::size_t k = 0; k < s_; ++k) {
+                lp << " - " << time_[index(i, j, k)] << " x_" << i << "_" << j << "_" << k;
+            }
+        }
+        lp << " >= 0\n";
+    }
+    // Eq. 4.10: one-hot assignment per thread.
+    for (std::size_t i = 0; i < m_; ++i) {
+        lp << " onehot_" << i << ":";
+        bool first_term = true;
+        for (std::size_t j = 0; j < q_; ++j) {
+            for (std::size_t k = 0; k < s_; ++k) {
+                lp << (first_term ? " " : " + ") << "x_" << i << "_" << j << "_" << k;
+                first_term = false;
+            }
+        }
+        lp << " = 1\n";
+    }
+
+    lp << "Bounds\n t_exec >= 0\n";
+    lp << "Binaries\n";
+    for (std::size_t i = 0; i < m_; ++i) {
+        for (std::size_t j = 0; j < q_; ++j) {
+            for (std::size_t k = 0; k < s_; ++k) {
+                lp << " x_" << i << "_" << j << "_" << k;
+            }
+        }
+    }
+    lp << "\nEnd\n";
+    return lp.str();
+}
+
+interval_solution solve_branch_and_bound(const solver_input& input)
+{
+    const milp_model model = milp_model::build(input);
+    const std::size_t m = model.thread_count();
+    const std::size_t q = model.voltage_count();
+    const std::size_t s = model.tsr_count();
+    tls_bnb_stats = branch_and_bound_stats{};
+
+    // Per-thread minima used by the admissible lower bound.
+    std::vector<double> min_energy(m, std::numeric_limits<double>::infinity());
+    std::vector<double> min_time(m, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < q; ++j) {
+            for (std::size_t k = 0; k < s; ++k) {
+                min_energy[i] = std::min(min_energy[i], model.energy_coeff(i, j, k));
+                min_time[i] = std::min(min_time[i], model.time_coeff(i, j, k));
+            }
+        }
+    }
+    // Suffix sums/maxima over threads i..M-1 for O(1) bound queries.
+    std::vector<double> suffix_min_energy(m + 1, 0.0);
+    std::vector<double> suffix_min_time(m + 1, 0.0);
+    for (std::size_t i = m; i-- > 0;) {
+        suffix_min_energy[i] = suffix_min_energy[i + 1] + min_energy[i];
+        suffix_min_time[i] = std::max(suffix_min_time[i + 1], min_time[i]);
+    }
+
+    std::vector<thread_assignment> current(m);
+    std::vector<thread_assignment> best(m, input.space->nominal_assignment());
+    double best_cost = model.objective(best);
+
+    // Iterative DFS with explicit recursion (thread, accumulated energy,
+    // accumulated max time).
+    struct frame {
+        std::size_t thread;
+        std::size_t next_flat; // next (j, k) flat index to try
+        double energy_so_far;
+        double time_so_far;
+    };
+    std::vector<frame> stack;
+    stack.push_back({0, 0, 0.0, 0.0});
+
+    const std::size_t per_thread = q * s;
+    while (!stack.empty()) {
+        frame& top = stack.back();
+        if (top.thread == m) {
+            const double cost = top.energy_so_far + model.theta() * top.time_so_far;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = current;
+            }
+            stack.pop_back();
+            continue;
+        }
+        if (top.next_flat >= per_thread) {
+            stack.pop_back();
+            continue;
+        }
+        const std::size_t flat = top.next_flat++;
+        const std::size_t j = flat / s;
+        const std::size_t k = flat % s;
+        ++tls_bnb_stats.nodes_expanded;
+
+        const double energy =
+            top.energy_so_far + model.energy_coeff(top.thread, j, k);
+        const double time = std::max(top.time_so_far, model.time_coeff(top.thread, j, k));
+        const double bound = energy + suffix_min_energy[top.thread + 1] +
+                             model.theta() *
+                                 std::max(time, suffix_min_time[top.thread + 1]);
+        if (bound >= best_cost) {
+            ++tls_bnb_stats.nodes_pruned;
+            continue;
+        }
+        current[top.thread] = thread_assignment{j, k};
+        stack.push_back({top.thread + 1, 0, energy, time});
+    }
+
+    return evaluate_assignment(input, best);
+}
+
+branch_and_bound_stats last_branch_and_bound_stats() noexcept
+{
+    return tls_bnb_stats;
+}
+
+} // namespace synts::core

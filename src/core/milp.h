@@ -1,0 +1,99 @@
+// milp.h -- the SynTS-MILP formulation (Eqs. 4.5-4.10) and an exact solver.
+//
+// The paper linearizes SynTS-OPT with binary variables x_ijk (thread i runs
+// at voltage j, TSR k) and a continuous t_exec:
+//
+//   min  sum_ijk en_ijk x_ijk + theta * t_exec                      (4.5)
+//   s.t. t_exec >= sum_jk time_ijk x_ijk     for all i              (4.6)
+//        sum_jk x_ijk = 1                    for all i              (4.10)
+//
+// (4.7-4.9 define t_clk, p_err and en in terms of x and are substituted
+// into the coefficients.) A standard MILP solver is not available offline,
+// so `solve_branch_and_bound` provides an exact solver exploiting the
+// assignment structure: depth-first search over threads with an admissible
+// lower bound (energy: per-thread minima; time: max of assigned times and
+// unassigned per-thread minimum times). It exists to validate SynTS-Poly's
+// optimality claim (Lemma 4.2.1), and `to_lp_string()` emits the exact LP
+// file a commercial solver would consume.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system_model.h"
+
+namespace synts::core {
+
+/// Materialized coefficients of the SynTS-MILP instance.
+class milp_model {
+public:
+    /// Builds the model from a solver input (computes en_ijk / time_ijk for
+    /// every thread and grid point).
+    [[nodiscard]] static milp_model build(const solver_input& input);
+
+    /// M, Q, S.
+    [[nodiscard]] std::size_t thread_count() const noexcept { return m_; }
+    [[nodiscard]] std::size_t voltage_count() const noexcept { return q_; }
+    [[nodiscard]] std::size_t tsr_count() const noexcept { return s_; }
+
+    /// Number of binary variables: M * Q * S (plus one continuous t_exec).
+    [[nodiscard]] std::size_t binary_variable_count() const noexcept { return m_ * q_ * s_; }
+
+    /// Number of constraints: M one-hot (4.10) + M t_exec bounds (4.6).
+    [[nodiscard]] std::size_t constraint_count() const noexcept { return 2 * m_; }
+
+    /// en_ijk coefficient.
+    [[nodiscard]] double energy_coeff(std::size_t i, std::size_t j, std::size_t k) const
+    {
+        return energy_[index(i, j, k)];
+    }
+
+    /// time_ijk coefficient (thread i's execution time at (j, k)).
+    [[nodiscard]] double time_coeff(std::size_t i, std::size_t j, std::size_t k) const
+    {
+        return time_[index(i, j, k)];
+    }
+
+    /// theta of the objective.
+    [[nodiscard]] double theta() const noexcept { return theta_; }
+
+    /// Objective value of a complete assignment (Eq. 4.5 with t_exec at its
+    /// binding value).
+    [[nodiscard]] double objective(std::span<const thread_assignment> assignments) const;
+
+    /// True when the assignment satisfies every constraint (one config per
+    /// thread; t_exec is implied).
+    [[nodiscard]] bool is_feasible(std::span<const thread_assignment> assignments) const;
+
+    /// CPLEX-LP-format rendering of the full instance.
+    [[nodiscard]] std::string to_lp_string() const;
+
+private:
+    [[nodiscard]] std::size_t index(std::size_t i, std::size_t j, std::size_t k) const
+    {
+        return (i * q_ + j) * s_ + k;
+    }
+
+    std::size_t m_ = 0;
+    std::size_t q_ = 0;
+    std::size_t s_ = 0;
+    double theta_ = 0.0;
+    std::vector<double> energy_;
+    std::vector<double> time_;
+};
+
+/// Exact branch-and-bound over the MILP's assignment structure. Returns the
+/// same optimum as solve_synts_poly / solve_exhaustive.
+[[nodiscard]] interval_solution solve_branch_and_bound(const solver_input& input);
+
+/// Search statistics of the most recent solve_branch_and_bound call on this
+/// thread (nodes expanded, nodes pruned). For reporting/benchmarks only.
+struct branch_and_bound_stats {
+    std::uint64_t nodes_expanded = 0;
+    std::uint64_t nodes_pruned = 0;
+};
+[[nodiscard]] branch_and_bound_stats last_branch_and_bound_stats() noexcept;
+
+} // namespace synts::core

@@ -1,0 +1,96 @@
+// online_estimator.h -- the sampling-based online error estimation of
+// Section 4.3 (Fig. 4.7).
+//
+// At the start of each barrier interval every thread spends its first
+// N_samp instructions in a sampling phase: all threads run at a fixed
+// voltage V_samp while sweeping the S TSR levels, N_samp / S instructions
+// each. Razor error counters give an estimate of err_i at each swept level;
+// the error at any other voltage V is extrapolated as err~(t_clk/t_nom(V))
+// -- i.e. the estimate depends on the TSR only, which is exact under
+// uniform voltage scaling and approximate under our per-cell-class spread.
+// The sampling phase's own time/energy (run at sub-optimal V/F, with real
+// errors and replays) is charged to the interval; that cost plus the
+// estimation noise is what separates SynTS-online from SynTS-offline in
+// Fig. 6.18.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/config_space.h"
+#include "core/error_model.h"
+#include "energy/energy_model.h"
+
+namespace synts::core {
+
+/// Estimated error curve: err~ at the swept TSR levels, linearly
+/// interpolated in r and independent of voltage (the paper's
+/// single-voltage extrapolation).
+class estimated_error_curve final : public error_curve {
+public:
+    /// `tsr_levels` ascending; `err_at_tsr` the per-instruction estimates.
+    estimated_error_curve(std::vector<double> tsr_levels, std::vector<double> err_at_tsr);
+
+    [[nodiscard]] double error_probability(std::size_t voltage_index,
+                                           double tsr) const override;
+
+    /// The raw per-level estimates.
+    [[nodiscard]] std::span<const double> level_estimates() const noexcept
+    {
+        return err_at_tsr_;
+    }
+
+private:
+    std::vector<double> tsr_levels_;
+    std::vector<double> err_at_tsr_;
+};
+
+/// Knobs of the online scheme (Section 4.3 / 6.2).
+struct sampling_config {
+    /// N_samp as a fraction of the interval's instructions (paper: 10%).
+    double sample_fraction = 0.10;
+    /// Voltage level index used while sampling (paper: nominal chip V).
+    std::size_t sample_voltage_index = 0;
+    /// Lower bound on N_samp so tiny intervals still estimate something.
+    std::uint64_t min_sample_instructions = 600;
+};
+
+/// Outcome of sampling one thread's interval.
+struct sampling_result {
+    std::vector<double> err_estimates;        ///< per TSR level (per instruction)
+    std::vector<std::uint64_t> errors;        ///< Razor counter per level
+    std::vector<std::uint64_t> instructions;  ///< instructions spent per level
+    std::uint64_t sampled_instructions = 0;   ///< N_samp actually used
+    double sampling_time_ps = 0.0;            ///< wall time of the phase
+    double sampling_energy = 0.0;             ///< energy of the phase
+
+    /// Builds the estimator's error curve.
+    [[nodiscard]] estimated_error_curve
+    make_curve(const config_space& space) const;
+};
+
+/// Replays the sampling phase against the characterized delay trace.
+class online_estimator {
+public:
+    explicit online_estimator(sampling_config config = {});
+
+    /// Samples the first N_samp instructions of `data` (one thread, one
+    /// interval): level k of the sweep covers instructions
+    /// [k, k+1) * N_samp / S and counts vectors whose sampling-corner delay
+    /// exceeds r_k * t_nom(V_samp). `cpi_base` prices the phase's time and
+    /// energy.
+    [[nodiscard]] sampling_result sample_interval(const config_space& space,
+                                                  const interval_characterization& data,
+                                                  double cpi_base,
+                                                  const energy::energy_params& params) const;
+
+    /// The configured knobs.
+    [[nodiscard]] const sampling_config& config() const noexcept { return config_; }
+
+private:
+    sampling_config config_;
+};
+
+} // namespace synts::core

@@ -1,0 +1,42 @@
+// solver.h -- optimizers for SynTS-OPT (Eq. 4.4) and the baselines.
+//
+//   * solve_synts_poly   -- Algorithm 1 (SynTS-Poly): enumerate the critical
+//                           thread and its (V, r); give every other thread
+//                           its cheapest config that still meets the
+//                           critical thread's finish time. Exact
+//                           (Lemma 4.2.1), O(M^2 Q^2 S^2).
+//   * solve_exhaustive   -- brute force over all (QS)^M joint assignments;
+//                           ground truth for property tests (small M only).
+//   * solve_per_core_ts  -- the Per-core TS baseline: each core minimizes
+//                           its own en_i + theta * t_i independently (the
+//                           best any single-core Razor-style scheme can do).
+//   * solve_no_ts        -- the No-TS baseline: joint DVFS without timing
+//                           speculation (r pinned to 1).
+//   * nominal_solution   -- every core at the highest voltage, r = 1.
+
+#pragma once
+
+#include "core/system_model.h"
+
+namespace synts::core {
+
+/// Algorithm 1 (SynTS-Poly). Returns the optimal interval solution.
+[[nodiscard]] interval_solution solve_synts_poly(const solver_input& input);
+
+/// Exhaustive search over all joint assignments. Intended for tests;
+/// throws std::invalid_argument when (QS)^M exceeds `max_combinations`.
+[[nodiscard]] interval_solution solve_exhaustive(const solver_input& input,
+                                                 std::uint64_t max_combinations = 50'000'000);
+
+/// Per-core timing speculation: independent per-thread minimization of
+/// en_i + theta * t_i over the full (V, r) grid.
+[[nodiscard]] interval_solution solve_per_core_ts(const solver_input& input);
+
+/// Conventional joint DVFS (no timing speculation): SynTS restricted to
+/// r = 1.
+[[nodiscard]] interval_solution solve_no_ts(const solver_input& input);
+
+/// The Nominal baseline: highest voltage, r = 1 for every thread.
+[[nodiscard]] interval_solution nominal_solution(const solver_input& input);
+
+} // namespace synts::core

@@ -1,0 +1,80 @@
+#include "core/system_model.h"
+
+#include <stdexcept>
+
+namespace synts::core {
+
+void solver_input::validate() const
+{
+    if (space == nullptr) {
+        throw std::invalid_argument("solver_input: null config space");
+    }
+    if (workloads.empty() || workloads.size() != error_models.size()) {
+        throw std::invalid_argument("solver_input: workloads/error_models mismatch");
+    }
+    for (const error_curve* curve : error_models) {
+        if (curve == nullptr) {
+            throw std::invalid_argument("solver_input: null error curve");
+        }
+    }
+    if (theta < 0.0) {
+        throw std::invalid_argument("solver_input: theta must be non-negative");
+    }
+}
+
+thread_metrics evaluate_thread(const config_space& space, const thread_workload& workload,
+                               const error_curve& errors,
+                               const thread_assignment& assignment,
+                               const energy::energy_params& params)
+{
+    thread_metrics m;
+    m.vdd = space.voltage(assignment.voltage_index);
+    m.tsr = space.tsr(assignment.tsr_index);
+    m.clock_period_ps = space.clock_period_ps(assignment);
+    m.error_probability = errors.error_probability(assignment.voltage_index, m.tsr);
+    m.time_ps = energy::thread_execution_time(workload.instructions, m.clock_period_ps,
+                                              m.error_probability, workload.cpi_base,
+                                              params.error_penalty_cycles);
+    m.energy = energy::thread_energy(params, m.vdd, workload.instructions,
+                                     m.error_probability, workload.cpi_base) +
+               energy::thread_leakage_energy(params, m.vdd, m.time_ps);
+    return m;
+}
+
+interval_solution evaluate_assignment(const solver_input& input,
+                                      std::span<const thread_assignment> assignments)
+{
+    input.validate();
+    if (assignments.size() != input.thread_count()) {
+        throw std::invalid_argument("evaluate_assignment: assignment count mismatch");
+    }
+
+    interval_solution solution;
+    solution.assignments.assign(assignments.begin(), assignments.end());
+    solution.metrics.reserve(assignments.size());
+
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        const thread_metrics m =
+            evaluate_thread(*input.space, input.workloads[i], *input.error_models[i],
+                            assignments[i], input.params);
+        solution.exec_time_ps = std::max(solution.exec_time_ps, m.time_ps);
+        solution.total_energy += m.energy;
+        solution.metrics.push_back(m);
+    }
+    solution.weighted_cost = solution.total_energy + input.theta * solution.exec_time_ps;
+    return solution;
+}
+
+double equal_weight_theta(const solver_input& input)
+{
+    input.validate();
+    const thread_assignment nominal = input.space->nominal_assignment();
+    std::vector<thread_assignment> assignments(input.thread_count(), nominal);
+    const interval_solution at_nominal = evaluate_assignment(input, assignments);
+    if (at_nominal.exec_time_ps <= 0.0) {
+        throw std::invalid_argument("equal_weight_theta: degenerate nominal time");
+    }
+    return at_nominal.total_energy / at_nominal.exec_time_ps;
+}
+
+} // namespace synts::core

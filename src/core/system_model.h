@@ -1,0 +1,83 @@
+// system_model.h -- evaluation of a joint (V, r) assignment (Eqs. 4.1-4.4).
+//
+// Given per-thread workloads (N_i, CPI_base_i), per-thread error curves, a
+// config space and an assignment, this module computes every thread's clock
+// period, error probability, execution time and energy, the barrier
+// execution time (max over threads), and the weighted cost
+// sum_i en_i + theta * t_exec that all optimizers minimize.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config_space.h"
+#include "core/error_model.h"
+#include "energy/energy_model.h"
+
+namespace synts::core {
+
+/// Architectural workload of one thread in one barrier interval.
+struct thread_workload {
+    std::uint64_t instructions = 0; ///< N_i
+    double cpi_base = 1.0;          ///< CPI_base_i
+};
+
+/// Fully evaluated operating point of one thread.
+struct thread_metrics {
+    double vdd = 0.0;
+    double tsr = 0.0;
+    double clock_period_ps = 0.0;
+    double error_probability = 0.0;
+    double time_ps = 0.0; ///< N_i * t_clk * (p C + CPI)
+    double energy = 0.0;  ///< alpha V^2 N (p C + CPI)
+};
+
+/// A complete evaluated solution for one barrier interval.
+struct interval_solution {
+    std::vector<thread_assignment> assignments;
+    std::vector<thread_metrics> metrics;
+    double exec_time_ps = 0.0;    ///< Eq. 4.2
+    double total_energy = 0.0;    ///< sum of en_i
+    double weighted_cost = 0.0;   ///< total_energy + theta * exec_time_ps
+
+    /// Energy-delay product of the interval.
+    [[nodiscard]] double edp() const noexcept { return total_energy * exec_time_ps; }
+};
+
+/// Everything an optimizer needs for one barrier interval.
+struct solver_input {
+    const config_space* space = nullptr;
+    std::vector<thread_workload> workloads;          ///< size M
+    std::vector<const error_curve*> error_models;    ///< size M
+    energy::energy_params params{};
+    double theta = 1.0; ///< weight of execution time vs energy (Eq. 4.4)
+
+    /// M -- thread count.
+    [[nodiscard]] std::size_t thread_count() const noexcept { return workloads.size(); }
+
+    /// Throws std::invalid_argument when arrays are inconsistent.
+    void validate() const;
+};
+
+/// Evaluates one thread at one assignment.
+[[nodiscard]] thread_metrics evaluate_thread(const config_space& space,
+                                             const thread_workload& workload,
+                                             const error_curve& errors,
+                                             const thread_assignment& assignment,
+                                             const energy::energy_params& params);
+
+/// Evaluates a full assignment vector (size M) under `input`.
+[[nodiscard]] interval_solution evaluate_assignment(const solver_input& input,
+                                                    std::span<const thread_assignment>
+                                                        assignments);
+
+/// The theta that weights energy and execution time equally at the nominal
+/// operating point: theta_eq = nominal_energy / nominal_exec_time, so that
+/// theta_eq * t_exec and the energy term have the same magnitude (used by
+/// Fig. 6.18: "a fixed value of theta that weights energy and execution
+/// time equally").
+[[nodiscard]] double equal_weight_theta(const solver_input& input);
+
+} // namespace synts::core

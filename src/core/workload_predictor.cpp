@@ -1,0 +1,71 @@
+#include "core/workload_predictor.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace synts::core {
+
+workload_predictor::workload_predictor(std::size_t thread_count, double smoothing)
+    : state_(thread_count), smoothing_(smoothing)
+{
+    if (thread_count == 0) {
+        throw std::invalid_argument("workload_predictor: need at least one thread");
+    }
+    if (smoothing <= 0.0 || smoothing > 1.0) {
+        throw std::invalid_argument("workload_predictor: smoothing must be in (0, 1]");
+    }
+}
+
+void workload_predictor::observe(std::span<const thread_workload> actual)
+{
+    if (actual.size() != state_.size()) {
+        throw std::invalid_argument("workload_predictor: thread count mismatch");
+    }
+
+    // Score the prediction we made for this interval, if any.
+    if (!last_prediction_.empty()) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < actual.size(); ++i) {
+            const double truth = static_cast<double>(actual[i].instructions);
+            const double predicted =
+                static_cast<double>(last_prediction_[i].instructions);
+            if (truth > 0.0) {
+                total += std::abs(predicted - truth) / truth;
+            }
+        }
+        last_error_ = total / static_cast<double>(actual.size());
+    }
+
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const auto n = static_cast<double>(actual[i].instructions);
+        if (!has_history_) {
+            state_[i].instructions = n;
+            state_[i].cpi = actual[i].cpi_base;
+        } else {
+            state_[i].instructions =
+                smoothing_ * n + (1.0 - smoothing_) * state_[i].instructions;
+            state_[i].cpi =
+                smoothing_ * actual[i].cpi_base + (1.0 - smoothing_) * state_[i].cpi;
+        }
+    }
+    has_history_ = true;
+}
+
+std::vector<thread_workload>
+workload_predictor::predict(std::span<const thread_workload> fallback)
+{
+    std::vector<thread_workload> prediction;
+    prediction.reserve(state_.size());
+    if (!has_history_) {
+        prediction.assign(fallback.begin(), fallback.end());
+    } else {
+        for (const auto& s : state_) {
+            prediction.push_back(thread_workload{
+                static_cast<std::uint64_t>(std::llround(s.instructions)), s.cpi});
+        }
+    }
+    last_prediction_ = prediction;
+    return prediction;
+}
+
+} // namespace synts::core

@@ -1,0 +1,61 @@
+// workload_predictor.h -- online prediction of per-thread interval work.
+//
+// The paper assumes "the information on workload heterogeneity (N_i for
+// each thread) is available from offline characterization or using online
+// workload prediction techniques proposed in the literature [8, 15, 16]"
+// (thread-criticality predictors, barrier-DVFS history, meeting points).
+// This module supplies the online half of that assumption: an
+// exponentially-weighted moving-average predictor over past barrier
+// intervals, so SynTS can run with *no* offline workload knowledge at all.
+// The ablation bench (bench_ext_predictor) quantifies the cost of the
+// removed assumption.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/system_model.h"
+
+namespace synts::core {
+
+/// EWMA predictor of (N_i, CPI_base_i) per thread across barrier intervals.
+class workload_predictor {
+public:
+    /// `smoothing` in (0, 1]: weight of the newest observation (1 = use the
+    /// last interval verbatim). Throws std::invalid_argument otherwise.
+    explicit workload_predictor(std::size_t thread_count, double smoothing = 0.6);
+
+    /// True once at least one interval has been observed.
+    [[nodiscard]] bool has_history() const noexcept { return has_history_; }
+
+    /// Number of tracked threads.
+    [[nodiscard]] std::size_t thread_count() const noexcept { return state_.size(); }
+
+    /// Records the actual workloads of a finished interval.
+    void observe(std::span<const thread_workload> actual);
+
+    /// Predicts the next interval's workloads (and remembers the prediction
+    /// so the following observe() can score it). Before any observation,
+    /// returns `fallback` (e.g., an equal split of expected program work).
+    [[nodiscard]] std::vector<thread_workload>
+    predict(std::span<const thread_workload> fallback);
+
+    /// Mean absolute relative error of the last prediction against the
+    /// observation that followed it (diagnostics; 0 until two intervals).
+    [[nodiscard]] double last_error() const noexcept { return last_error_; }
+
+private:
+    struct ewma_state {
+        double instructions = 0.0;
+        double cpi = 0.0;
+    };
+    std::vector<ewma_state> state_;
+    std::vector<thread_workload> last_prediction_;
+    double smoothing_;
+    double last_error_ = 0.0;
+    bool has_history_ = false;
+};
+
+} // namespace synts::core

@@ -1,0 +1,56 @@
+#include "energy/energy_model.h"
+
+#include <algorithm>
+
+namespace synts::energy {
+
+double effective_cpi(double error_probability, double cpi_base,
+                     std::uint32_t penalty_cycles) noexcept
+{
+    return error_probability * static_cast<double>(penalty_cycles) + cpi_base;
+}
+
+double seconds_per_instruction(double t_clk_ps, double error_probability, double cpi_base,
+                               std::uint32_t penalty_cycles) noexcept
+{
+    return t_clk_ps * effective_cpi(error_probability, cpi_base, penalty_cycles);
+}
+
+double thread_execution_time(std::uint64_t instruction_count, double t_clk_ps,
+                             double error_probability, double cpi_base,
+                             std::uint32_t penalty_cycles) noexcept
+{
+    return static_cast<double>(instruction_count) *
+           seconds_per_instruction(t_clk_ps, error_probability, cpi_base, penalty_cycles);
+}
+
+double thread_energy(const energy_params& params, double vdd,
+                     std::uint64_t instruction_count, double error_probability,
+                     double cpi_base) noexcept
+{
+    return params.alpha_switching_cap * vdd * vdd *
+           static_cast<double>(instruction_count) *
+           effective_cpi(error_probability, cpi_base, params.error_penalty_cycles);
+}
+
+double thread_leakage_energy(const energy_params& params, double vdd,
+                             double time_ps) noexcept
+{
+    return params.leakage_power * vdd * time_ps;
+}
+
+double barrier_execution_time(std::span<const double> thread_times) noexcept
+{
+    double worst = 0.0;
+    for (const double t : thread_times) {
+        worst = std::max(worst, t);
+    }
+    return worst;
+}
+
+double energy_delay_product(double energy, double time) noexcept
+{
+    return energy * time;
+}
+
+} // namespace synts::energy

@@ -1,0 +1,68 @@
+// energy_model.h -- the paper's performance/energy model (Eqs. 4.1-4.3).
+//
+// For thread i at voltage V_i and clock period t_clk_i = r_i * t_nom(V_i):
+//
+//   SPI_i  = t_clk_i * (p_err_i * C_penalty + CPI_base_i)          (Eq. 4.1)
+//   t_exec = max_i N_i * SPI_i / t_clk_i ... spelled out:
+//            max_i N_i * t_clk_i * (p_err_i * C_penalty + CPI_base_i)  (4.2)
+//   en_i   = alpha * V_i^2 * N_i * (p_err_i * C_penalty + CPI_base_i)  (4.3)
+//
+// alpha is the average switching capacitance; the model (deliberately, like
+// the paper's) excludes leakage. Units are arbitrary-but-consistent: time in
+// picoseconds, energy in alpha * V^2 * cycles.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace synts::energy {
+
+/// Model constants shared by every evaluation.
+///
+/// The paper's Eq. 4.3 covers dynamic energy only ("although the model does
+/// not currently account for leakage, it can be easily extended to do so").
+/// The extension lives here: when `leakage_power` > 0, a thread running for
+/// time T at voltage V additionally pays leakage_power * V * T (leakage
+/// roughly linear in V around the operating range). Zero by default so the
+/// baseline reproduction matches the paper's model exactly.
+struct energy_params {
+    double alpha_switching_cap = 1.0; ///< alpha of Eq. 4.3
+    std::uint32_t error_penalty_cycles = 5; ///< C_penalty (Razor replay)
+    double leakage_power = 0.0; ///< leakage energy per (volt x ps) of runtime
+};
+
+/// Leakage energy of a thread active for `time_ps` at supply `vdd`
+/// (0 when the leakage extension is disabled).
+[[nodiscard]] double thread_leakage_energy(const energy_params& params, double vdd,
+                                           double time_ps) noexcept;
+
+/// Expected cycles per instruction including error recovery:
+/// p_err * C_penalty + CPI_base.
+[[nodiscard]] double effective_cpi(double error_probability, double cpi_base,
+                                   std::uint32_t penalty_cycles) noexcept;
+
+/// Eq. 4.1 -- seconds (ps) per instruction.
+[[nodiscard]] double seconds_per_instruction(double t_clk_ps, double error_probability,
+                                             double cpi_base,
+                                             std::uint32_t penalty_cycles) noexcept;
+
+/// One thread's execution time over N instructions (the inner term of
+/// Eq. 4.2).
+[[nodiscard]] double thread_execution_time(std::uint64_t instruction_count,
+                                           double t_clk_ps, double error_probability,
+                                           double cpi_base,
+                                           std::uint32_t penalty_cycles) noexcept;
+
+/// Eq. 4.3 -- one thread's energy over N instructions.
+[[nodiscard]] double thread_energy(const energy_params& params, double vdd,
+                                   std::uint64_t instruction_count,
+                                   double error_probability, double cpi_base) noexcept;
+
+/// Eq. 4.2 -- barrier execution time: max over per-thread times.
+[[nodiscard]] double barrier_execution_time(std::span<const double> thread_times) noexcept;
+
+/// Energy-delay product.
+[[nodiscard]] double energy_delay_product(double energy, double time) noexcept;
+
+} // namespace synts::energy

@@ -1,0 +1,121 @@
+#include "energy/synthesis_report.h"
+
+namespace synts::energy {
+
+std::vector<hardware_block> synts_online_blocks(std::size_t tsr_level_count)
+{
+    std::vector<hardware_block> blocks;
+    // Sampling-phase instruction counter (20-bit) and its increment logic.
+    blocks.push_back({"sample_instruction_counter", 20, 44});
+    // Per-TSR-level 16-bit error counters capturing Razor error strobes.
+    blocks.push_back({"per_tsr_error_counters", 16 * tsr_level_count,
+                      34 * tsr_level_count});
+    // TSR sweep FSM: walks the S frequency levels during sampling.
+    blocks.push_back({"tsr_sweep_fsm", 8, 70});
+    // Captured error-rate table readable by the SynTS-Poly software solver.
+    blocks.push_back({"error_rate_table_if", 16 * tsr_level_count, 40});
+    // Per-core V/F command register + handshake to the PLL/regulator.
+    blocks.push_back({"vf_command_interface", 24, 120});
+    return blocks;
+}
+
+synthesis_estimator::synthesis_estimator(const circuit::cell_library& lib,
+                                         double switching_activity,
+                                         double controller_activity, double clock_ghz)
+    : lib_(lib), switching_activity_(switching_activity),
+      controller_activity_(controller_activity), clock_ghz_(clock_ghz)
+{
+}
+
+double synthesis_estimator::gate_power_uw(const circuit::cell_params& p,
+                                          double activity) const noexcept
+{
+    const double leakage_uw = p.leakage_nw / 1000.0;
+    const double switching_uw = p.switch_energy_fj * activity * clock_ghz_;
+    return leakage_uw + switching_uw;
+}
+
+block_cost synthesis_estimator::cost_of_netlist(const circuit::netlist& nl) const
+{
+    block_cost cost;
+    for (const auto& g : nl.gates()) {
+        const auto& p = lib_.params(g.kind);
+        cost.area_um2 += p.area_um2;
+        cost.power_uw += gate_power_uw(p, switching_activity_);
+    }
+    return cost;
+}
+
+block_cost synthesis_estimator::cost_of_blocks(std::span<const hardware_block> blocks) const
+{
+    // Average combinational cell: the mix of a typical control block
+    // (NAND/NOR-dominated with some XOR/MUX).
+    const auto& nand2 = lib_.params(circuit::cell_kind::nand2);
+    const auto& nor2 = lib_.params(circuit::cell_kind::nor2);
+    const auto& xor2 = lib_.params(circuit::cell_kind::xor2);
+    const auto& mux2 = lib_.params(circuit::cell_kind::mux2);
+    const double avg_area =
+        0.4 * nand2.area_um2 + 0.3 * nor2.area_um2 + 0.2 * xor2.area_um2 +
+        0.1 * mux2.area_um2;
+    const double avg_power = 0.4 * gate_power_uw(nand2, controller_activity_) +
+                             0.3 * gate_power_uw(nor2, controller_activity_) +
+                             0.2 * gate_power_uw(xor2, controller_activity_) +
+                             0.1 * gate_power_uw(mux2, controller_activity_);
+
+    const auto& dff = lib_.params(circuit::cell_kind::dff);
+    const double dff_power = gate_power_uw(dff, controller_activity_);
+
+    block_cost cost;
+    for (const auto& b : blocks) {
+        cost.area_um2 += static_cast<double>(b.dff_count) * dff.area_um2 +
+                         static_cast<double>(b.comb_gate_count) * avg_area;
+        cost.power_uw += static_cast<double>(b.dff_count) * dff_power +
+                         static_cast<double>(b.comb_gate_count) * avg_power;
+    }
+    return cost;
+}
+
+core_reference synthesis_estimator::make_core_reference(
+    std::span<const circuit::netlist* const> stage_netlists, double core_scale_factor) const
+{
+    block_cost stages;
+    std::size_t register_bits = 0;
+    for (const circuit::netlist* nl : stage_netlists) {
+        const block_cost c = cost_of_netlist(*nl);
+        stages.area_um2 += c.area_um2;
+        stages.power_uw += c.power_uw;
+        // Pipeline registers at the stage boundary: one DFF per input and
+        // output bit.
+        register_bits += nl->input_count() + nl->output_count();
+    }
+    const auto& dff = lib_.params(circuit::cell_kind::dff);
+    stages.area_um2 += static_cast<double>(register_bits) * dff.area_um2;
+    stages.power_uw +=
+        static_cast<double>(register_bits) * gate_power_uw(dff, switching_activity_);
+
+    core_reference core;
+    core.area_um2 = stages.area_um2 * core_scale_factor;
+    core.power_uw = stages.power_uw * core_scale_factor;
+    return core;
+}
+
+overhead_report
+estimate_synts_overhead(const circuit::cell_library& lib,
+                        std::span<const circuit::netlist* const> stage_netlists,
+                        std::size_t tsr_level_count)
+{
+    const synthesis_estimator estimator(lib);
+    overhead_report report;
+    const auto blocks = synts_online_blocks(tsr_level_count);
+    report.synts_additions = estimator.cost_of_blocks(blocks);
+    report.core = estimator.make_core_reference(stage_netlists);
+    if (report.core.area_um2 > 0.0) {
+        report.area_percent = 100.0 * report.synts_additions.area_um2 / report.core.area_um2;
+    }
+    if (report.core.power_uw > 0.0) {
+        report.power_percent = 100.0 * report.synts_additions.power_uw / report.core.power_uw;
+    }
+    return report;
+}
+
+} // namespace synts::energy

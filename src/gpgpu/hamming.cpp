@@ -1,0 +1,52 @@
+#include "gpgpu/hamming.h"
+
+#include <bit>
+
+#include "util/statistics.h"
+
+namespace synts::gpgpu {
+
+std::uint32_t hamming_distance(std::uint32_t a, std::uint32_t b) noexcept
+{
+    return static_cast<std::uint32_t>(std::popcount(a ^ b));
+}
+
+util::integer_histogram hamming_histogram(const valu_trace& trace)
+{
+    util::integer_histogram hist(32);
+    for (std::size_t i = 1; i < trace.instructions.size(); ++i) {
+        hist.add(hamming_distance(trace.instructions[i - 1].result,
+                                  trace.instructions[i].result));
+    }
+    return hist;
+}
+
+homogeneity_report analyze_homogeneity(std::span<const valu_trace> traces)
+{
+    homogeneity_report report;
+    report.valu_count = traces.size();
+    report.pairwise_tvd.assign(traces.size() * traces.size(), 0.0);
+
+    std::vector<std::vector<double>> masses;
+    masses.reserve(traces.size());
+    for (const auto& trace : traces) {
+        masses.push_back(hamming_histogram(trace).normalized());
+    }
+
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        for (std::size_t j = i + 1; j < traces.size(); ++j) {
+            const double tvd = util::total_variation_distance(masses[i], masses[j]);
+            report.pairwise_tvd[i * traces.size() + j] = tvd;
+            report.pairwise_tvd[j * traces.size() + i] = tvd;
+            report.max_tvd = std::max(report.max_tvd, tvd);
+            total += tvd;
+            ++pairs;
+        }
+    }
+    report.mean_tvd = pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+    return report;
+}
+
+} // namespace synts::gpgpu

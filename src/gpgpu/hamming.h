@@ -1,0 +1,48 @@
+// hamming.h -- output-activity analysis of the vector ALUs (Fig. 5.10).
+//
+// The paper concludes GPGPU homogeneity from "hamming distance bar graphs"
+// of consecutive VALU output words: near-identical histograms across the 16
+// VALUs imply similar switching activity, similar path sensitization, and
+// hence homogeneous error probabilities -- so per-core timing speculation
+// suffices on this architecture and the SynTS analysis focuses on CMPs.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpgpu/simd.h"
+#include "util/histogram.h"
+
+namespace synts::gpgpu {
+
+/// Hamming distance (popcount of XOR) between two 32-bit words.
+[[nodiscard]] std::uint32_t hamming_distance(std::uint32_t a, std::uint32_t b) noexcept;
+
+/// Histogram of Hamming distances between consecutive result words of one
+/// VALU trace (buckets 0..32).
+[[nodiscard]] util::integer_histogram hamming_histogram(const valu_trace& trace);
+
+/// Cross-VALU homogeneity report.
+struct homogeneity_report {
+    /// Pairwise total-variation distances between normalized histograms;
+    /// entry [i * valu_count + j].
+    std::vector<double> pairwise_tvd;
+    std::size_t valu_count = 0;
+    double max_tvd = 0.0;  ///< worst pair
+    double mean_tvd = 0.0; ///< average over distinct pairs
+
+    /// True when every pair of VALUs is within `threshold` total-variation
+    /// distance -- the quantitative form of "the graphs are qualitatively
+    /// similar".
+    [[nodiscard]] bool is_homogeneous(double threshold = 0.08) const noexcept
+    {
+        return max_tvd <= threshold;
+    }
+};
+
+/// Compares Hamming histograms across all VALUs of a kernel execution.
+[[nodiscard]] homogeneity_report analyze_homogeneity(std::span<const valu_trace> traces);
+
+} // namespace synts::gpgpu

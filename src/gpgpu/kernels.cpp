@@ -1,0 +1,280 @@
+#include "gpgpu/kernels.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace synts::gpgpu {
+
+namespace {
+
+/// Work-item context: the per-kernel bodies below emit VALU instructions
+/// into the trace of the VALU the work-item was scheduled on.
+struct work_item {
+    valu_trace& trace;
+    util::xoshiro256& rng;
+
+    std::uint32_t exec(valu_op op, std::uint32_t a, std::uint32_t b)
+    {
+        trace.execute(op, a, b);
+        return trace.instructions.back().result;
+    }
+
+    [[nodiscard]] std::uint32_t rand32() { return static_cast<std::uint32_t>(rng()); }
+    [[nodiscard]] std::uint32_t rand_below(std::uint32_t n)
+    {
+        return static_cast<std::uint32_t>(rng.uniform_below(n));
+    }
+};
+
+// Q16.16 fixed-point multiply via the 32-bit VALU (matching how integer
+// GPUs emulate fixed point: full multiply then shift).
+std::uint32_t fx_mul(work_item& wi, std::uint32_t a, std::uint32_t b)
+{
+    const std::uint32_t product = wi.exec(valu_op::mul, a, b);
+    return wi.exec(valu_op::shift_right, product, 16);
+}
+
+// --- kernel bodies -------------------------------------------------------
+
+/// Black-Scholes: polynomial approximation of the normal CDF evaluated on a
+/// random moneyness input (Horner chain of fixed-point mul/add).
+void body_blackscholes(work_item& wi)
+{
+    static constexpr std::array<std::uint32_t, 5> coeff = {
+        0x0000497B, 0x00013355, 0x00024916, 0x0001D638, 0x00009E3B};
+    std::uint32_t x = wi.rand_below(0x0004'0000); // [0, 4.0) in Q16.16
+    std::uint32_t acc = coeff[0];
+    for (std::size_t i = 1; i < coeff.size(); ++i) {
+        acc = fx_mul(wi, acc, x);
+        acc = wi.exec(valu_op::add, acc, coeff[i]);
+    }
+    // Discounted payoff: spot * cdf - strike * cdf'.
+    const std::uint32_t spot = wi.rand_below(0x0064'0000);
+    const std::uint32_t strike = wi.rand_below(0x0064'0000);
+    const std::uint32_t call = fx_mul(wi, spot, acc);
+    const std::uint32_t put = fx_mul(wi, strike, acc);
+    (void)wi.exec(valu_op::sub, call, put);
+}
+
+/// EigenValue: bisection on a Gershgorin interval -- compare/halve loop.
+void body_eigenvalue(work_item& wi)
+{
+    std::uint32_t lo = wi.rand_below(1u << 20);
+    std::uint32_t hi = lo + 1 + wi.rand_below(1u << 20);
+    const std::uint32_t target = lo + wi.rand_below(hi - lo);
+    for (int iter = 0; iter < 12; ++iter) {
+        const std::uint32_t sum = wi.exec(valu_op::add, lo, hi);
+        const std::uint32_t mid = wi.exec(valu_op::shift_right, sum, 1);
+        const std::uint32_t diff = wi.exec(valu_op::abs_diff, mid, target);
+        if ((diff & 1u) == 0) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+}
+
+/// MatrixMult: 8-term dot product (mul + accumulate).
+void body_matrixmult(work_item& wi)
+{
+    std::uint32_t acc = 0;
+    for (int k = 0; k < 8; ++k) {
+        const std::uint32_t a = wi.rand_below(1u << 16);
+        const std::uint32_t b = wi.rand_below(1u << 16);
+        const std::uint32_t prod = wi.exec(valu_op::mul, a, b);
+        acc = wi.exec(valu_op::add, acc, prod);
+    }
+}
+
+/// FFT: radix-2 butterflies with fixed-point twiddle multiplies.
+void body_fft(work_item& wi)
+{
+    std::uint32_t re = wi.rand_below(1u << 18);
+    std::uint32_t im = wi.rand_below(1u << 18);
+    for (int s = 0; s < 4; ++s) {
+        const std::uint32_t tw = 0x0000B504; // ~cos(45 deg) in Q16.16
+        const std::uint32_t rot_re = fx_mul(wi, re, tw);
+        const std::uint32_t rot_im = fx_mul(wi, im, tw);
+        const std::uint32_t sum = wi.exec(valu_op::add, rot_re, rot_im);
+        const std::uint32_t diff = wi.exec(valu_op::sub, rot_re, rot_im);
+        re = sum;
+        im = diff;
+    }
+}
+
+/// BinarySearch: index halving and key compares over a sorted region.
+void body_binarysearch(work_item& wi)
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 1u << 16;
+    const std::uint32_t key = wi.rand_below(1u << 16);
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::uint32_t sum = wi.exec(valu_op::add, lo, hi);
+        const std::uint32_t mid = wi.exec(valu_op::shift_right, sum, 1);
+        // Synthetic array value at mid: value = mid * 3 (sorted).
+        const std::uint32_t value = wi.exec(valu_op::mul, mid, 3);
+        const std::uint32_t cmp = wi.exec(valu_op::min_u32, value, key);
+        if (cmp == value) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+}
+
+/// Raytrace: ray-sphere intersection discriminant (dot products).
+void body_raytrace(work_item& wi)
+{
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    for (int axis = 0; axis < 3; ++axis) {
+        const std::uint32_t dir = wi.rand_below(1u << 16);
+        const std::uint32_t oc = wi.rand_below(1u << 16);
+        const std::uint32_t d_oc = wi.exec(valu_op::mul, dir, oc);
+        b = wi.exec(valu_op::add, b, d_oc);
+        const std::uint32_t oc2 = wi.exec(valu_op::mul, oc, oc);
+        c = wi.exec(valu_op::add, c, oc2);
+    }
+    const std::uint32_t b2 = wi.exec(valu_op::mul, b >> 8, b >> 8);
+    (void)wi.exec(valu_op::sub, b2, c);
+}
+
+/// StreamCluster: squared Euclidean distance accumulation.
+void body_streamcluster(work_item& wi)
+{
+    std::uint32_t acc = 0;
+    for (int dim = 0; dim < 6; ++dim) {
+        const std::uint32_t p = wi.rand_below(1u << 14);
+        const std::uint32_t q = wi.rand_below(1u << 14);
+        const std::uint32_t diff = wi.exec(valu_op::abs_diff, p, q);
+        const std::uint32_t sq = wi.exec(valu_op::mul, diff, diff);
+        acc = wi.exec(valu_op::add, acc, sq);
+    }
+}
+
+/// Swaptions: HJM-style path step -- drift + diffusion accumulate.
+void body_swaptions(work_item& wi)
+{
+    std::uint32_t rate = 0x0000'8000 + wi.rand_below(1u << 14);
+    for (int step = 0; step < 6; ++step) {
+        const std::uint32_t drift = fx_mul(wi, rate, 0x0000'0290);
+        const std::uint32_t shock = wi.rand_below(1u << 10);
+        const std::uint32_t up = wi.exec(valu_op::add, rate, drift);
+        rate = wi.exec(valu_op::add, up, shock);
+    }
+}
+
+/// X264: 8-pixel sum of absolute differences (motion estimation).
+void body_x264(work_item& wi)
+{
+    std::uint32_t sad = 0;
+    for (int px = 0; px < 8; ++px) {
+        const std::uint32_t cur = wi.rand_below(256);
+        const std::uint32_t ref = wi.rand_below(256);
+        const std::uint32_t diff = wi.exec(valu_op::abs_diff, cur, ref);
+        sad = wi.exec(valu_op::add, sad, diff);
+    }
+}
+
+using kernel_body = void (*)(work_item&);
+
+[[nodiscard]] kernel_body body_of(gpgpu_kernel kernel)
+{
+    switch (kernel) {
+    case gpgpu_kernel::blackscholes:
+        return body_blackscholes;
+    case gpgpu_kernel::eigenvalue:
+        return body_eigenvalue;
+    case gpgpu_kernel::matrixmult:
+        return body_matrixmult;
+    case gpgpu_kernel::fft:
+        return body_fft;
+    case gpgpu_kernel::binarysearch:
+        return body_binarysearch;
+    case gpgpu_kernel::raytrace:
+        return body_raytrace;
+    case gpgpu_kernel::streamcluster:
+        return body_streamcluster;
+    case gpgpu_kernel::swaptions:
+        return body_swaptions;
+    case gpgpu_kernel::x264:
+        return body_x264;
+    }
+    throw std::invalid_argument("body_of: unknown kernel");
+}
+
+} // namespace
+
+std::string_view gpgpu_kernel_name(gpgpu_kernel kernel) noexcept
+{
+    switch (kernel) {
+    case gpgpu_kernel::blackscholes:
+        return "BlackScholes";
+    case gpgpu_kernel::eigenvalue:
+        return "EigenValue";
+    case gpgpu_kernel::matrixmult:
+        return "MatrixMult";
+    case gpgpu_kernel::fft:
+        return "FFT";
+    case gpgpu_kernel::binarysearch:
+        return "BinarySearch";
+    case gpgpu_kernel::raytrace:
+        return "Raytrace";
+    case gpgpu_kernel::streamcluster:
+        return "StreamCluster";
+    case gpgpu_kernel::swaptions:
+        return "Swaptions";
+    case gpgpu_kernel::x264:
+        return "X264";
+    }
+    return "?";
+}
+
+std::span<const gpgpu_kernel> all_gpgpu_kernels() noexcept
+{
+    static constexpr std::array<gpgpu_kernel, gpgpu_kernel_count> all = {
+        gpgpu_kernel::blackscholes, gpgpu_kernel::eigenvalue,
+        gpgpu_kernel::matrixmult,   gpgpu_kernel::fft,
+        gpgpu_kernel::binarysearch, gpgpu_kernel::raytrace,
+        gpgpu_kernel::streamcluster, gpgpu_kernel::swaptions,
+        gpgpu_kernel::x264,
+    };
+    return all;
+}
+
+std::vector<valu_trace> execute_kernel(gpgpu_kernel kernel, std::size_t valu_count,
+                                       std::size_t instructions_per_valu,
+                                       std::uint64_t seed)
+{
+    if (valu_count == 0) {
+        throw std::invalid_argument("execute_kernel: valu_count must be >= 1");
+    }
+    const kernel_body body = body_of(kernel);
+
+    std::vector<valu_trace> traces(valu_count);
+    std::vector<util::xoshiro256> lane_rng;
+    lane_rng.reserve(valu_count);
+    util::xoshiro256 root(seed ^ (static_cast<std::uint64_t>(kernel) * 0x9E37'79B9u));
+    for (std::size_t v = 0; v < valu_count; ++v) {
+        lane_rng.push_back(root.split(v));
+    }
+
+    // Round-robin work-item dispatch until every VALU has enough dynamic
+    // instructions.
+    bool any_below = true;
+    while (any_below) {
+        any_below = false;
+        for (std::size_t v = 0; v < valu_count; ++v) {
+            if (traces[v].size() < instructions_per_valu) {
+                work_item wi{traces[v], lane_rng[v]};
+                body(wi);
+                any_below = any_below || traces[v].size() < instructions_per_valu;
+            }
+        }
+    }
+    return traces;
+}
+
+} // namespace synts::gpgpu

@@ -1,0 +1,52 @@
+// kernels.h -- synthetic GPGPU kernels for the HD 7970 case study.
+//
+// Section 5.5 characterizes BlackScholes, EigenValue, MatrixMult, FFT,
+// BinarySearch, Raytrace, StreamCluster, Swaptions and X264. Each kernel
+// below reproduces the inner-loop arithmetic of its namesake in 32-bit
+// fixed point, dispatches work-items round-robin over the vector ALUs, and
+// yields one valu_trace per VALU. The result-word streams feed the
+// Hamming-distance analysis of Fig. 5.10; the operand streams can drive the
+// gate-level ALU netlist for a direct error-probability comparison.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "gpgpu/simd.h"
+
+namespace synts::gpgpu {
+
+/// The nine characterized kernels.
+enum class gpgpu_kernel : std::uint8_t {
+    blackscholes = 0,
+    eigenvalue,
+    matrixmult,
+    fft,
+    binarysearch,
+    raytrace,
+    streamcluster,
+    swaptions,
+    x264,
+};
+
+/// Number of modeled kernels.
+inline constexpr std::size_t gpgpu_kernel_count = 9;
+
+/// Display name matching the paper's list.
+[[nodiscard]] std::string_view gpgpu_kernel_name(gpgpu_kernel kernel) noexcept;
+
+/// All nine kernels.
+[[nodiscard]] std::span<const gpgpu_kernel> all_gpgpu_kernels() noexcept;
+
+/// Executes `kernel` with work-items spread round-robin over `valu_count`
+/// vector ALUs until every VALU has at least `instructions_per_valu` dynamic
+/// instructions. Deterministic in `seed`.
+[[nodiscard]] std::vector<valu_trace> execute_kernel(gpgpu_kernel kernel,
+                                                     std::size_t valu_count,
+                                                     std::size_t instructions_per_valu,
+                                                     std::uint64_t seed);
+
+} // namespace synts::gpgpu

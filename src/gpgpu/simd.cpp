@@ -1,0 +1,44 @@
+#include "gpgpu/simd.h"
+
+#include <algorithm>
+
+namespace synts::gpgpu {
+
+std::uint32_t evaluate_valu_op(valu_op op, std::uint32_t a, std::uint32_t b) noexcept
+{
+    switch (op) {
+    case valu_op::add:
+        return a + b;
+    case valu_op::sub:
+        return a - b;
+    case valu_op::mul:
+        return a * b;
+    case valu_op::logic_and:
+        return a & b;
+    case valu_op::logic_or:
+        return a | b;
+    case valu_op::logic_xor:
+        return a ^ b;
+    case valu_op::shift_right:
+        return a >> (b & 31);
+    case valu_op::min_u32:
+        return std::min(a, b);
+    case valu_op::max_u32:
+        return std::max(a, b);
+    case valu_op::abs_diff:
+        return a > b ? a - b : b - a;
+    }
+    return 0;
+}
+
+void valu_trace::execute(valu_op op, std::uint32_t a, std::uint32_t b)
+{
+    valu_instruction insn;
+    insn.op = op;
+    insn.operand_a = a;
+    insn.operand_b = b;
+    insn.result = evaluate_valu_op(op, a, b);
+    instructions.push_back(insn);
+}
+
+} // namespace synts::gpgpu

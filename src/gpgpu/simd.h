@@ -1,0 +1,60 @@
+// simd.h -- Radeon HD 7970-style SIMD execution model.
+//
+// The paper's GPGPU case study (Sections 3.2, 5.5) runs Multi2Sim 4.2 with
+// the MIAOW RTL of a Southern-Islands compute unit and asks whether the 16
+// vector ALUs show heterogeneous timing-error behavior. We substitute a
+// compact SIMD model: work-items are distributed round-robin over `valu_count`
+// vector ALUs; each VALU executes its work-items' scalar instruction stream
+// in lock-step and records, per dynamic instruction, the 32-bit result word
+// (for the Hamming-distance analysis of Fig. 5.10) and the operand pair
+// (so the same stream can drive the gate-level ALU netlist).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace synts::gpgpu {
+
+/// Vector-ALU operation kinds (the subset the kernels below use).
+enum class valu_op : std::uint8_t {
+    add = 0,
+    sub,
+    mul,
+    logic_and,
+    logic_or,
+    logic_xor,
+    shift_right,
+    min_u32,
+    max_u32,
+    abs_diff,
+};
+
+/// One dynamic VALU instruction: operands in, result word out.
+struct valu_instruction {
+    valu_op op = valu_op::add;
+    std::uint32_t operand_a = 0;
+    std::uint32_t operand_b = 0;
+    std::uint32_t result = 0;
+};
+
+/// Execution trace of one vector ALU.
+struct valu_trace {
+    std::vector<valu_instruction> instructions;
+
+    /// Appends `op(a, b)`; computes and stores the result word.
+    void execute(valu_op op, std::uint32_t a, std::uint32_t b);
+
+    /// Number of dynamic instructions.
+    [[nodiscard]] std::size_t size() const noexcept { return instructions.size(); }
+};
+
+/// Functional evaluation of one VALU op.
+[[nodiscard]] std::uint32_t evaluate_valu_op(valu_op op, std::uint32_t a,
+                                             std::uint32_t b) noexcept;
+
+/// The default HD 7970 configuration analyzed by the paper: 16 vector ALUs
+/// per SIMD unit.
+inline constexpr std::size_t hd7970_valu_count = 16;
+
+} // namespace synts::gpgpu

@@ -1,0 +1,92 @@
+#include "util/csv.h"
+
+#include <limits>
+#include <sstream>
+
+namespace synts::util {
+
+csv_writer::csv_writer(std::ostream& out)
+    : out_(out)
+{
+}
+
+void csv_writer::header(const std::vector<std::string>& columns)
+{
+    begin_row();
+    for (const auto& c : columns) {
+        field(c);
+    }
+}
+
+void csv_writer::begin_row()
+{
+    if (row_open_) {
+        out_ << "\n";
+    }
+    row_open_ = true;
+    row_has_fields_ = false;
+}
+
+void csv_writer::raw_field(const std::string& encoded)
+{
+    if (!row_open_) {
+        begin_row();
+    }
+    if (row_has_fields_) {
+        out_ << ",";
+    }
+    out_ << encoded;
+    row_has_fields_ = true;
+}
+
+void csv_writer::field(const std::string& value)
+{
+    raw_field(csv_escape(value));
+}
+
+void csv_writer::field(double value)
+{
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << value;
+    raw_field(tmp.str());
+}
+
+void csv_writer::field(long long value)
+{
+    raw_field(std::to_string(value));
+}
+
+void csv_writer::finish()
+{
+    if (row_open_) {
+        out_ << "\n";
+        row_open_ = false;
+    }
+}
+
+csv_writer::~csv_writer()
+{
+    finish();
+}
+
+std::string csv_escape(const std::string& value)
+{
+    const bool needs_quotes =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+        return value;
+    }
+    std::string escaped = "\"";
+    for (const char c : value) {
+        if (c == '"') {
+            escaped += "\"\"";
+        } else {
+            escaped += c;
+        }
+    }
+    escaped += "\"";
+    return escaped;
+}
+
+} // namespace synts::util

@@ -1,0 +1,53 @@
+// csv.h -- CSV emission for experiment series (Pareto curves, error-vs-TSR
+// sweeps) so results can be re-plotted outside the harness.
+
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace synts::util {
+
+/// Minimal CSV writer. Quotes cells containing separators or quotes; numeric
+/// cells are written with round-trippable precision.
+class csv_writer {
+public:
+    /// Wraps an output stream; the stream must outlive the writer.
+    explicit csv_writer(std::ostream& out);
+
+    /// Writes the header row.
+    void header(const std::vector<std::string>& columns);
+
+    /// Begins a new data row (flushing the previous one).
+    void begin_row();
+
+    /// Appends a string field.
+    void field(const std::string& value);
+
+    /// Appends a numeric field (max_digits10 precision).
+    void field(double value);
+
+    /// Appends an integer field.
+    void field(long long value);
+
+    /// Flushes the trailing row, if any. Called by the destructor too.
+    void finish();
+
+    ~csv_writer();
+    csv_writer(const csv_writer&) = delete;
+    csv_writer& operator=(const csv_writer&) = delete;
+
+private:
+    void raw_field(const std::string& encoded);
+
+    std::ostream& out_;
+    bool row_open_ = false;
+    bool row_has_fields_ = false;
+};
+
+/// Escapes one CSV cell per RFC 4180 (quotes only when needed).
+[[nodiscard]] std::string csv_escape(const std::string& value);
+
+} // namespace synts::util

@@ -1,0 +1,69 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace synts::util {
+
+namespace {
+
+std::atomic<log_level> global_level{log_level::warning};
+
+[[nodiscard]] const char* level_name(log_level level) noexcept
+{
+    switch (level) {
+    case log_level::debug:
+        return "DEBUG";
+    case log_level::info:
+        return "INFO";
+    case log_level::warning:
+        return "WARN";
+    case log_level::error:
+        return "ERROR";
+    case log_level::off:
+        return "OFF";
+    }
+    return "?";
+}
+
+} // namespace
+
+void set_log_level(log_level level) noexcept
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+log_level get_log_level() noexcept
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void log(log_level level, const std::string& message)
+{
+    if (static_cast<int>(level) < static_cast<int>(get_log_level())) {
+        return;
+    }
+    std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+void log_debug(const std::string& message)
+{
+    log(log_level::debug, message);
+}
+
+void log_info(const std::string& message)
+{
+    log(log_level::info, message);
+}
+
+void log_warning(const std::string& message)
+{
+    log(log_level::warning, message);
+}
+
+void log_error(const std::string& message)
+{
+    log(log_level::error, message);
+}
+
+} // namespace synts::util

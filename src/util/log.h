@@ -1,0 +1,36 @@
+// log.h -- leveled logging used by long-running characterization drivers.
+//
+// The library is otherwise silent; only drivers and benches raise the level
+// above `warning`.
+
+#pragma once
+
+#include <string>
+
+namespace synts::util {
+
+/// Log severity, ordered.
+enum class log_level {
+    debug = 0,
+    info = 1,
+    warning = 2,
+    error = 3,
+    off = 4,
+};
+
+/// Sets the global minimum severity that will be emitted.
+void set_log_level(log_level level) noexcept;
+
+/// Current global minimum severity.
+[[nodiscard]] log_level get_log_level() noexcept;
+
+/// Emits `message` to stderr when `level` passes the global threshold.
+void log(log_level level, const std::string& message);
+
+/// Convenience wrappers.
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warning(const std::string& message);
+void log_error(const std::string& message);
+
+} // namespace synts::util

@@ -1,0 +1,102 @@
+// rng.h -- deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components of the SynTS reproduction (workload operand
+// streams, Razor error injection, sampling-phase estimation noise) draw from
+// the xoshiro256** engine below so that every experiment is reproducible
+// from a single 64-bit seed. The engine is seeded through splitmix64, the
+// recommended seeding procedure for the xoshiro family.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace synts::util {
+
+/// Stateless splitmix64 step: advances `state` and returns the next value.
+/// Used both as a seed expander and as a cheap hash for stream splitting.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 -- fast, high-quality 64-bit PRNG (Blackman/Vigna).
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can be used
+/// with <random> distributions, although the convenience members below are
+/// preferred inside the library to keep behavior identical across standard
+/// library implementations.
+class xoshiro256 {
+public:
+    using result_type = std::uint64_t;
+
+    /// Constructs the generator from a single 64-bit seed via splitmix64.
+    explicit xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+    /// Smallest value produced (UniformRandomBitGenerator requirement).
+    [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+    /// Largest value produced (UniformRandomBitGenerator requirement).
+    [[nodiscard]] static constexpr result_type max() noexcept
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /// Next raw 64-bit draw.
+    result_type operator()() noexcept;
+
+    /// Uniform double in [0, 1) with 53 bits of randomness.
+    [[nodiscard]] double uniform() noexcept;
+
+    /// Uniform double in [lo, hi).
+    [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+    /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+    /// avoid modulo bias.
+    [[nodiscard]] std::uint64_t uniform_below(std::uint64_t n) noexcept;
+
+    /// Uniform integer in the inclusive range [lo, hi].
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Bernoulli draw with success probability p (clamped to [0, 1]).
+    [[nodiscard]] bool bernoulli(double p) noexcept;
+
+    /// Standard normal draw (Box-Muller; one value per call, spare cached).
+    [[nodiscard]] double normal() noexcept;
+
+    /// Normal draw with the given mean and standard deviation.
+    [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+    /// Exponential draw with the given rate lambda (> 0).
+    [[nodiscard]] double exponential(double lambda) noexcept;
+
+    /// Geometric number of failures before first success, p in (0, 1].
+    [[nodiscard]] std::uint64_t geometric(double p) noexcept;
+
+    /// Index drawn from the (unnormalized, non-negative) weight vector.
+    /// Requires at least one strictly positive weight.
+    [[nodiscard]] std::size_t discrete(std::span<const double> weights) noexcept;
+
+    /// Creates an independent generator for a named substream, so parallel
+    /// entities (threads, lanes, benchmarks) can be given decorrelated but
+    /// reproducible randomness derived from one experiment seed.
+    [[nodiscard]] xoshiro256 split(std::uint64_t stream_tag) noexcept;
+
+    /// Jump function: advances the state by 2^128 draws.
+    void jump() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    double spare_normal_ = 0.0;
+    bool has_spare_normal_ = false;
+};
+
+/// Fills `out` with a random permutation of [0, out.size()) (Fisher-Yates).
+void random_permutation(xoshiro256& rng, std::span<std::size_t> out) noexcept;
+
+/// Returns `count` samples drawn without replacement from [0, population).
+/// Requires count <= population.
+[[nodiscard]] std::vector<std::size_t> sample_without_replacement(xoshiro256& rng,
+                                                                  std::size_t population,
+                                                                  std::size_t count);
+
+} // namespace synts::util

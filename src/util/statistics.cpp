@@ -1,0 +1,191 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace synts::util {
+
+void running_stats::add(double x) noexcept
+{
+    if (!any_) {
+        min_ = x;
+        max_ = x;
+        any_ = true;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) noexcept
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double running_stats::variance() const noexcept
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept
+{
+    return std::sqrt(variance());
+}
+
+double quantile(std::span<const double> values, double q)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    return quantile_sorted(sorted, q);
+}
+
+double quantile_sorted(std::span<const double> sorted_values, double q) noexcept
+{
+    if (sorted_values.empty()) {
+        return 0.0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const double position = q * static_cast<double>(sorted_values.size() - 1);
+    const auto lower = static_cast<std::size_t>(position);
+    const std::size_t upper = std::min(lower + 1, sorted_values.size() - 1);
+    const double fraction = position - static_cast<double>(lower);
+    return sorted_values[lower] * (1.0 - fraction) + sorted_values[upper] * fraction;
+}
+
+double exceedance_fraction(std::span<const double> values, double threshold) noexcept
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::size_t exceeding = 0;
+    for (const double v : values) {
+        if (v > threshold) {
+            ++exceeding;
+        }
+    }
+    return static_cast<double>(exceeding) / static_cast<double>(values.size());
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) noexcept
+{
+    const std::size_t n = std::min(xs.size(), ys.size());
+    if (n < 2) {
+        return 0.0;
+    }
+    running_stats sx;
+    running_stats sy;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx.add(xs[i]);
+        sy.add(ys[i]);
+    }
+    const double mx = sx.mean();
+    const double my = sy.mean();
+    double covariance = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        covariance += (xs[i] - mx) * (ys[i] - my);
+    }
+    covariance /= static_cast<double>(n - 1);
+    const double denom = sx.stddev() * sy.stddev();
+    if (denom <= 0.0) {
+        return 0.0;
+    }
+    return covariance / denom;
+}
+
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> estimate) noexcept
+{
+    const std::size_t n = std::min(truth.size(), estimate.size());
+    if (n == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += std::abs(truth[i] - estimate[i]);
+    }
+    return total / static_cast<double>(n);
+}
+
+double root_mean_squared_error(std::span<const double> truth,
+                               std::span<const double> estimate) noexcept
+{
+    const std::size_t n = std::min(truth.size(), estimate.size());
+    if (n == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = truth[i] - estimate[i];
+        total += d * d;
+    }
+    return std::sqrt(total / static_cast<double>(n));
+}
+
+double total_variation_distance(std::span<const double> lhs,
+                                std::span<const double> rhs) noexcept
+{
+    const std::size_t n = std::max(lhs.size(), rhs.size());
+    if (n == 0) {
+        return 0.0;
+    }
+    double lhs_total = 0.0;
+    double rhs_total = 0.0;
+    for (const double v : lhs) {
+        lhs_total += std::max(v, 0.0);
+    }
+    for (const double v : rhs) {
+        rhs_total += std::max(v, 0.0);
+    }
+    if (lhs_total <= 0.0 || rhs_total <= 0.0) {
+        return lhs_total == rhs_total ? 0.0 : 1.0;
+    }
+    double distance = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double p = i < lhs.size() ? std::max(lhs[i], 0.0) / lhs_total : 0.0;
+        const double q = i < rhs.size() ? std::max(rhs[i], 0.0) / rhs_total : 0.0;
+        distance += std::abs(p - q);
+    }
+    return 0.5 * distance;
+}
+
+double wilson_half_width(std::size_t successes, std::size_t trials) noexcept
+{
+    if (trials == 0) {
+        return 1.0;
+    }
+    constexpr double z = 1.959963984540054; // 97.5th percentile of N(0,1)
+    const auto n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double half = (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+    return half;
+}
+
+} // namespace synts::util

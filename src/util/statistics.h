@@ -1,0 +1,85 @@
+// statistics.h -- descriptive statistics used across the characterization,
+// estimation, and reporting layers.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace synts::util {
+
+/// Streaming accumulator for count / mean / variance / min / max using
+/// Welford's numerically stable recurrence.
+class running_stats {
+public:
+    /// Adds one observation.
+    void add(double x) noexcept;
+
+    /// Merges another accumulator into this one (parallel-friendly).
+    void merge(const running_stats& other) noexcept;
+
+    /// Number of observations so far.
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    /// Arithmetic mean (0 when empty).
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    /// Unbiased sample variance (0 when fewer than two observations).
+    [[nodiscard]] double variance() const noexcept;
+    /// Square root of variance().
+    [[nodiscard]] double stddev() const noexcept;
+    /// Smallest observation (+inf when empty).
+    [[nodiscard]] double min() const noexcept { return min_; }
+    /// Largest observation (-inf when empty).
+    [[nodiscard]] double max() const noexcept { return max_; }
+    /// Sum of all observations.
+    [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    bool any_ = false;
+};
+
+/// Returns the q-quantile (q in [0, 1]) of `values` using linear
+/// interpolation between order statistics. The input need not be sorted;
+/// a sorted copy is made internally. Returns 0 for empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// In-place variant for pre-sorted data (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted_values, double q) noexcept;
+
+/// Fraction of `values` strictly greater than `threshold`. This is the
+/// empirical exceedance probability used to turn sensitized-delay traces
+/// into timing-error probabilities: err(r) = P(delay > r * t_nom).
+[[nodiscard]] double exceedance_fraction(std::span<const double> values,
+                                         double threshold) noexcept;
+
+/// Pearson correlation coefficient of two equal-length series (0 if either
+/// series is constant or the series are empty).
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys) noexcept;
+
+/// Mean absolute error between two equal-length series.
+[[nodiscard]] double mean_absolute_error(std::span<const double> truth,
+                                         std::span<const double> estimate) noexcept;
+
+/// Root mean squared error between two equal-length series.
+[[nodiscard]] double root_mean_squared_error(std::span<const double> truth,
+                                             std::span<const double> estimate) noexcept;
+
+/// Total variation distance between two discrete distributions given as
+/// unnormalized non-negative mass vectors over the same support. Each vector
+/// is normalized internally; returns a value in [0, 1]. Used to quantify the
+/// GPGPU Hamming-histogram homogeneity of Fig. 5.10.
+[[nodiscard]] double total_variation_distance(std::span<const double> lhs,
+                                              std::span<const double> rhs) noexcept;
+
+/// Wilson score interval half-width for a Bernoulli proportion estimate with
+/// `successes` out of `trials` at ~95% confidence. Used to bound the online
+/// error-probability estimates from the sampling phase.
+[[nodiscard]] double wilson_half_width(std::size_t successes, std::size_t trials) noexcept;
+
+} // namespace synts::util

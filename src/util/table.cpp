@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace synts::util {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void text_table::begin_row()
+{
+    rows_.emplace_back();
+}
+
+void text_table::cell(std::string value)
+{
+    if (rows_.empty()) {
+        begin_row();
+    }
+    rows_.back().push_back(std::move(value));
+}
+
+void text_table::cell(double value, int precision)
+{
+    cell(format_double(value, precision));
+}
+
+void text_table::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void text_table::add_row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render(std::size_t indent) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size()) {
+                widths.resize(c + 1, 0);
+            }
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    const std::string pad(indent, ' ');
+    std::ostringstream out;
+
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        out << pad;
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& value = c < cells.size() ? cells[c] : std::string{};
+            out << value << std::string(widths[c] - value.size() + 2, ' ');
+        }
+        out << "\n";
+    };
+
+    emit_row(headers_);
+    out << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        out << std::string(widths[c], '-') << "  ";
+    }
+    out << "\n";
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string format_double(double value, int precision)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(precision);
+    out << value;
+    return out.str();
+}
+
+std::string format_vs_paper(double measured, double expected, int precision)
+{
+    std::ostringstream out;
+    out << format_double(measured, precision) << " (paper " << format_double(expected, precision);
+    if (expected != 0.0) {
+        const double delta = (measured - expected) / expected * 100.0;
+        out << ", " << (delta >= 0 ? "+" : "") << format_double(delta, 1) << "%";
+    }
+    out << ")";
+    return out.str();
+}
+
+} // namespace synts::util

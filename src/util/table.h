@@ -1,0 +1,54 @@
+// table.h -- aligned console tables for the bench harness.
+//
+// Every bench binary reports paper-vs-measured rows; this tiny formatter
+// keeps that output uniform and diff-friendly.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace synts::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision. Rendering pads every column to its widest cell.
+class text_table {
+public:
+    /// Creates a table with the given column headers.
+    explicit text_table(std::vector<std::string> headers);
+
+    /// Begins a new row; subsequent `cell` calls fill it left to right.
+    void begin_row();
+
+    /// Appends a string cell to the current row.
+    void cell(std::string value);
+
+    /// Appends a numeric cell formatted with `precision` fraction digits.
+    void cell(double value, int precision = 4);
+
+    /// Appends an integer cell.
+    void cell(long long value);
+
+    /// Convenience: adds a complete row at once.
+    void add_row(std::vector<std::string> cells);
+
+    /// Number of data rows so far.
+    [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders the table with a header underline; `indent` spaces prefix
+    /// every line.
+    [[nodiscard]] std::string render(std::size_t indent = 2) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (shared by table and CSV writers).
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Formats `measured` against `expected` as e.g. "0.93 (paper 1.00, -7.0%)".
+[[nodiscard]] std::string format_vs_paper(double measured, double expected, int precision = 3);
+
+} // namespace synts::util

@@ -1,0 +1,71 @@
+// solver_fixtures.h -- randomized SynTS-OPT instances for solver property
+// tests and benches.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/error_model.h"
+#include "core/solver.h"
+#include "core/system_model.h"
+#include "util/rng.h"
+
+namespace synts::test {
+
+/// Owns everything a solver_input points to.
+struct solver_instance {
+    std::unique_ptr<core::config_space> space;
+    std::vector<std::unique_ptr<core::synthetic_error_curve>> curves;
+    core::solver_input input;
+};
+
+/// Builds a random instance with `threads` threads, `voltages` voltage
+/// levels and `tsrs` TSR levels. Error curves, workloads and theta are all
+/// randomized but valid. Deterministic in `seed`.
+inline solver_instance make_random_instance(std::size_t threads, std::size_t voltages,
+                                            std::size_t tsrs, std::uint64_t seed)
+{
+    util::xoshiro256 rng(seed);
+    solver_instance inst;
+
+    std::vector<double> volts;
+    std::vector<double> tnom;
+    double v = 1.0;
+    double t = 100.0;
+    for (std::size_t j = 0; j < voltages; ++j) {
+        volts.push_back(v);
+        tnom.push_back(t);
+        v -= rng.uniform(0.03, 0.08);
+        t *= rng.uniform(1.08, 1.35);
+    }
+    std::vector<double> tsr_levels;
+    double r = 1.0;
+    for (std::size_t k = 0; k < tsrs; ++k) {
+        tsr_levels.push_back(r);
+        r -= rng.uniform(0.04, 0.1);
+    }
+    std::reverse(tsr_levels.begin(), tsr_levels.end());
+    inst.space = std::make_unique<core::config_space>(volts, tsr_levels, tnom);
+
+    inst.input.space = inst.space.get();
+    inst.input.params.alpha_switching_cap = 1.0;
+    inst.input.params.error_penalty_cycles = 5;
+
+    for (std::size_t i = 0; i < threads; ++i) {
+        const double onset = rng.uniform(0.8, 1.0);
+        const double scale = rng.uniform(0.005, 0.15);
+        const double power = rng.uniform(1.0, 3.0);
+        inst.curves.push_back(std::make_unique<core::synthetic_error_curve>(
+            onset, 0.5, scale, power));
+        inst.input.error_models.push_back(inst.curves.back().get());
+        inst.input.workloads.push_back(core::thread_workload{
+            1000 + rng.uniform_below(9000), rng.uniform(1.0, 3.0)});
+    }
+
+    // theta scaled so energy and time terms are comparable.
+    inst.input.theta = core::equal_weight_theta(inst.input) * rng.uniform(0.2, 5.0);
+    return inst;
+}
+
+} // namespace synts::test

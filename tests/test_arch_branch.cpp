@@ -1,0 +1,68 @@
+// Tests for arch/branch_predictor.
+
+#include <gtest/gtest.h>
+
+#include "arch/branch_predictor.h"
+
+namespace {
+
+using namespace synts::arch;
+
+TEST(gshare, rejects_bad_index_bits)
+{
+    EXPECT_THROW(gshare_predictor(0), std::invalid_argument);
+    EXPECT_THROW(gshare_predictor(25), std::invalid_argument);
+    EXPECT_NO_THROW(gshare_predictor(12));
+}
+
+TEST(gshare, learns_always_taken)
+{
+    gshare_predictor bp(10);
+    int late_mispredicts = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const bool mispredicted = bp.predict_and_update(0x400000, true);
+        if (i >= 1000 && mispredicted) {
+            ++late_mispredicts;
+        }
+    }
+    EXPECT_EQ(late_mispredicts, 0);
+}
+
+TEST(gshare, learns_alternating_pattern_through_history)
+{
+    gshare_predictor bp(12);
+    int late_mispredicts = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (i % 2) == 0;
+        const bool mispredicted = bp.predict_and_update(0x400100, taken);
+        if (i >= 2000 && mispredicted) {
+            ++late_mispredicts;
+        }
+    }
+    EXPECT_LT(late_mispredicts, 20);
+}
+
+TEST(gshare, stats_count_branches)
+{
+    gshare_predictor bp(8);
+    for (int i = 0; i < 100; ++i) {
+        (void)bp.predict_and_update(0x1000 + 4 * i, i % 3 == 0);
+    }
+    EXPECT_EQ(bp.stats().branches, 100u);
+    EXPECT_LE(bp.stats().mispredictions, 100u);
+    EXPECT_GT(bp.stats().misprediction_rate(), 0.0);
+}
+
+TEST(gshare, reset_clears_state)
+{
+    gshare_predictor bp(8);
+    for (int i = 0; i < 500; ++i) {
+        (void)bp.predict_and_update(0x2000, true);
+    }
+    bp.reset();
+    EXPECT_EQ(bp.stats().branches, 0u);
+    // Weakly not-taken after reset: the first taken branch mispredicts.
+    EXPECT_TRUE(bp.predict_and_update(0x2000, true));
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+// Tests for arch/cache: geometry checks, hit/miss behavior, LRU.
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.h"
+
+namespace {
+
+using namespace synts::arch;
+
+cache_config small_cache()
+{
+    cache_config cfg;
+    cfg.size_bytes = 1024;
+    cfg.line_bytes = 64;
+    cfg.ways = 2;
+    cfg.hit_latency_cycles = 1;
+    cfg.miss_penalty_cycles = 10;
+    return cfg;
+}
+
+TEST(cache, rejects_bad_geometry)
+{
+    cache_config cfg = small_cache();
+    cfg.line_bytes = 48; // not a power of two
+    EXPECT_THROW(cache_sim{cfg}, std::invalid_argument);
+
+    cfg = small_cache();
+    cfg.ways = 0;
+    EXPECT_THROW(cache_sim{cfg}, std::invalid_argument);
+
+    cfg = small_cache();
+    cfg.size_bytes = 1024 + 64; // sets not a power of two
+    EXPECT_THROW(cache_sim{cfg}, std::invalid_argument);
+}
+
+TEST(cache, first_access_misses_second_hits)
+{
+    cache_sim cache(small_cache());
+    EXPECT_EQ(cache.access(0x1000), 11u);
+    EXPECT_EQ(cache.access(0x1000), 1u);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(cache, same_line_different_word_hits)
+{
+    cache_sim cache(small_cache());
+    (void)cache.access(0x1000);
+    EXPECT_EQ(cache.access(0x1030), 1u); // same 64B line
+}
+
+TEST(cache, lru_evicts_least_recent)
+{
+    // 1024 B / 64 B / 2 ways = 8 sets. Three tags mapping to set 0:
+    // line addresses 0, 8, 16 -> byte addresses 0, 0x200, 0x400.
+    cache_sim cache(small_cache());
+    (void)cache.access(0x000); // A miss
+    (void)cache.access(0x200); // B miss
+    (void)cache.access(0x000); // A hit (B is now LRU)
+    (void)cache.access(0x400); // C miss, evicts B
+    EXPECT_TRUE(cache.would_hit(0x000));
+    EXPECT_FALSE(cache.would_hit(0x200));
+    EXPECT_TRUE(cache.would_hit(0x400));
+}
+
+TEST(cache, would_hit_does_not_mutate)
+{
+    cache_sim cache(small_cache());
+    (void)cache.access(0x000);
+    const auto accesses_before = cache.stats().accesses;
+    (void)cache.would_hit(0x000);
+    (void)cache.would_hit(0xABC0);
+    EXPECT_EQ(cache.stats().accesses, accesses_before);
+}
+
+TEST(cache, reset_clears_contents_and_stats)
+{
+    cache_sim cache(small_cache());
+    (void)cache.access(0x1000);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_FALSE(cache.would_hit(0x1000));
+}
+
+TEST(cache, working_set_within_capacity_converges_to_hits)
+{
+    cache_sim cache(small_cache()); // 1 KiB capacity
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint64_t addr = 0; addr < 1024; addr += 64) {
+            (void)cache.access(addr);
+        }
+    }
+    // 16 compulsory misses, the rest hits.
+    EXPECT_EQ(cache.stats().misses, 16u);
+    EXPECT_EQ(cache.stats().accesses, 64u);
+}
+
+TEST(cache, streaming_working_set_thrashes)
+{
+    cache_sim cache(small_cache());
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::uint64_t addr = 0; addr < 8 * 1024; addr += 64) {
+            (void)cache.access(addr);
+        }
+    }
+    EXPECT_GT(cache.stats().miss_rate(), 0.95);
+}
+
+TEST(cache, miss_rate_zero_when_idle)
+{
+    cache_sim cache(small_cache());
+    EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+// Tests for arch/trace and arch/multicore: barrier structure and profiling.
+
+#include <gtest/gtest.h>
+
+#include "arch/multicore.h"
+
+namespace {
+
+using namespace synts::arch;
+
+thread_trace make_trace(std::initializer_list<std::size_t> interval_sizes)
+{
+    thread_trace trace;
+    std::size_t total = 0;
+    for (const std::size_t n : interval_sizes) {
+        for (std::size_t i = 0; i < n; ++i) {
+            micro_op op;
+            op.cls = op_class::int_add;
+            trace.ops.push_back(op);
+        }
+        total += n;
+        trace.barrier_points.push_back(total);
+    }
+    return trace;
+}
+
+TEST(thread_trace, interval_extraction)
+{
+    const thread_trace trace = make_trace({3, 5, 2});
+    EXPECT_EQ(trace.interval_count(), 3u);
+    EXPECT_EQ(trace.interval(0).size(), 3u);
+    EXPECT_EQ(trace.interval(1).size(), 5u);
+    EXPECT_EQ(trace.interval(2).size(), 2u);
+    EXPECT_THROW((void)trace.interval(3), std::out_of_range);
+}
+
+TEST(thread_trace, validate_accepts_well_formed)
+{
+    EXPECT_NO_THROW(make_trace({3, 5}).validate());
+}
+
+TEST(thread_trace, validate_rejects_non_increasing_points)
+{
+    thread_trace trace = make_trace({3, 5});
+    trace.barrier_points = {3, 3};
+    EXPECT_THROW(trace.validate(), std::logic_error);
+}
+
+TEST(thread_trace, validate_rejects_trailing_ops)
+{
+    thread_trace trace = make_trace({3, 5});
+    trace.barrier_points.back() = 6; // trace does not end at a barrier
+    EXPECT_THROW(trace.validate(), std::logic_error);
+}
+
+TEST(program_trace, interval_count_must_agree)
+{
+    program_trace program;
+    program.threads.push_back(make_trace({3, 4}));
+    program.threads.push_back(make_trace({5}));
+    EXPECT_THROW(program.validate(), std::logic_error);
+}
+
+TEST(multicore_profiler, per_interval_instruction_counts)
+{
+    program_trace program;
+    program.threads.push_back(make_trace({100, 200}));
+    program.threads.push_back(make_trace({150, 150}));
+
+    multicore_profiler profiler(core_config{});
+    const auto profiles = profiler.profile(program);
+    ASSERT_EQ(profiles.size(), 2u);
+    ASSERT_EQ(profiles[0].size(), 2u);
+    EXPECT_EQ(profiles[0][0].instruction_count, 100u);
+    EXPECT_EQ(profiles[0][1].instruction_count, 200u);
+    EXPECT_EQ(profiles[1][0].instruction_count, 150u);
+    for (const auto& thread : profiles) {
+        for (const auto& interval : thread) {
+            EXPECT_GE(interval.cpi_base, 1.0);
+        }
+    }
+}
+
+TEST(barrier_timeline, max_idle_and_critical)
+{
+    const std::vector<double> times = {10.0, 30.0, 20.0};
+    const barrier_timeline timeline = compute_barrier_timeline(times);
+    EXPECT_DOUBLE_EQ(timeline.barrier_time, 30.0);
+    EXPECT_EQ(timeline.critical_thread, 1u);
+    EXPECT_DOUBLE_EQ(timeline.total_idle, 20.0 + 0.0 + 10.0);
+}
+
+TEST(barrier_timeline, balanced_threads_have_no_idle)
+{
+    const std::vector<double> times = {25.0, 25.0, 25.0, 25.0};
+    const barrier_timeline timeline = compute_barrier_timeline(times);
+    EXPECT_DOUBLE_EQ(timeline.total_idle, 0.0);
+}
+
+TEST(barrier_timeline, empty_is_safe)
+{
+    const barrier_timeline timeline = compute_barrier_timeline({});
+    EXPECT_DOUBLE_EQ(timeline.barrier_time, 0.0);
+}
+
+} // namespace

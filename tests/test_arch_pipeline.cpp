@@ -1,0 +1,123 @@
+// Tests for arch/pipeline: cycle accounting of the in-order core.
+
+#include <gtest/gtest.h>
+
+#include "arch/pipeline.h"
+
+namespace {
+
+using namespace synts::arch;
+
+std::vector<micro_op> ops_of(std::initializer_list<op_class> classes)
+{
+    std::vector<micro_op> ops;
+    for (const op_class cls : classes) {
+        micro_op op;
+        op.cls = cls;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+TEST(pipeline, single_cycle_ops_have_cpi_one)
+{
+    inorder_core core(core_config{});
+    const auto ops = ops_of({op_class::int_add, op_class::int_sub, op_class::int_logic,
+                             op_class::nop});
+    const exec_stats stats = core.execute(ops);
+    EXPECT_EQ(stats.instructions, 4u);
+    EXPECT_EQ(stats.cycles, 4u);
+    EXPECT_DOUBLE_EQ(stats.cpi(), 1.0);
+}
+
+TEST(pipeline, multiply_adds_latency)
+{
+    core_config cfg;
+    cfg.mul_latency_cycles = 3;
+    inorder_core core(cfg);
+    const auto ops = ops_of({op_class::int_mul});
+    const exec_stats stats = core.execute(ops);
+    EXPECT_EQ(stats.cycles, 4u);
+    EXPECT_EQ(stats.long_op_cycles, 3u);
+}
+
+TEST(pipeline, fp_adds_latency)
+{
+    core_config cfg;
+    cfg.fp_latency_cycles = 2;
+    inorder_core core(cfg);
+    const auto ops = ops_of({op_class::fp, op_class::fp});
+    const exec_stats stats = core.execute(ops);
+    EXPECT_EQ(stats.cycles, 6u);
+}
+
+TEST(pipeline, cold_load_pays_miss_penalty)
+{
+    core_config cfg;
+    cfg.dcache.miss_penalty_cycles = 24;
+    inorder_core core(cfg);
+    micro_op load;
+    load.cls = op_class::load;
+    load.address = 0x5000;
+    const exec_stats first = core.execute(std::span<const micro_op>(&load, 1));
+    EXPECT_EQ(first.cycles, 25u);
+    EXPECT_EQ(first.dcache_miss_cycles, 24u);
+    const exec_stats second = core.execute(std::span<const micro_op>(&load, 1));
+    EXPECT_EQ(second.cycles, 1u);
+}
+
+TEST(pipeline, branch_mispredict_penalty_accounted)
+{
+    core_config cfg;
+    cfg.branch_mispredict_penalty = 8;
+    inorder_core core(cfg);
+    // First taken branch after reset mispredicts (weakly not-taken init).
+    micro_op branch;
+    branch.cls = op_class::branch;
+    branch.branch_taken = true;
+    const exec_stats stats = core.execute(std::span<const micro_op>(&branch, 1));
+    EXPECT_EQ(stats.cycles, 9u);
+    EXPECT_EQ(stats.branch_penalty_cycles, 8u);
+}
+
+TEST(pipeline, reset_restores_cold_state)
+{
+    inorder_core core(core_config{});
+    micro_op load;
+    load.cls = op_class::load;
+    load.address = 0x9000;
+    (void)core.execute(std::span<const micro_op>(&load, 1));
+    core.reset();
+    const exec_stats stats = core.execute(std::span<const micro_op>(&load, 1));
+    EXPECT_GT(stats.dcache_miss_cycles, 0u);
+}
+
+TEST(pipeline, deterministic_across_identical_runs)
+{
+    const auto ops = ops_of({op_class::int_add, op_class::load, op_class::branch,
+                             op_class::int_mul, op_class::fp});
+    inorder_core a(core_config{});
+    inorder_core b(core_config{});
+    const exec_stats sa = a.execute(ops);
+    const exec_stats sb = b.execute(ops);
+    EXPECT_EQ(sa.cycles, sb.cycles);
+}
+
+TEST(pipeline, cpi_at_least_one)
+{
+    inorder_core core(core_config{});
+    std::vector<micro_op> ops;
+    for (int i = 0; i < 1000; ++i) {
+        micro_op op;
+        op.cls = static_cast<op_class>(i % static_cast<int>(op_class_count));
+        op.address = static_cast<std::uint64_t>(i) * 64;
+        op.branch_taken = (i % 3) == 0;
+        ops.push_back(op);
+    }
+    const exec_stats stats = core.execute(ops);
+    EXPECT_GE(stats.cpi(), 1.0);
+    EXPECT_EQ(stats.cycles, stats.instructions + stats.dcache_miss_cycles +
+                                stats.branch_penalty_cycles + stats.long_op_cycles);
+}
+
+} // namespace

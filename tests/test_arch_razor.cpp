@@ -1,0 +1,88 @@
+// Tests for arch/razor: trace replay, Bernoulli runs, and the Eq. 4.1
+// identity.
+
+#include <gtest/gtest.h>
+
+#include "arch/razor.h"
+#include "energy/energy_model.h"
+
+namespace {
+
+using namespace synts::arch;
+
+TEST(razor_replay, counts_errors_against_period)
+{
+    const std::vector<double> delays = {10.0, 20.0, 30.0, 40.0};
+    const razor_run_stats stats = replay_delay_trace(delays, 25.0, 100);
+    EXPECT_EQ(stats.instructions, 4u);
+    EXPECT_EQ(stats.error_count, 2u);
+    EXPECT_EQ(stats.recovery_cycles, 10u); // 2 errors x 5 cycles
+    EXPECT_EQ(stats.total_cycles(), 110u);
+    EXPECT_DOUBLE_EQ(stats.error_probability(), 0.5);
+}
+
+TEST(razor_replay, boundary_is_strict)
+{
+    const std::vector<double> delays = {25.0};
+    const razor_run_stats stats = replay_delay_trace(delays, 25.0, 1);
+    EXPECT_EQ(stats.error_count, 0u); // delay == period is safe
+}
+
+TEST(razor_replay, custom_penalty)
+{
+    const std::vector<double> delays = {30.0, 30.0};
+    const razor_run_stats stats = replay_delay_trace(delays, 25.0, 10, 7);
+    EXPECT_EQ(stats.recovery_cycles, 14u);
+}
+
+TEST(razor_replay, spi_matches_equation_4_1)
+{
+    // SPI = t_clk * (p_err * C_penalty + CPI_base) must hold exactly for
+    // the replay accounting when base_cycles = N * CPI_base.
+    const std::size_t n = 1000;
+    std::vector<double> delays(n, 10.0);
+    for (std::size_t i = 0; i < n; i += 10) {
+        delays[i] = 100.0; // 10% of instructions error at t_clk = 50
+    }
+    const double cpi_base = 2.0;
+    const std::uint64_t base_cycles = static_cast<std::uint64_t>(n * cpi_base);
+    const razor_run_stats stats = replay_delay_trace(delays, 50.0, base_cycles);
+
+    const double expected_spi = synts::energy::seconds_per_instruction(
+        50.0, stats.error_probability(), cpi_base, razor_default_penalty_cycles);
+    EXPECT_NEAR(stats.seconds_per_instruction(), expected_spi, 1e-9);
+}
+
+TEST(razor_bernoulli, error_rate_concentrates)
+{
+    synts::util::xoshiro256 rng(5);
+    const razor_run_stats stats = run_bernoulli_errors(200000, 0.07, 1.0, 200000, rng);
+    EXPECT_NEAR(stats.error_probability(), 0.07, 0.005);
+}
+
+TEST(razor_bernoulli, zero_and_one_probability)
+{
+    synts::util::xoshiro256 rng(7);
+    EXPECT_EQ(run_bernoulli_errors(1000, 0.0, 1.0, 1000, rng).error_count, 0u);
+    EXPECT_EQ(run_bernoulli_errors(1000, 1.0, 1.0, 1000, rng).error_count, 1000u);
+}
+
+TEST(razor_stats, execution_time_is_cycles_times_period)
+{
+    razor_run_stats stats;
+    stats.instructions = 10;
+    stats.base_cycles = 20;
+    stats.error_count = 2;
+    stats.recovery_cycles = 10;
+    stats.clock_period = 3.0;
+    EXPECT_DOUBLE_EQ(stats.execution_time(), 90.0);
+}
+
+TEST(razor_stats, empty_run_is_safe)
+{
+    const razor_run_stats stats = replay_delay_trace({}, 10.0, 0);
+    EXPECT_DOUBLE_EQ(stats.error_probability(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.seconds_per_instruction(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+// Tests for arch/stage_taps: stage drive rules and bit encodings.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/stage_taps.h"
+
+namespace {
+
+using namespace synts::arch;
+using synts::circuit::build_stage;
+using synts::circuit::pipe_stage;
+
+micro_op op_with(op_class cls)
+{
+    micro_op op;
+    op.cls = cls;
+    op.encoding = 0xABCD1234;
+    op.operand_a = 0x1122334455667788ull;
+    op.operand_b = 0x99AABBCCDDEEFF00ull;
+    return op;
+}
+
+TEST(stage_taps, decode_accepts_everything)
+{
+    const auto stage = build_stage(pipe_stage::decode);
+    const stage_tap tap(pipe_stage::decode, stage.layout);
+    EXPECT_EQ(tap.width(), 32u);
+    for (std::size_t c = 0; c < op_class_count; ++c) {
+        EXPECT_TRUE(tap.drives_stage(op_with(static_cast<op_class>(c))));
+    }
+}
+
+TEST(stage_taps, simple_alu_drive_rules)
+{
+    const auto stage = build_stage(pipe_stage::simple_alu);
+    const stage_tap tap(pipe_stage::simple_alu, stage.layout);
+    EXPECT_EQ(tap.width(), 67u);
+    EXPECT_TRUE(tap.drives_stage(op_with(op_class::int_add)));
+    EXPECT_TRUE(tap.drives_stage(op_with(op_class::int_sub)));
+    EXPECT_TRUE(tap.drives_stage(op_with(op_class::int_logic)));
+    EXPECT_FALSE(tap.drives_stage(op_with(op_class::int_mul)));
+    EXPECT_FALSE(tap.drives_stage(op_with(op_class::load)));
+    EXPECT_FALSE(tap.drives_stage(op_with(op_class::branch)));
+}
+
+TEST(stage_taps, complex_alu_drive_rules)
+{
+    const auto stage = build_stage(pipe_stage::complex_alu);
+    const stage_tap tap(pipe_stage::complex_alu, stage.layout);
+    EXPECT_EQ(tap.width(), 32u);
+    EXPECT_TRUE(tap.drives_stage(op_with(op_class::int_mul)));
+    EXPECT_FALSE(tap.drives_stage(op_with(op_class::int_add)));
+}
+
+TEST(stage_taps, decode_bits_mirror_encoding)
+{
+    const auto stage = build_stage(pipe_stage::decode);
+    const stage_tap tap(pipe_stage::decode, stage.layout);
+    const micro_op op = op_with(op_class::load);
+    auto storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(storage.get(), tap.width());
+    ASSERT_TRUE(tap.extract(op, bits));
+    for (std::size_t i = 0; i < 32; ++i) {
+        ASSERT_EQ(bits[i], ((op.encoding >> i) & 1) != 0);
+    }
+}
+
+TEST(stage_taps, simple_alu_operand_bits)
+{
+    const auto stage = build_stage(pipe_stage::simple_alu);
+    const stage_tap tap(pipe_stage::simple_alu, stage.layout);
+    const micro_op op = op_with(op_class::int_add);
+    auto storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(storage.get(), tap.width());
+    ASSERT_TRUE(tap.extract(op, bits));
+    for (std::size_t i = 0; i < 32; ++i) {
+        ASSERT_EQ(bits[i], ((op.operand_a >> i) & 1) != 0);
+        ASSERT_EQ(bits[32 + i], ((op.operand_b >> i) & 1) != 0);
+    }
+    // int_add: all select bits zero.
+    EXPECT_FALSE(bits[64]);
+    EXPECT_FALSE(bits[65]);
+    EXPECT_FALSE(bits[66]);
+}
+
+TEST(stage_taps, simple_alu_subtract_sets_bit0)
+{
+    const auto stage = build_stage(pipe_stage::simple_alu);
+    const stage_tap tap(pipe_stage::simple_alu, stage.layout);
+    const micro_op op = op_with(op_class::int_sub);
+    auto storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(storage.get(), tap.width());
+    ASSERT_TRUE(tap.extract(op, bits));
+    EXPECT_TRUE(bits[64]);
+}
+
+TEST(stage_taps, logic_variant_nonzero_select)
+{
+    const auto stage = build_stage(pipe_stage::simple_alu);
+    const stage_tap tap(pipe_stage::simple_alu, stage.layout);
+    micro_op op = op_with(op_class::int_logic);
+    auto storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(storage.get(), tap.width());
+    ASSERT_TRUE(tap.extract(op, bits));
+    EXPECT_FALSE(bits[64]); // not a subtract
+    EXPECT_TRUE(bits[65] || bits[66]); // selects a logic function
+}
+
+TEST(stage_taps, extract_rejects_non_driving_op)
+{
+    const auto stage = build_stage(pipe_stage::complex_alu);
+    const stage_tap tap(pipe_stage::complex_alu, stage.layout);
+    auto storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(storage.get(), tap.width());
+    EXPECT_FALSE(tap.extract(op_with(op_class::load), bits));
+}
+
+TEST(stage_taps, extract_rejects_wrong_width)
+{
+    const auto stage = build_stage(pipe_stage::decode);
+    const stage_tap tap(pipe_stage::decode, stage.layout);
+    auto storage = std::make_unique<bool[]>(8);
+    const std::span<bool> wrong(storage.get(), 8);
+    EXPECT_FALSE(tap.extract(op_with(op_class::load), wrong));
+}
+
+} // namespace

@@ -1,0 +1,289 @@
+// Functional correctness of the structural netlist generators: the adders,
+// decoder, PLA, multiplier, and the three pipe stages must compute exactly
+// what their reference arithmetic says, on randomized vectors.
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist_builder.h"
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::circuit;
+using synts::test::netlist_evaluator;
+using synts::util::xoshiro256;
+
+class adder_widths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(adder_widths, ripple_adder_matches_reference)
+{
+    const std::size_t width = GetParam();
+    netlist nl("adder");
+    const auto a = nl.add_input_bus("a", width);
+    const auto b = nl.add_input_bus("b", width);
+    const auto cin = nl.add_input("cin");
+    const auto sum = add_ripple_adder(nl, a, b, cin);
+    nl.mark_output_bus("sum", sum.sum);
+    nl.mark_output("cout", sum.carry_out);
+    nl.validate();
+
+    netlist_evaluator eval(nl);
+    xoshiro256 rng(width * 77);
+    const std::uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    for (int round = 0; round < 200; ++round) {
+        const std::uint64_t av = rng() & mask;
+        const std::uint64_t bv = rng() & mask;
+        const std::uint64_t cv = rng() & 1;
+        const std::array<std::pair<std::uint64_t, std::size_t>, 3> fields = {
+            {{av, width}, {bv, width}, {cv, 1}}};
+        eval.step_fields(fields);
+        const std::uint64_t expected = av + bv + cv;
+        ASSERT_EQ(eval.read_outputs(0, width), expected & mask);
+        ASSERT_EQ(eval.read_output(width), ((expected >> width) & 1) != 0);
+    }
+}
+
+TEST_P(adder_widths, kogge_stone_matches_ripple)
+{
+    const std::size_t width = GetParam();
+    netlist nl("ks");
+    const auto a = nl.add_input_bus("a", width);
+    const auto b = nl.add_input_bus("b", width);
+    const auto cin = nl.add_input("cin");
+    const auto sum = add_kogge_stone_adder(nl, a, b, cin);
+    nl.mark_output_bus("sum", sum.sum);
+    nl.mark_output("cout", sum.carry_out);
+    nl.validate();
+
+    netlist_evaluator eval(nl);
+    xoshiro256 rng(width * 131);
+    const std::uint64_t mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    for (int round = 0; round < 200; ++round) {
+        const std::uint64_t av = rng() & mask;
+        const std::uint64_t bv = rng() & mask;
+        const std::uint64_t cv = rng() & 1;
+        const std::array<std::pair<std::uint64_t, std::size_t>, 3> fields = {
+            {{av, width}, {bv, width}, {cv, 1}}};
+        eval.step_fields(fields);
+        const std::uint64_t expected = av + bv + cv;
+        ASSERT_EQ(eval.read_outputs(0, width), expected & mask);
+        ASSERT_EQ(eval.read_output(width), ((expected >> width) & 1) != 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, adder_widths, ::testing::Values(1, 2, 3, 8, 16, 32));
+
+TEST(kogge_stone, log_depth_smaller_sta_than_ripple)
+{
+    netlist ripple("ripple");
+    {
+        const auto a = ripple.add_input_bus("a", 32);
+        const auto b = ripple.add_input_bus("b", 32);
+        const auto cin = ripple.add_input("cin");
+        const auto sum = add_ripple_adder(ripple, a, b, cin);
+        ripple.mark_output_bus("sum", sum.sum);
+        ripple.mark_output("cout", sum.carry_out);
+    }
+    netlist ks("ks");
+    {
+        const auto a = ks.add_input_bus("a", 32);
+        const auto b = ks.add_input_bus("b", 32);
+        const auto cin = ks.add_input("cin");
+        const auto sum = add_kogge_stone_adder(ks, a, b, cin);
+        ks.mark_output_bus("sum", sum.sum);
+        ks.mark_output("cout", sum.carry_out);
+    }
+    netlist_evaluator ripple_eval(ripple);
+    netlist_evaluator ks_eval(ks);
+    EXPECT_LT(ks_eval.nominal_period_ps(), 0.5 * ripple_eval.nominal_period_ps());
+}
+
+class decoder_widths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(decoder_widths, one_hot_output_matches_select)
+{
+    const std::size_t width = GetParam();
+    netlist nl("dec");
+    const auto sel = nl.add_input_bus("sel", width);
+    const auto outs = add_decoder(nl, sel);
+    nl.mark_output_bus("onehot", outs);
+    nl.validate();
+
+    netlist_evaluator eval(nl);
+    const std::size_t out_count = std::size_t{1} << width;
+    for (std::uint64_t code = 0; code < out_count; ++code) {
+        const std::array<std::pair<std::uint64_t, std::size_t>, 1> fields = {
+            {{code, width}}};
+        eval.step_fields(fields);
+        const std::uint64_t value = eval.read_outputs(0, out_count);
+        ASSERT_EQ(value, std::uint64_t{1} << code) << "code=" << code;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(widths, decoder_widths, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(trees, or_tree_and_and_tree)
+{
+    netlist nl("trees");
+    const auto in = nl.add_input_bus("in", 9);
+    const auto any = add_or_tree(nl, in);
+    const auto all = add_and_tree(nl, in);
+    nl.mark_output("any", any);
+    nl.mark_output("all", all);
+    nl.validate();
+
+    netlist_evaluator eval(nl);
+    xoshiro256 rng(3);
+    for (int round = 0; round < 100; ++round) {
+        const std::uint64_t v = rng() & 0x1FF;
+        const std::array<std::pair<std::uint64_t, std::size_t>, 1> fields = {{{v, 9}}};
+        eval.step_fields(fields);
+        ASSERT_EQ(eval.read_output(0), v != 0);
+        ASSERT_EQ(eval.read_output(1), v == 0x1FF);
+    }
+}
+
+TEST(control_pla, deterministic_in_seed)
+{
+    netlist a("pla_a");
+    netlist b("pla_b");
+    for (netlist* nl : {&a, &b}) {
+        const auto in = nl->add_input_bus("in", 8);
+        const auto outs = add_control_pla(*nl, in, 6, 3, 0x1234);
+        nl->mark_output_bus("ctl", outs);
+    }
+    ASSERT_EQ(a.gate_count(), b.gate_count());
+    for (std::size_t g = 0; g < a.gate_count(); ++g) {
+        ASSERT_EQ(a.gates()[g].kind, b.gates()[g].kind);
+        ASSERT_EQ(a.gates()[g].inputs, b.gates()[g].inputs);
+    }
+}
+
+TEST(control_pla, different_seed_differs)
+{
+    netlist a("pla_a");
+    netlist b("pla_b");
+    const auto ia = a.add_input_bus("in", 8);
+    const auto ib = b.add_input_bus("in", 8);
+    (void)add_control_pla(a, ia, 6, 3, 1);
+    (void)add_control_pla(b, ib, 6, 3, 2);
+    bool any_difference = a.gate_count() != b.gate_count();
+    for (std::size_t g = 0; !any_difference && g < a.gate_count(); ++g) {
+        any_difference = a.gates()[g].inputs != b.gates()[g].inputs;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(complex_alu, multiplier_matches_reference)
+{
+    const stage_netlist stage = build_complex_alu();
+    netlist_evaluator eval(stage.nl);
+    xoshiro256 rng(17);
+    for (int round = 0; round < 300; ++round) {
+        const std::uint64_t a = rng() & 0xFFFF;
+        const std::uint64_t b = rng() & 0xFFFF;
+        const std::array<std::pair<std::uint64_t, std::size_t>, 2> fields = {
+            {{a, 16}, {b, 16}}};
+        eval.step_fields(fields);
+        ASSERT_EQ(eval.read_outputs(0, 32), a * b) << a << " * " << b;
+    }
+}
+
+TEST(simple_alu, add_sub_logic_match_reference)
+{
+    const stage_netlist stage = build_simple_alu();
+    netlist_evaluator eval(stage.nl);
+    xoshiro256 rng(23);
+
+    // Output layout: result[0..31], carry_out, zero.
+    constexpr std::uint64_t mask = 0xFFFFFFFFull;
+    struct op_case {
+        std::uint64_t select;
+        std::uint64_t (*compute)(std::uint64_t, std::uint64_t);
+    };
+    const op_case cases[] = {
+        {0b000, [](std::uint64_t a, std::uint64_t b) { return (a + b) & mask; }},
+        {0b001, [](std::uint64_t a, std::uint64_t b) { return (a - b) & mask; }},
+        {0b010, [](std::uint64_t a, std::uint64_t b) { return a & b; }},
+        {0b100, [](std::uint64_t a, std::uint64_t b) { return a | b; }},
+        {0b110, [](std::uint64_t a, std::uint64_t b) { return a ^ b; }},
+    };
+    for (const auto& c : cases) {
+        for (int round = 0; round < 100; ++round) {
+            const std::uint64_t a = rng() & mask;
+            const std::uint64_t b = rng() & mask;
+            const std::array<std::pair<std::uint64_t, std::size_t>, 3> fields = {
+                {{a, 32}, {b, 32}, {c.select, 3}}};
+            eval.step_fields(fields);
+            const std::uint64_t expected = c.compute(a, b);
+            ASSERT_EQ(eval.read_outputs(0, 32), expected)
+                << "select=" << c.select << " a=" << a << " b=" << b;
+            ASSERT_EQ(eval.read_output(33), expected == 0) << "zero flag";
+        }
+    }
+}
+
+TEST(simple_alu, carry_out_add)
+{
+    const stage_netlist stage = build_simple_alu();
+    netlist_evaluator eval(stage.nl);
+    const std::array<std::pair<std::uint64_t, std::size_t>, 3> overflow_fields = {
+        {{0xFFFFFFFFull, 32}, {1, 32}, {0, 3}}};
+    eval.step_fields(overflow_fields);
+    EXPECT_TRUE(eval.read_output(32));
+    const std::array<std::pair<std::uint64_t, std::size_t>, 3> no_carry = {
+        {{5, 32}, {6, 32}, {0, 3}}};
+    eval.step_fields(no_carry);
+    EXPECT_FALSE(eval.read_output(32));
+}
+
+TEST(decode_stage, one_hot_fields_and_hazard_flag)
+{
+    const stage_netlist stage = build_decode_stage();
+    netlist_evaluator eval(stage.nl);
+
+    // Output layout: opcode_1h[64], rs_1h[32], rt_1h[32], ctl[24],
+    // imm_ext[32], fwd_en[16], same_register.
+    const std::size_t opcode_base = 0;
+    const std::size_t rs_base = 64;
+    const std::size_t rt_base = 96;
+    const std::size_t same_register_index = 64 + 32 + 32 + 24 + 32 + 16;
+
+    xoshiro256 rng(31);
+    for (int round = 0; round < 200; ++round) {
+        const std::uint32_t opcode = static_cast<std::uint32_t>(rng.uniform_below(64));
+        const std::uint32_t rs = static_cast<std::uint32_t>(rng.uniform_below(32));
+        const std::uint32_t rt = static_cast<std::uint32_t>(rng.uniform_below(32));
+        const std::uint32_t imm = static_cast<std::uint32_t>(rng.uniform_below(1u << 16));
+        const std::uint32_t word =
+            (opcode << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF);
+        const std::array<std::pair<std::uint64_t, std::size_t>, 1> fields = {
+            {{word, 32}}};
+        eval.step_fields(fields);
+        ASSERT_EQ(eval.read_outputs(opcode_base, 64), std::uint64_t{1} << opcode);
+        ASSERT_EQ(eval.read_outputs(rs_base, 32), std::uint64_t{1} << rs);
+        ASSERT_EQ(eval.read_outputs(rt_base, 32), std::uint64_t{1} << rt);
+        ASSERT_EQ(eval.read_output(same_register_index), rs == rt);
+    }
+}
+
+TEST(stages, gate_counts_are_substantial)
+{
+    // The stages should look like synthesized logic, not toys.
+    EXPECT_GT(build_decode_stage().nl.gate_count(), 400u);
+    EXPECT_GT(build_simple_alu().nl.gate_count(), 400u);
+    EXPECT_GT(build_complex_alu().nl.gate_count(), 1000u);
+}
+
+TEST(stages, build_stage_dispatch)
+{
+    EXPECT_EQ(build_stage(pipe_stage::decode).nl.name(), "decode");
+    EXPECT_EQ(build_stage(pipe_stage::simple_alu).nl.name(), "simple_alu");
+    EXPECT_EQ(build_stage(pipe_stage::complex_alu).nl.name(), "complex_alu");
+    EXPECT_STREQ(pipe_stage_name(pipe_stage::decode), "Decode");
+    EXPECT_STREQ(pipe_stage_name(pipe_stage::simple_alu), "SimpleALU");
+    EXPECT_STREQ(pipe_stage_name(pipe_stage::complex_alu), "ComplexALU");
+}
+
+} // namespace

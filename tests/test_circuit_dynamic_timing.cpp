@@ -1,0 +1,194 @@
+// Tests for circuit/dynamic_timing: toggle-driven sensitized delays.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "circuit/dynamic_timing.h"
+#include "circuit/netlist_builder.h"
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::circuit;
+using synts::test::netlist_evaluator;
+
+TEST(dynamic_timing, no_toggle_means_zero_delay)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    const net_id y = nl.add_gate2(cell_kind::and2, a, b);
+    nl.mark_output("y", y);
+
+    netlist_evaluator eval(nl);
+    const bool v1[2] = {true, false};
+    (void)eval.step(std::span<const bool>(v1, 2));
+    // Same vector again: nothing toggles.
+    const double delay = eval.step(std::span<const bool>(v1, 2));
+    EXPECT_DOUBLE_EQ(delay, 0.0);
+}
+
+TEST(dynamic_timing, masked_input_toggle_is_free)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    const net_id y = nl.add_gate2(cell_kind::and2, a, b);
+    nl.mark_output("y", y);
+
+    netlist_evaluator eval(nl);
+    const bool v1[2] = {false, false};
+    (void)eval.step(std::span<const bool>(v1, 2));
+    // Toggling b while a = 0 cannot change the AND output.
+    const bool v2[2] = {false, true};
+    EXPECT_DOUBLE_EQ(eval.step(std::span<const bool>(v2, 2)), 0.0);
+}
+
+TEST(dynamic_timing, inverter_chain_delay_is_full_depth)
+{
+    netlist nl("chain");
+    net_id n = nl.add_input("a");
+    constexpr int depth = 12;
+    for (int i = 0; i < depth; ++i) {
+        n = nl.add_gate1(cell_kind::inv, n);
+    }
+    nl.mark_output("y", n);
+
+    netlist_evaluator eval(nl);
+    const bool lo[1] = {false};
+    const bool hi[1] = {true};
+    (void)eval.step(std::span<const bool>(lo, 1));
+    const double delay = eval.step(std::span<const bool>(hi, 1));
+    EXPECT_NEAR(delay, eval.nominal_period_ps(), 1e-9);
+}
+
+TEST(dynamic_timing, carry_chain_depth_tracks_sensitized_length)
+{
+    // Quiesce the adder at (0,0); then (2^k - 1) + 1 toggles exactly a
+    // k-bit ripple, so measured delay must increase with k.
+    netlist nl("adder");
+    const auto a = nl.add_input_bus("a", 32);
+    const auto b = nl.add_input_bus("b", 32);
+    const auto cin = nl.add_input("cin");
+    const auto sum = add_ripple_adder(nl, a, b, cin);
+    nl.mark_output_bus("sum", sum.sum);
+    nl.mark_output("cout", sum.carry_out);
+
+    netlist_evaluator eval(nl);
+    double previous = 0.0;
+    for (const std::uint32_t k : {4u, 8u, 16u, 24u, 31u}) {
+        const std::array<std::pair<std::uint64_t, std::size_t>, 3> quiet = {
+            {{0, 32}, {0, 32}, {0, 1}}};
+        eval.step_fields(quiet);
+        const std::uint64_t ones = (1ull << k) - 1;
+        const std::array<std::pair<std::uint64_t, std::size_t>, 3> sensitize = {
+            {{ones, 32}, {1, 32}, {0, 1}}};
+        const double delay = eval.step_fields(sensitize);
+        ASSERT_GT(delay, previous) << "k=" << k;
+        previous = delay;
+    }
+    // The longest chain approaches the stage critical path.
+    EXPECT_GT(previous, 0.8 * eval.nominal_period_ps());
+}
+
+TEST(dynamic_timing, reset_clears_state)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id y = nl.add_gate1(cell_kind::inv, a);
+    nl.mark_output("y", y);
+
+    netlist_evaluator eval(nl);
+    const bool hi[1] = {true};
+    (void)eval.step(std::span<const bool>(hi, 1));
+    eval.reset();
+    // After reset the state is all-zero; driving zero toggles nothing
+    // (inputs), but the inverter output recomputes from 0 to 1.
+    const bool lo[1] = {false};
+    const double delay = eval.step(std::span<const bool>(lo, 1));
+    EXPECT_GT(delay, 0.0); // inv output 0 -> 1 counts as a toggle
+}
+
+TEST(dynamic_timing, corners_share_the_same_toggles)
+{
+    const stage_netlist stage = build_simple_alu();
+    const cell_library lib = cell_library::standard_22nm();
+    const voltage_model vm(0.04);
+    const auto corners = paper_voltage_levels();
+    dynamic_timing_simulator sim(stage.nl, lib, vm, corners);
+
+    synts::util::xoshiro256 rng(5);
+    const std::size_t width = stage.nl.input_count();
+    auto bits = std::make_unique<bool[]>(width);
+    std::vector<double> delays(corners.size());
+    for (int round = 0; round < 100; ++round) {
+        for (std::size_t i = 0; i < width; ++i) {
+            bits[i] = rng.bernoulli(0.5);
+        }
+        (void)sim.step(std::span<const bool>(bits.get(), width), delays);
+        // Lower supply -> strictly larger (or equal when zero) delay.
+        for (std::size_t c = 1; c < corners.size(); ++c) {
+            if (delays[0] == 0.0) {
+                ASSERT_DOUBLE_EQ(delays[c], 0.0);
+            } else {
+                ASSERT_GT(delays[c], delays[c - 1] * 0.999);
+            }
+        }
+    }
+}
+
+TEST(dynamic_timing, normalized_delay_nearly_voltage_invariant)
+{
+    // With per-class spread the ratio delay / t_nom should move only
+    // slightly across corners -- the foundation of the paper's
+    // single-voltage sampling extrapolation.
+    const stage_netlist stage = build_simple_alu();
+    const cell_library lib = cell_library::standard_22nm();
+    const voltage_model vm(0.04);
+    const auto corners = paper_voltage_levels();
+    dynamic_timing_simulator sim(stage.nl, lib, vm, corners);
+
+    synts::util::xoshiro256 rng(7);
+    const std::size_t width = stage.nl.input_count();
+    auto bits = std::make_unique<bool[]>(width);
+    std::vector<double> delays(corners.size());
+    for (int round = 0; round < 50; ++round) {
+        for (std::size_t i = 0; i < width; ++i) {
+            bits[i] = rng.bernoulli(0.5);
+        }
+        (void)sim.step(std::span<const bool>(bits.get(), width), delays);
+        if (delays[0] < 1.0) {
+            continue;
+        }
+        const double r0 = delays[0] / sim.nominal_period_ps(0);
+        for (std::size_t c = 1; c < corners.size(); ++c) {
+            const double rc = delays[c] / sim.nominal_period_ps(c);
+            ASSERT_NEAR(rc, r0, 0.06) << "corner " << c;
+        }
+    }
+}
+
+TEST(dynamic_timing, rejects_bad_buffer_sizes)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    nl.mark_output("a", a);
+    const cell_library lib = cell_library::standard_22nm();
+    const voltage_model vm(0.0);
+    const double corner = 1.0;
+    dynamic_timing_simulator sim(nl, lib, vm, std::span<const double>(&corner, 1));
+
+    const bool two[2] = {false, true};
+    double one_delay = 0.0;
+    EXPECT_THROW((void)sim.step(std::span<const bool>(two, 2),
+                                std::span<double>(&one_delay, 1)),
+                 std::invalid_argument);
+    const bool one[1] = {false};
+    std::vector<double> wrong(3);
+    EXPECT_THROW((void)sim.step(std::span<const bool>(one, 1), wrong),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+// Tests for circuit/netlist: construction rules and bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.h"
+
+namespace {
+
+using namespace synts::circuit;
+
+TEST(netlist, inputs_get_sequential_net_ids)
+{
+    netlist nl("t");
+    EXPECT_EQ(nl.add_input("a"), 0u);
+    EXPECT_EQ(nl.add_input("b"), 1u);
+    EXPECT_EQ(nl.input_count(), 2u);
+    EXPECT_EQ(nl.net_count(), 2u);
+    EXPECT_EQ(nl.input_name(0), "a");
+}
+
+TEST(netlist, add_input_bus_names)
+{
+    netlist nl("t");
+    const auto bus = nl.add_input_bus("data", 3);
+    EXPECT_EQ(bus.size(), 3u);
+    EXPECT_EQ(nl.input_name(1), "data[1]");
+}
+
+TEST(netlist, gate_output_follows_inputs)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    const net_id y = nl.add_gate2(cell_kind::and2, a, b);
+    EXPECT_EQ(y, 2u);
+    EXPECT_EQ(nl.gate_count(), 1u);
+    EXPECT_EQ(nl.net_count(), 3u);
+    EXPECT_EQ(nl.driver_of(y), 0u);
+    EXPECT_EQ(nl.driver_of(a), nl.gate_count()); // sentinel for inputs
+}
+
+TEST(netlist, rejects_arity_mismatch)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const std::array<net_id, 1> one{a};
+    EXPECT_THROW((void)nl.add_gate(cell_kind::and2, one), std::invalid_argument);
+}
+
+TEST(netlist, rejects_unknown_input_net)
+{
+    netlist nl("t");
+    (void)nl.add_input("a");
+    EXPECT_THROW((void)nl.add_gate2(cell_kind::and2, 0, 99), std::invalid_argument);
+}
+
+TEST(netlist, rejects_dff_in_combinational_netlist)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    EXPECT_THROW((void)nl.add_gate1(cell_kind::dff, a), std::invalid_argument);
+}
+
+TEST(netlist, rejects_inputs_after_gates)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    (void)nl.add_gate1(cell_kind::inv, a);
+    EXPECT_THROW((void)nl.add_input("late"), std::logic_error);
+}
+
+TEST(netlist, fanout_counts_pins_and_outputs)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id x = nl.add_gate1(cell_kind::inv, a);
+    const net_id y = nl.add_gate2(cell_kind::and2, a, x);
+    nl.mark_output("y", y);
+    const auto fanout = nl.fanout_counts();
+    EXPECT_EQ(fanout[a], 2u); // inv pin + and pin
+    EXPECT_EQ(fanout[x], 1u); // and pin
+    EXPECT_EQ(fanout[y], 1u); // primary output
+}
+
+TEST(netlist, mark_output_bus_names_and_nets)
+{
+    netlist nl("t");
+    const auto bus = nl.add_input_bus("in", 2);
+    nl.mark_output_bus("out", bus);
+    EXPECT_EQ(nl.output_count(), 2u);
+    EXPECT_EQ(nl.output_name(1), "out[1]");
+    EXPECT_EQ(nl.output_net(0), bus[0]);
+}
+
+TEST(netlist, mark_output_rejects_bad_net)
+{
+    netlist nl("t");
+    EXPECT_THROW(nl.mark_output("y", 5), std::invalid_argument);
+}
+
+TEST(netlist, area_and_leakage_roll_up)
+{
+    const cell_library lib = cell_library::standard_22nm();
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id b = nl.add_input("b");
+    (void)nl.add_gate2(cell_kind::and2, a, b);
+    (void)nl.add_gate2(cell_kind::xor2, a, b);
+    const double expected_area = lib.params(cell_kind::and2).area_um2 +
+                                 lib.params(cell_kind::xor2).area_um2;
+    EXPECT_DOUBLE_EQ(nl.total_area_um2(lib), expected_area);
+    EXPECT_GT(nl.total_leakage_nw(lib), 0.0);
+}
+
+TEST(netlist, kind_histogram_counts_instances)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    (void)nl.add_gate1(cell_kind::inv, a);
+    (void)nl.add_gate1(cell_kind::inv, a);
+    (void)nl.add_gate1(cell_kind::buf, a);
+    const auto hist = nl.kind_histogram();
+    EXPECT_EQ(hist[static_cast<std::size_t>(cell_kind::inv)], 2u);
+    EXPECT_EQ(hist[static_cast<std::size_t>(cell_kind::buf)], 1u);
+}
+
+TEST(netlist, validate_passes_on_well_formed)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    const net_id x = nl.add_gate1(cell_kind::inv, a);
+    nl.mark_output("x", x);
+    EXPECT_NO_THROW(nl.validate());
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+// Tests for circuit/sta: arrival propagation, critical path recovery, and
+// the STA >= dynamic-delay guarantee.
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist_builder.h"
+#include "circuit/sta.h"
+#include "helpers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::circuit;
+using synts::test::netlist_evaluator;
+using synts::util::xoshiro256;
+
+TEST(sta, inverter_chain_sums_delays)
+{
+    netlist nl("chain");
+    net_id n = nl.add_input("a");
+    for (int i = 0; i < 10; ++i) {
+        n = nl.add_gate1(cell_kind::inv, n);
+    }
+    nl.mark_output("y", n);
+
+    const cell_library lib = cell_library::standard_22nm();
+    const static_timing_analyzer sta(nl);
+    const timing_report report = sta.analyze_nominal(lib);
+
+    // Every inverter drives exactly one load.
+    const double expected = 10.0 * lib.delay_ps(cell_kind::inv, 1);
+    EXPECT_NEAR(report.critical_delay_ps, expected, 1e-9);
+    EXPECT_EQ(report.critical_path.size(), 10u);
+}
+
+TEST(sta, critical_path_is_connected)
+{
+    const stage_netlist stage = build_simple_alu();
+    const cell_library lib = cell_library::standard_22nm();
+    const static_timing_analyzer sta(stage.nl);
+    const timing_report report = sta.analyze_nominal(lib);
+
+    ASSERT_FALSE(report.critical_path.empty());
+    const auto gates = stage.nl.gates();
+    for (std::size_t i = 1; i < report.critical_path.size(); ++i) {
+        const gate& prev = gates[report.critical_path[i - 1]];
+        const gate& cur = gates[report.critical_path[i]];
+        bool connected = false;
+        for (std::size_t p = 0; p < cur.input_count; ++p) {
+            connected = connected || cur.inputs[p] == prev.output;
+        }
+        ASSERT_TRUE(connected) << "critical path breaks at hop " << i;
+    }
+    // The path ends at the critical output's driver.
+    EXPECT_EQ(gates[report.critical_path.back()].output, report.critical_output);
+}
+
+TEST(sta, arrivals_monotone_along_paths)
+{
+    const stage_netlist stage = build_decode_stage();
+    const cell_library lib = cell_library::standard_22nm();
+    const static_timing_analyzer sta(stage.nl);
+    const timing_report report = sta.analyze_nominal(lib);
+
+    const auto gates = stage.nl.gates();
+    for (const auto& g : gates) {
+        for (std::size_t p = 0; p < g.input_count; ++p) {
+            ASSERT_LT(report.arrival_ps[g.inputs[p]], report.arrival_ps[g.output]);
+        }
+    }
+}
+
+TEST(sta, rejects_wrong_delay_table_size)
+{
+    netlist nl("t");
+    const net_id a = nl.add_input("a");
+    (void)nl.add_gate1(cell_kind::inv, a);
+    const static_timing_analyzer sta(nl);
+    const std::vector<double> wrong(3, 1.0);
+    EXPECT_THROW((void)sta.analyze(wrong), std::invalid_argument);
+}
+
+class sta_dynamic_bound : public ::testing::TestWithParam<pipe_stage> {};
+
+TEST_P(sta_dynamic_bound, dynamic_delay_never_exceeds_sta)
+{
+    const stage_netlist stage = build_stage(GetParam());
+    netlist_evaluator eval(stage.nl);
+    const double critical = eval.nominal_period_ps();
+
+    xoshiro256 rng(99);
+    const std::size_t width = stage.nl.input_count();
+    std::vector<bool> noise(width);
+    auto bits = std::make_unique<bool[]>(width);
+    for (int round = 0; round < 500; ++round) {
+        for (std::size_t i = 0; i < width; ++i) {
+            bits[i] = rng.bernoulli(0.5);
+        }
+        const double delay = eval.step(std::span<const bool>(bits.get(), width));
+        ASSERT_LE(delay, critical + 1e-9);
+        ASSERT_GE(delay, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(stages, sta_dynamic_bound,
+                         ::testing::Values(pipe_stage::decode, pipe_stage::simple_alu,
+                                           pipe_stage::complex_alu),
+                         [](const ::testing::TestParamInfo<pipe_stage>& info) {
+                             return std::string(pipe_stage_name(info.param));
+                         });
+
+TEST(sta, voltage_scaling_increases_critical_path)
+{
+    const stage_netlist stage = build_simple_alu();
+    const cell_library lib = cell_library::standard_22nm();
+    const voltage_model vm(0.04);
+    const static_timing_analyzer sta(stage.nl);
+    const auto nominal = sta.nominal_gate_delays(lib);
+
+    std::vector<double> scaled(nominal.size());
+    double previous = 0.0;
+    for (const double vdd : paper_voltage_levels()) {
+        vm.scale_gate_delays(stage.nl.gates(), nominal, scaled, vdd);
+        const double critical = sta.analyze(scaled).critical_delay_ps;
+        ASSERT_GT(critical, previous) << "vdd=" << vdd;
+        previous = critical;
+    }
+}
+
+} // namespace

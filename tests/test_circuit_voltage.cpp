@@ -1,0 +1,153 @@
+// Tests for circuit/voltage_model and ring_oscillator (Table 5.1).
+
+#include <gtest/gtest.h>
+
+#include "circuit/ring_oscillator.h"
+#include "circuit/voltage_model.h"
+
+namespace {
+
+using namespace synts::circuit;
+
+TEST(voltage_table, matches_paper_table_5_1)
+{
+    const auto vdd = paper_voltage_levels();
+    const auto tnom = paper_tnom_multipliers();
+    ASSERT_EQ(vdd.size(), voltage_level_count);
+    ASSERT_EQ(tnom.size(), voltage_level_count);
+    EXPECT_DOUBLE_EQ(vdd[0], 1.0);
+    EXPECT_DOUBLE_EQ(tnom[0], 1.0);
+    EXPECT_DOUBLE_EQ(vdd[3], 0.8);
+    EXPECT_DOUBLE_EQ(tnom[3], 1.39);
+    EXPECT_DOUBLE_EQ(vdd[6], 0.65);
+    EXPECT_DOUBLE_EQ(tnom[6], 2.63);
+}
+
+TEST(voltage_table, interpolation_hits_table_points)
+{
+    const voltage_model vm(0.04);
+    const auto vdd = paper_voltage_levels();
+    const auto tnom = paper_tnom_multipliers();
+    for (std::size_t i = 0; i < vdd.size(); ++i) {
+        EXPECT_NEAR(vm.tnom_multiplier(vdd[i]), tnom[i], 1e-12);
+    }
+}
+
+TEST(voltage_table, interpolation_monotone_decreasing_in_v)
+{
+    const voltage_model vm(0.04);
+    double previous = vm.tnom_multiplier(1.05);
+    for (double v = 1.0; v >= 0.60; v -= 0.01) {
+        const double m = vm.tnom_multiplier(v);
+        ASSERT_GE(m, previous - 1e-12) << "v=" << v;
+        previous = m;
+    }
+}
+
+TEST(voltage_table, clamps_outside_range)
+{
+    const voltage_model vm(0.04);
+    EXPECT_DOUBLE_EQ(vm.tnom_multiplier(1.2), 1.0);
+    EXPECT_DOUBLE_EQ(vm.tnom_multiplier(0.5), 2.63);
+}
+
+TEST(alpha_power, fit_is_reasonable)
+{
+    const alpha_power_fit fit = fit_alpha_power_law();
+    EXPECT_GT(fit.vth, 0.1);
+    EXPECT_LT(fit.vth, 0.64);
+    EXPECT_GT(fit.alpha, 0.5);
+    EXPECT_LT(fit.alpha, 3.0);
+    // The published table has a near-threshold kink; the law cannot be
+    // exact, but the RMS residual must stay small.
+    EXPECT_LT(fit.rms_error, 0.25);
+    // Normalization: scale(1.0) == 1.
+    EXPECT_NEAR(alpha_power_scale(fit, 1.0), 1.0, 1e-12);
+}
+
+TEST(alpha_power, scale_increases_as_v_drops)
+{
+    const alpha_power_fit fit = fit_alpha_power_law();
+    double previous = 1.0;
+    for (double v = 0.95; v >= 0.65; v -= 0.05) {
+        const double s = alpha_power_scale(fit, v);
+        ASSERT_GT(s, previous);
+        previous = s;
+    }
+}
+
+TEST(cell_scale, nominal_voltage_is_identity)
+{
+    const voltage_model vm(0.04);
+    for (std::size_t k = 0; k < cell_kind_count; ++k) {
+        EXPECT_NEAR(vm.cell_scale(static_cast<cell_kind>(k), 1.0), 1.0, 1e-12);
+    }
+}
+
+TEST(cell_scale, class_spread_bounded_and_zero_mean)
+{
+    const voltage_model vm(0.04);
+    double mean = 0.0;
+    for (std::size_t k = 0; k < cell_kind_count; ++k) {
+        const double s = vm.class_spread_of(static_cast<cell_kind>(k));
+        EXPECT_LE(std::abs(s), 0.08);
+        mean += s;
+    }
+    EXPECT_NEAR(mean / static_cast<double>(cell_kind_count), 0.0, 1e-12);
+}
+
+TEST(cell_scale, uniform_mode_has_no_spread)
+{
+    const voltage_model vm(0.0);
+    EXPECT_TRUE(vm.is_uniform());
+    for (std::size_t k = 0; k < cell_kind_count; ++k) {
+        EXPECT_DOUBLE_EQ(vm.cell_scale(static_cast<cell_kind>(k), 0.72),
+                         vm.tnom_multiplier(0.72));
+    }
+}
+
+TEST(cell_scale, deterministic_across_instances)
+{
+    const voltage_model a(0.04);
+    const voltage_model b(0.04);
+    for (std::size_t k = 0; k < cell_kind_count; ++k) {
+        EXPECT_DOUBLE_EQ(a.class_spread_of(static_cast<cell_kind>(k)),
+                         b.class_spread_of(static_cast<cell_kind>(k)));
+    }
+}
+
+TEST(ring_oscillator, rejects_bad_stage_counts)
+{
+    const alpha_power_fit fit = fit_alpha_power_law();
+    EXPECT_THROW(ring_oscillator(2, fit), std::invalid_argument);
+    EXPECT_THROW(ring_oscillator(4, fit), std::invalid_argument);
+    EXPECT_NO_THROW(ring_oscillator(31, fit));
+}
+
+TEST(ring_oscillator, regenerates_table_5_1_shape)
+{
+    const ring_oscillator ring(31, fit_alpha_power_law());
+    const auto points = ring.sweep(paper_voltage_levels());
+    const auto expected = paper_tnom_multipliers();
+    ASSERT_EQ(points.size(), expected.size());
+    EXPECT_NEAR(points[0].normalized_period, 1.0, 1e-12);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        // Within 15% of the published multiplier at every level.
+        EXPECT_NEAR(points[i].normalized_period, expected[i], 0.15 * expected[i])
+            << "vdd=" << points[i].vdd;
+    }
+    // Monotone increase as voltage drops.
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].normalized_period, points[i - 1].normalized_period);
+    }
+}
+
+TEST(ring_oscillator, period_scales_with_stage_count)
+{
+    const alpha_power_fit fit = fit_alpha_power_law();
+    const ring_oscillator small(15, fit);
+    const ring_oscillator large(31, fit);
+    EXPECT_NEAR(large.period_ps(1.0) / small.period_ps(1.0), 31.0 / 15.0, 1e-9);
+}
+
+} // namespace

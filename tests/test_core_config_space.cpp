@@ -1,0 +1,67 @@
+// Tests for core/config_space.
+
+#include <gtest/gtest.h>
+
+#include "circuit/voltage_model.h"
+#include "core/config_space.h"
+
+namespace {
+
+using namespace synts::core;
+
+TEST(config_space, default_tsr_levels_match_paper)
+{
+    const auto levels = config_space::default_tsr_levels();
+    ASSERT_EQ(levels.size(), 6u);
+    EXPECT_DOUBLE_EQ(levels.front(), 0.64);
+    EXPECT_DOUBLE_EQ(levels.back(), 1.0);
+    for (std::size_t k = 1; k < levels.size(); ++k) {
+        EXPECT_GT(levels[k], levels[k - 1]);
+    }
+}
+
+TEST(config_space, paper_grid_dimensions)
+{
+    const std::vector<double> tnom = {100, 113, 127, 139, 163, 221, 263};
+    const config_space space = config_space::paper_grid(tnom);
+    EXPECT_EQ(space.voltage_count(), 7u); // Q = 7 (Table 5.1)
+    EXPECT_EQ(space.tsr_count(), 6u);     // S = 6 (Section 6.2)
+    EXPECT_DOUBLE_EQ(space.voltage(0), 1.0);
+    EXPECT_DOUBLE_EQ(space.tnom_ps(0), 100.0);
+}
+
+TEST(config_space, paper_grid_requires_matching_tnom)
+{
+    const std::vector<double> wrong = {100, 113};
+    EXPECT_THROW((void)config_space::paper_grid(wrong), std::invalid_argument);
+}
+
+TEST(config_space, clock_period_is_r_times_tnom)
+{
+    const std::vector<double> tnom = {100, 113, 127, 139, 163, 221, 263};
+    const config_space space = config_space::paper_grid(tnom);
+    const thread_assignment a{2, 0}; // V = 0.86, r = 0.64
+    EXPECT_DOUBLE_EQ(space.clock_period_ps(a), 0.64 * 127.0);
+}
+
+TEST(config_space, nominal_assignment_is_highest_voltage_r1)
+{
+    const std::vector<double> tnom = {100, 113, 127, 139, 163, 221, 263};
+    const config_space space = config_space::paper_grid(tnom);
+    const thread_assignment nominal = space.nominal_assignment();
+    EXPECT_EQ(nominal.voltage_index, 0u);
+    EXPECT_EQ(nominal.tsr_index, space.tsr_count() - 1);
+    EXPECT_DOUBLE_EQ(space.clock_period_ps(nominal), 100.0);
+}
+
+TEST(config_space, validation_rules)
+{
+    EXPECT_THROW(config_space({}, {1.0}, {}), std::invalid_argument);
+    EXPECT_THROW(config_space({1.0}, {0.8, 0.7, 1.0}, {100.0}), std::invalid_argument);
+    EXPECT_THROW(config_space({1.0}, {0.8, 0.9}, {100.0}), std::invalid_argument);
+    EXPECT_THROW(config_space({1.0}, {1.0}, {0.0}), std::invalid_argument);
+    EXPECT_THROW(config_space({1.0, 0.9}, {1.0}, {100.0}), std::invalid_argument);
+    EXPECT_NO_THROW(config_space({1.0, 0.9}, {0.8, 1.0}, {100.0, 120.0}));
+}
+
+} // namespace

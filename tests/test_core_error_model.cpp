@@ -1,0 +1,117 @@
+// Tests for core/error_model.
+
+#include <gtest/gtest.h>
+
+#include "core/error_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::core;
+using synts::util::histogram;
+
+empirical_error_model make_two_corner_model()
+{
+    // Corner 0: delays uniform in [0, 100); corner 1 scaled by 1.5.
+    histogram h0(0.0, 105.0, 128);
+    histogram h1(0.0, 160.0, 128);
+    synts::util::xoshiro256 rng(3);
+    for (int i = 0; i < 50000; ++i) {
+        const double d = rng.uniform(0.0, 100.0);
+        h0.add(d);
+        h1.add(d * 1.5);
+    }
+    return empirical_error_model({h0, h1}, {100.0, 150.0}, 0.5);
+}
+
+TEST(empirical_model, rejects_inconsistent_construction)
+{
+    histogram h(0.0, 1.0, 4);
+    EXPECT_THROW(empirical_error_model({h}, {1.0, 2.0}, 0.5), std::invalid_argument);
+    EXPECT_THROW(empirical_error_model({h}, {1.0}, 1.5), std::invalid_argument);
+    EXPECT_THROW(empirical_error_model({}, {}, 0.5), std::invalid_argument);
+}
+
+TEST(empirical_model, error_zero_at_r_one)
+{
+    const auto model = make_two_corner_model();
+    EXPECT_NEAR(model.error_probability(0, 1.0), 0.0, 1e-3);
+    EXPECT_NEAR(model.error_probability(1, 1.0), 0.0, 1e-3);
+}
+
+TEST(empirical_model, uniform_delays_give_linear_exceedance)
+{
+    const auto model = make_two_corner_model();
+    // P(delay > 0.6 * 100) = 0.4 per vector, x drive fraction 0.5 = 0.2.
+    EXPECT_NEAR(model.error_probability(0, 0.6), 0.2, 0.01);
+    EXPECT_NEAR(model.vector_error_probability(0, 0.6), 0.4, 0.01);
+}
+
+TEST(empirical_model, voltage_corners_consistent_under_uniform_scaling)
+{
+    const auto model = make_two_corner_model();
+    // Both corners were built from the same normalized distribution, so
+    // err(j, r) should agree across corners for equal r.
+    for (const double r : {0.5, 0.7, 0.9}) {
+        EXPECT_NEAR(model.error_probability(0, r), model.error_probability(1, r), 0.01);
+    }
+}
+
+TEST(empirical_model, monotone_non_increasing_in_r)
+{
+    const auto model = make_two_corner_model();
+    for (std::size_t j = 0; j < model.corner_count(); ++j) {
+        double previous = 1.0;
+        for (double r = 0.3; r <= 1.05; r += 0.05) {
+            const double e = model.error_probability(j, r);
+            ASSERT_LE(e, previous + 1e-12);
+            previous = e;
+        }
+    }
+}
+
+TEST(empirical_model, out_of_range_voltage_throws)
+{
+    const auto model = make_two_corner_model();
+    EXPECT_THROW((void)model.error_probability(5, 0.9), std::out_of_range);
+}
+
+TEST(synthetic_curve, zero_above_onset)
+{
+    const synthetic_error_curve curve(0.9, 0.6, 0.1, 2.0);
+    EXPECT_DOUBLE_EQ(curve.error_probability(0, 0.95), 0.0);
+    EXPECT_DOUBLE_EQ(curve.error_probability(0, 0.9), 0.0);
+    EXPECT_GT(curve.error_probability(0, 0.89), 0.0);
+}
+
+TEST(synthetic_curve, hits_scale_at_floor)
+{
+    const synthetic_error_curve curve(0.9, 0.6, 0.1, 2.0);
+    EXPECT_NEAR(curve.error_probability(0, 0.6), 0.1, 1e-12);
+}
+
+TEST(synthetic_curve, capped)
+{
+    const synthetic_error_curve curve(0.9, 0.6, 10.0, 1.0, 0.5);
+    EXPECT_DOUBLE_EQ(curve.error_probability(0, 0.0), 0.5);
+}
+
+TEST(synthetic_curve, monotone_non_increasing)
+{
+    const synthetic_error_curve curve(0.92, 0.64, 0.08, 1.7);
+    double previous = 1.0;
+    for (double r = 0.4; r <= 1.0; r += 0.01) {
+        const double e = curve.error_probability(0, r);
+        ASSERT_LE(e, previous + 1e-12);
+        previous = e;
+    }
+}
+
+TEST(synthetic_curve, rejects_bad_parameters)
+{
+    EXPECT_THROW(synthetic_error_curve(0.6, 0.9, 0.1, 2.0), std::invalid_argument);
+    EXPECT_THROW(synthetic_error_curve(0.9, 0.6, -0.1, 2.0), std::invalid_argument);
+    EXPECT_THROW(synthetic_error_curve(0.9, 0.6, 0.1, 0.0), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+// Driver-level API tests for core/experiment: theta sweeps, predicted-N
+// mode, and the edge cases the figure benches rely on. One shared fixture
+// keeps the (heavyweight) characterization to a single run.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace {
+
+using namespace synts;
+using core::benchmark_experiment;
+using core::policy_kind;
+
+class barnes_experiment : public ::testing::Test {
+protected:
+    static void SetUpTestSuite()
+    {
+        core::experiment_config cfg;
+        experiment = new benchmark_experiment(workload::benchmark_id::barnes,
+                                              circuit::pipe_stage::simple_alu, cfg);
+    }
+    static void TearDownTestSuite()
+    {
+        delete experiment;
+        experiment = nullptr;
+    }
+    static benchmark_experiment* experiment;
+};
+
+benchmark_experiment* barnes_experiment::experiment = nullptr;
+
+TEST_F(barnes_experiment, make_solver_input_bounds)
+{
+    EXPECT_THROW((void)experiment->make_solver_input(99, 1.0), std::out_of_range);
+    const auto input = experiment->make_solver_input(0, 1.0);
+    EXPECT_EQ(input.thread_count(), 4u);
+    EXPECT_NO_THROW(input.validate());
+}
+
+TEST_F(barnes_experiment, workloads_reflect_imbalance)
+{
+    // Thread 0 carries the most work per the calibrated profile.
+    const auto input = experiment->make_solver_input(0, 1.0);
+    for (std::size_t t = 1; t < input.thread_count(); ++t) {
+        EXPECT_GT(input.workloads[0].instructions, input.workloads[t].instructions);
+    }
+}
+
+TEST_F(barnes_experiment, run_all_policies_order_matches_enum)
+{
+    const double theta = experiment->equal_weight_theta();
+    const auto runs = experiment->run_all_policies(theta);
+    ASSERT_EQ(runs.size(), core::policy_count);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_EQ(static_cast<std::size_t>(runs[i].kind), i);
+    }
+}
+
+TEST_F(barnes_experiment, pareto_points_normalized_to_nominal)
+{
+    const std::vector<double> ones = {1.0};
+    const auto nominal_points =
+        core::pareto_sweep(*experiment, policy_kind::nominal, ones);
+    ASSERT_EQ(nominal_points.size(), 1u);
+    EXPECT_NEAR(nominal_points[0].energy, 1.0, 1e-12);
+    EXPECT_NEAR(nominal_points[0].time, 1.0, 1e-12);
+}
+
+TEST_F(barnes_experiment, predicted_mode_close_to_online)
+{
+    const double theta = experiment->equal_weight_theta();
+    const auto online = experiment->run_policy(policy_kind::synts_online, theta);
+    const auto predicted = experiment->run_synts_online_predicted(theta);
+    ASSERT_EQ(predicted.intervals.size(), online.intervals.size());
+    // Intervals of a phase are similar; prediction costs at most a few
+    // percent EDP over the true-N online mode (see bench_ext_predictor).
+    EXPECT_LT(predicted.sum.edp(), online.sum.edp() * 1.10);
+    EXPECT_GT(predicted.sum.edp(), online.sum.edp() * 0.90);
+    // Interval 0 is bootstrapped with the true workloads, so the decisions
+    // and outcomes must agree exactly there.
+    EXPECT_DOUBLE_EQ(predicted.intervals[0].energy, online.intervals[0].energy);
+}
+
+TEST_F(barnes_experiment, theta_multipliers_are_log_spaced)
+{
+    const auto multipliers = core::default_theta_multipliers();
+    ASSERT_GE(multipliers.size(), 5u);
+    for (std::size_t i = 1; i < multipliers.size(); ++i) {
+        EXPECT_NEAR(multipliers[i] / multipliers[i - 1], 2.0, 1e-12);
+    }
+}
+
+TEST_F(barnes_experiment, equal_weight_theta_positive_and_stable)
+{
+    const double a = experiment->equal_weight_theta();
+    const double b = experiment->equal_weight_theta();
+    EXPECT_GT(a, 0.0);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+// Tests for the extension modules: leakage-aware energy (Section 4.1's
+// "can be easily extended"), the online workload predictor, and the
+// critical-section generalization (the conclusion's future work).
+
+#include <gtest/gtest.h>
+
+#include "core/critical_sections.h"
+#include "core/workload_predictor.h"
+#include "solver_fixtures.h"
+
+namespace {
+
+using namespace synts::core;
+using synts::test::make_random_instance;
+
+// --- leakage extension ----------------------------------------------------
+
+TEST(leakage, zero_by_default_matches_paper_model)
+{
+    auto inst = make_random_instance(3, 3, 3, 1);
+    EXPECT_DOUBLE_EQ(inst.input.params.leakage_power, 0.0);
+    const thread_metrics m =
+        evaluate_thread(*inst.space, inst.input.workloads[0], *inst.input.error_models[0],
+                        inst.space->nominal_assignment(), inst.input.params);
+    EXPECT_DOUBLE_EQ(m.energy,
+                     synts::energy::thread_energy(inst.input.params, m.vdd,
+                                                  inst.input.workloads[0].instructions,
+                                                  m.error_probability,
+                                                  inst.input.workloads[0].cpi_base));
+}
+
+TEST(leakage, adds_time_proportional_energy)
+{
+    auto inst = make_random_instance(3, 3, 3, 2);
+    const thread_assignment a = inst.space->nominal_assignment();
+    const thread_metrics base = evaluate_thread(
+        *inst.space, inst.input.workloads[0], *inst.input.error_models[0], a,
+        inst.input.params);
+
+    auto leaky = inst.input.params;
+    leaky.leakage_power = 1e-3;
+    const thread_metrics with_leak = evaluate_thread(
+        *inst.space, inst.input.workloads[0], *inst.input.error_models[0], a, leaky);
+
+    EXPECT_DOUBLE_EQ(with_leak.energy,
+                     base.energy + 1e-3 * with_leak.vdd * with_leak.time_ps);
+    EXPECT_DOUBLE_EQ(with_leak.time_ps, base.time_ps);
+}
+
+TEST(leakage, solver_still_optimal_under_leakage)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        auto inst = make_random_instance(3, 3, 3, seed * 17);
+        // Meaningful leakage: comparable to ~20% of dynamic energy.
+        const thread_metrics nominal = evaluate_thread(
+            *inst.space, inst.input.workloads[0], *inst.input.error_models[0],
+            inst.space->nominal_assignment(), inst.input.params);
+        inst.input.params.leakage_power = 0.2 * nominal.energy / nominal.time_ps;
+
+        const interval_solution poly = solve_synts_poly(inst.input);
+        const interval_solution brute = solve_exhaustive(inst.input);
+        ASSERT_NEAR(poly.weighted_cost, brute.weighted_cost,
+                    1e-9 * brute.weighted_cost);
+    }
+}
+
+TEST(leakage, discourages_slow_low_voltage_points)
+{
+    // With heavy leakage, stretching execution time costs energy, so the
+    // energy-optimal assignment must not get slower when leakage is added.
+    auto inst = make_random_instance(4, 5, 4, 77);
+    inst.input.theta = 0.0; // pure energy objective
+    const interval_solution lean = solve_synts_poly(inst.input);
+
+    const thread_metrics nominal = evaluate_thread(
+        *inst.space, inst.input.workloads[0], *inst.input.error_models[0],
+        inst.space->nominal_assignment(), inst.input.params);
+    inst.input.params.leakage_power = 2.0 * nominal.energy / nominal.time_ps;
+    const interval_solution leaky = solve_synts_poly(inst.input);
+
+    EXPECT_LE(leaky.exec_time_ps, lean.exec_time_ps * (1.0 + 1e-9));
+}
+
+// --- workload predictor -----------------------------------------------------
+
+TEST(predictor, rejects_bad_construction)
+{
+    EXPECT_THROW(workload_predictor(0, 0.5), std::invalid_argument);
+    EXPECT_THROW(workload_predictor(4, 0.0), std::invalid_argument);
+    EXPECT_THROW(workload_predictor(4, 1.5), std::invalid_argument);
+}
+
+TEST(predictor, uses_fallback_before_history)
+{
+    workload_predictor predictor(2);
+    const std::vector<thread_workload> fallback = {{1000, 1.0}, {2000, 2.0}};
+    const auto prediction = predictor.predict(fallback);
+    ASSERT_EQ(prediction.size(), 2u);
+    EXPECT_EQ(prediction[0].instructions, 1000u);
+    EXPECT_DOUBLE_EQ(prediction[1].cpi_base, 2.0);
+    EXPECT_FALSE(predictor.has_history());
+}
+
+TEST(predictor, smoothing_one_repeats_last_observation)
+{
+    workload_predictor predictor(1, 1.0);
+    const std::vector<thread_workload> first = {{500, 1.5}};
+    const std::vector<thread_workload> second = {{900, 1.1}};
+    predictor.observe(first);
+    predictor.observe(second);
+    const auto prediction = predictor.predict(first);
+    EXPECT_EQ(prediction[0].instructions, 900u);
+    EXPECT_DOUBLE_EQ(prediction[0].cpi_base, 1.1);
+}
+
+TEST(predictor, converges_on_stationary_workloads)
+{
+    workload_predictor predictor(2, 0.5);
+    const std::vector<thread_workload> steady = {{4000, 1.3}, {2500, 2.2}};
+    const std::vector<thread_workload> fallback = {{1, 1.0}, {1, 1.0}};
+    for (int k = 0; k < 12; ++k) {
+        (void)predictor.predict(fallback);
+        predictor.observe(steady);
+    }
+    const auto prediction = predictor.predict(fallback);
+    EXPECT_NEAR(static_cast<double>(prediction[0].instructions), 4000.0, 2.0);
+    EXPECT_NEAR(prediction[1].cpi_base, 2.2, 1e-3);
+    EXPECT_LT(predictor.last_error(), 0.01);
+}
+
+TEST(predictor, tracks_drifting_workloads)
+{
+    workload_predictor predictor(1, 0.6);
+    const std::vector<thread_workload> fallback = {{1, 1.0}};
+    double n = 1000.0;
+    for (int k = 0; k < 20; ++k) {
+        (void)predictor.predict(fallback);
+        predictor.observe(std::vector<thread_workload>{
+            {static_cast<std::uint64_t>(n), 1.0}});
+        n *= 1.05;
+    }
+    const auto prediction = predictor.predict(fallback);
+    // Prediction lags a drifting series but stays within ~15%.
+    EXPECT_NEAR(static_cast<double>(prediction[0].instructions), n, 0.15 * n);
+}
+
+TEST(predictor, observe_rejects_wrong_thread_count)
+{
+    workload_predictor predictor(3);
+    const std::vector<thread_workload> two = {{1, 1.0}, {2, 1.0}};
+    EXPECT_THROW(predictor.observe(two), std::invalid_argument);
+}
+
+// --- critical sections -------------------------------------------------------
+
+TEST(critical_sections, makespan_reduces_to_barrier_without_locks)
+{
+    auto inst = make_random_instance(4, 3, 3, 5);
+    const std::vector<thread_assignment> nominal(4, inst.space->nominal_assignment());
+    const interval_solution sol = evaluate_assignment(inst.input, nominal);
+    const std::vector<double> no_locks(4, 0.0);
+    EXPECT_DOUBLE_EQ(lock_aware_makespan(sol.metrics, no_locks), sol.exec_time_ps);
+}
+
+TEST(critical_sections, fully_serial_sums_everything)
+{
+    auto inst = make_random_instance(3, 2, 2, 7);
+    const std::vector<thread_assignment> nominal(3, inst.space->nominal_assignment());
+    const interval_solution sol = evaluate_assignment(inst.input, nominal);
+    const std::vector<double> all_serial(3, 1.0);
+    double total = 0.0;
+    for (const auto& m : sol.metrics) {
+        total += m.time_ps;
+    }
+    EXPECT_NEAR(lock_aware_makespan(sol.metrics, all_serial), total, 1e-9 * total);
+}
+
+TEST(critical_sections, makespan_monotone_in_serial_fraction)
+{
+    auto inst = make_random_instance(4, 3, 3, 9);
+    const std::vector<thread_assignment> nominal(4, inst.space->nominal_assignment());
+    const interval_solution sol = evaluate_assignment(inst.input, nominal);
+    double previous = 0.0;
+    for (const double s : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const std::vector<double> fractions(4, s);
+        const double makespan = lock_aware_makespan(sol.metrics, fractions);
+        ASSERT_GE(makespan, previous - 1e-9);
+        previous = makespan;
+    }
+}
+
+TEST(critical_sections, rejects_bad_fractions)
+{
+    auto inst = make_random_instance(2, 2, 2, 11);
+    const std::vector<thread_assignment> nominal(2, inst.space->nominal_assignment());
+    const interval_solution sol = evaluate_assignment(inst.input, nominal);
+    const std::vector<double> bad = {0.5, 1.5};
+    EXPECT_THROW((void)lock_aware_makespan(sol.metrics, bad), std::invalid_argument);
+    const std::vector<double> short_list = {0.5};
+    EXPECT_THROW((void)lock_aware_makespan(sol.metrics, short_list),
+                 std::invalid_argument);
+}
+
+class lock_solver_property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(lock_solver_property, descent_close_to_exhaustive)
+{
+    auto inst = make_random_instance(3, 3, 3, GetParam() * 41 + 7);
+    synts::util::xoshiro256 rng(GetParam());
+    std::vector<double> fractions;
+    for (std::size_t i = 0; i < 3; ++i) {
+        fractions.push_back(rng.uniform(0.0, 0.5));
+    }
+    const lock_aware_solution brute =
+        solve_lock_aware_exhaustive(inst.input, fractions);
+    const lock_aware_solution descent = solve_lock_aware_descent(inst.input, fractions);
+    // The descent heuristic must be within 3% of the exhaustive optimum.
+    EXPECT_LE(descent.cost, brute.cost * 1.03 + 1e-9);
+    EXPECT_GE(descent.cost, brute.cost - 1e-9);
+}
+
+TEST_P(lock_solver_property, descent_no_worse_than_barrier_seed)
+{
+    auto inst = make_random_instance(4, 4, 4, GetParam() * 13 + 3);
+    synts::util::xoshiro256 rng(GetParam() + 100);
+    std::vector<double> fractions;
+    for (std::size_t i = 0; i < 4; ++i) {
+        fractions.push_back(rng.uniform(0.0, 0.6));
+    }
+    const interval_solution barrier_seed = solve_synts_poly(inst.input);
+    const double seed_cost =
+        lock_aware_cost(barrier_seed, fractions, inst.input.theta);
+    const lock_aware_solution descent = solve_lock_aware_descent(inst.input, fractions);
+    EXPECT_LE(descent.cost, seed_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, lock_solver_property,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull));
+
+TEST(critical_sections, lock_heavy_thread_gets_priority)
+{
+    // Two identical threads except thread 0 holds the lock for half its
+    // instructions. The lock-aware optimum must not run thread 0 slower
+    // than thread 1: shortening the serial part helps everyone.
+    auto inst = make_random_instance(2, 4, 4, 99);
+    inst.input.workloads[1] = inst.input.workloads[0];
+    inst.curves[1] = std::make_unique<synthetic_error_curve>(0.9, 0.5, 0.02, 1.5);
+    inst.curves[0] = std::make_unique<synthetic_error_curve>(0.9, 0.5, 0.02, 1.5);
+    inst.input.error_models = {inst.curves[0].get(), inst.curves[1].get()};
+    inst.input.theta = equal_weight_theta(inst.input) * 4.0; // speed matters
+
+    const std::vector<double> fractions = {0.5, 0.0};
+    const lock_aware_solution sol = solve_lock_aware_exhaustive(inst.input, fractions);
+    EXPECT_LE(sol.solution.metrics[0].time_ps,
+              sol.solution.metrics[1].time_ps * (1.0 + 1e-9));
+}
+
+} // namespace

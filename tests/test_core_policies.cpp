@@ -1,0 +1,158 @@
+// Tests for core/policies: the five compared schemes on synthetic intervals.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/policies.h"
+#include "solver_fixtures.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::core;
+using synts::test::make_random_instance;
+
+/// Synthetic characterization whose sampling trace reproduces the given
+/// synthetic curve's exceedance behavior at the nominal corner.
+interval_characterization make_matching_interval(const config_space& space,
+                                                 const error_curve& curve,
+                                                 std::uint64_t instructions,
+                                                 std::uint64_t seed)
+{
+    interval_characterization data;
+    data.instruction_count = instructions;
+    synts::util::xoshiro256 rng(seed);
+    const double tnom = space.tnom_ps(0);
+
+    // Invert the curve into a delay distribution: draw r* uniform, delay =
+    // r* mapped so that P(delay > r tnom) ~ curve err at r. We approximate
+    // by mixing: with probability err(r_min) the vector is "heavy" with a
+    // delay drawn above r_min; light otherwise.
+    const double err_floor = curve.error_probability(0, space.tsr(0));
+    for (std::uint64_t n = 0; n < instructions; ++n) {
+        double delay;
+        if (rng.bernoulli(err_floor)) {
+            // Heavy vector: depth uniform over the speculative band.
+            delay = rng.uniform(space.tsr(0), 1.0) * tnom;
+        } else {
+            delay = rng.uniform(0.1, 0.5) * space.tsr(0) * tnom;
+        }
+        data.sampling_delays_ps.push_back(static_cast<float>(delay));
+        data.sampling_instr_index.push_back(static_cast<std::uint32_t>(n));
+        ++data.vector_count;
+    }
+    data.delay_histograms.emplace_back(0.0, tnom * 1.05, 64);
+    return data;
+}
+
+TEST(policies, names_and_order)
+{
+    EXPECT_EQ(policy_name(policy_kind::nominal), "Nominal");
+    EXPECT_EQ(policy_name(policy_kind::per_core_ts), "Per-core TS");
+    EXPECT_EQ(policy_name(policy_kind::synts_online), "SynTS (online)");
+    EXPECT_EQ(all_policies().size(), policy_count);
+    EXPECT_EQ(all_policies()[0], policy_kind::nominal);
+}
+
+TEST(policies, offline_outcomes_match_solvers)
+{
+    auto inst = make_random_instance(4, 4, 4, 21);
+    const policy_engine engine;
+    const interval_outcome nominal = engine.run_interval(policy_kind::nominal, inst.input);
+    EXPECT_DOUBLE_EQ(nominal.energy, nominal_solution(inst.input).total_energy);
+    EXPECT_DOUBLE_EQ(nominal.sampling_energy, 0.0);
+
+    const interval_outcome offline =
+        engine.run_interval(policy_kind::synts_offline, inst.input);
+    EXPECT_DOUBLE_EQ(offline.energy, solve_synts_poly(inst.input).total_energy);
+
+    const interval_outcome per_core =
+        engine.run_interval(policy_kind::per_core_ts, inst.input);
+    EXPECT_DOUBLE_EQ(per_core.time_ps, solve_per_core_ts(inst.input).exec_time_ps);
+}
+
+TEST(policies, offline_cost_ordering)
+{
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        auto inst = make_random_instance(4, 5, 4, seed * 71);
+        const policy_engine engine;
+        const double synts_cost =
+            engine.run_interval(policy_kind::synts_offline, inst.input)
+                .solution.weighted_cost;
+        for (const policy_kind kind :
+             {policy_kind::nominal, policy_kind::no_ts, policy_kind::per_core_ts}) {
+            ASSERT_LE(synts_cost,
+                      engine.run_interval(kind, inst.input).solution.weighted_cost + 1e-9)
+                << policy_name(kind) << " seed " << seed;
+        }
+    }
+}
+
+TEST(policies, online_requires_characterization_data)
+{
+    auto inst = make_random_instance(3, 3, 3, 31);
+    const policy_engine engine;
+    EXPECT_THROW((void)engine.run_interval(policy_kind::synts_online, inst.input),
+                 std::invalid_argument);
+}
+
+class online_policy_fixture : public ::testing::Test {
+protected:
+    online_policy_fixture()
+        : inst(make_random_instance(4, 7, 6, 77))
+    {
+        inst.input.theta = equal_weight_theta(inst.input);
+        for (std::size_t i = 0; i < 4; ++i) {
+            data.push_back(make_matching_interval(*inst.space,
+                                                  *inst.input.error_models[i],
+                                                  inst.input.workloads[i].instructions,
+                                                  1000 + i));
+            pointers.push_back(&data.back());
+        }
+    }
+
+    synts::test::solver_instance inst;
+    std::deque<interval_characterization> data;
+    std::vector<const interval_characterization*> pointers;
+};
+
+TEST_F(online_policy_fixture, online_charges_sampling_overhead)
+{
+    const policy_engine engine;
+    const interval_outcome online =
+        engine.run_interval(policy_kind::synts_online, inst.input, pointers);
+    EXPECT_GT(online.sampling_energy, 0.0);
+    EXPECT_GT(online.sampling_time_ps, 0.0);
+    EXPECT_GE(online.energy, online.solution.total_energy);
+    EXPECT_GE(online.time_ps, online.solution.exec_time_ps);
+}
+
+TEST_F(online_policy_fixture, online_close_to_offline_but_not_better_in_cost)
+{
+    const policy_engine engine;
+    const interval_outcome offline =
+        engine.run_interval(policy_kind::synts_offline, inst.input);
+    const interval_outcome online =
+        engine.run_interval(policy_kind::synts_online, inst.input, pointers);
+    const double offline_cost =
+        offline.energy + inst.input.theta * offline.time_ps;
+    const double online_cost = online.energy + inst.input.theta * online.time_ps;
+    // Online pays sampling overhead plus estimation noise; it cannot beat
+    // offline by more than noise, and should stay within 2x.
+    EXPECT_GT(online_cost, 0.95 * offline_cost);
+    EXPECT_LT(online_cost, 2.0 * offline_cost);
+}
+
+TEST_F(online_policy_fixture, online_deterministic)
+{
+    const policy_engine engine;
+    const interval_outcome a =
+        engine.run_interval(policy_kind::synts_online, inst.input, pointers);
+    const interval_outcome b =
+        engine.run_interval(policy_kind::synts_online, inst.input, pointers);
+    EXPECT_DOUBLE_EQ(a.energy, b.energy);
+    EXPECT_DOUBLE_EQ(a.time_ps, b.time_ps);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+// Property tests for the optimizers: SynTS-Poly (Algorithm 1) must agree
+// with exhaustive search (Lemma 4.2.1) and dominate every baseline in
+// weighted cost, on randomized instances.
+
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "solver_fixtures.h"
+
+namespace {
+
+using namespace synts::core;
+using synts::test::make_random_instance;
+
+class solver_property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(solver_property, poly_equals_exhaustive)
+{
+    for (const auto& [m, q, s] :
+         {std::tuple<std::size_t, std::size_t, std::size_t>{2, 2, 2},
+          {3, 3, 2},
+          {4, 2, 3},
+          {2, 4, 4},
+          {4, 3, 2}}) {
+        auto inst = make_random_instance(m, q, s, GetParam() * 101 + m * 7 + q * 3 + s);
+        const interval_solution poly = solve_synts_poly(inst.input);
+        const interval_solution brute = solve_exhaustive(inst.input);
+        ASSERT_NEAR(poly.weighted_cost, brute.weighted_cost,
+                    1e-9 * std::max(1.0, brute.weighted_cost))
+            << "M=" << m << " Q=" << q << " S=" << s;
+    }
+}
+
+TEST_P(solver_property, poly_dominates_baselines)
+{
+    auto inst = make_random_instance(4, 4, 4, GetParam() * 31 + 5);
+    const double optimal = solve_synts_poly(inst.input).weighted_cost;
+    EXPECT_LE(optimal, solve_per_core_ts(inst.input).weighted_cost + 1e-9);
+    EXPECT_LE(optimal, solve_no_ts(inst.input).weighted_cost + 1e-9);
+    EXPECT_LE(optimal, nominal_solution(inst.input).weighted_cost + 1e-9);
+}
+
+TEST_P(solver_property, no_ts_dominates_nominal)
+{
+    // Nominal is a member of the No-TS search space.
+    auto inst = make_random_instance(4, 4, 3, GetParam() * 17 + 2);
+    EXPECT_LE(solve_no_ts(inst.input).weighted_cost,
+              nominal_solution(inst.input).weighted_cost + 1e-9);
+}
+
+TEST_P(solver_property, no_ts_never_speculates)
+{
+    auto inst = make_random_instance(4, 3, 4, GetParam() * 13 + 3);
+    const interval_solution sol = solve_no_ts(inst.input);
+    for (const auto& a : sol.assignments) {
+        EXPECT_EQ(a.tsr_index, inst.space->tsr_count() - 1);
+    }
+    for (const auto& m : sol.metrics) {
+        EXPECT_DOUBLE_EQ(m.tsr, 1.0);
+    }
+}
+
+TEST_P(solver_property, exec_time_non_increasing_in_theta)
+{
+    auto inst = make_random_instance(4, 4, 4, GetParam() * 7 + 1);
+    const double base_theta = inst.input.theta;
+    double previous_time = 1e300;
+    for (const double multiplier : {0.1, 0.5, 1.0, 5.0, 25.0}) {
+        inst.input.theta = base_theta * multiplier;
+        const interval_solution sol = solve_synts_poly(inst.input);
+        ASSERT_LE(sol.exec_time_ps, previous_time * (1.0 + 1e-9));
+        previous_time = sol.exec_time_ps;
+    }
+}
+
+TEST_P(solver_property, energy_non_decreasing_in_theta)
+{
+    auto inst = make_random_instance(4, 4, 4, GetParam() * 19 + 11);
+    const double base_theta = inst.input.theta;
+    double previous_energy = -1.0;
+    for (const double multiplier : {0.1, 0.5, 1.0, 5.0, 25.0}) {
+        inst.input.theta = base_theta * multiplier;
+        const interval_solution sol = solve_synts_poly(inst.input);
+        ASSERT_GE(sol.total_energy, previous_energy - 1e-9);
+        previous_energy = sol.total_energy;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, solver_property,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull, 6ull, 7ull,
+                                           8ull));
+
+TEST(solvers, per_core_ts_optimizes_each_thread_independently)
+{
+    auto inst = make_random_instance(3, 3, 3, 99);
+    const interval_solution sol = solve_per_core_ts(inst.input);
+    // No other config of thread 0 can improve its own en + theta * t.
+    const auto& chosen = sol.assignments[0];
+    const double chosen_cost =
+        sol.metrics[0].energy + inst.input.theta * sol.metrics[0].time_ps;
+    for (std::size_t j = 0; j < inst.space->voltage_count(); ++j) {
+        for (std::size_t k = 0; k < inst.space->tsr_count(); ++k) {
+            const thread_metrics m =
+                evaluate_thread(*inst.space, inst.input.workloads[0],
+                                *inst.input.error_models[0], thread_assignment{j, k},
+                                inst.input.params);
+            const double cost = m.energy + inst.input.theta * m.time_ps;
+            ASSERT_GE(cost, chosen_cost - 1e-9) << j << "," << k;
+        }
+    }
+    (void)chosen;
+}
+
+TEST(solvers, nominal_runs_everything_at_v0_r1)
+{
+    auto inst = make_random_instance(4, 3, 3, 123);
+    const interval_solution sol = nominal_solution(inst.input);
+    for (const auto& m : sol.metrics) {
+        EXPECT_DOUBLE_EQ(m.vdd, inst.space->voltage(0));
+        EXPECT_DOUBLE_EQ(m.tsr, 1.0);
+    }
+}
+
+TEST(solvers, exhaustive_guards_search_space)
+{
+    auto inst = make_random_instance(10, 7, 6, 5);
+    EXPECT_THROW((void)solve_exhaustive(inst.input, 1000), std::invalid_argument);
+}
+
+TEST(solvers, synts_exploits_heterogeneity)
+{
+    // Two threads with equal work: one error-prone, one error-free. SynTS
+    // should not give both the same voltage: the clean thread can afford a
+    // deeper speculation or lower voltage.
+    auto inst = make_random_instance(2, 4, 4, 42);
+    // Overwrite curves: thread 0 noisy, thread 1 clean.
+    inst.curves[0] = std::make_unique<synthetic_error_curve>(0.98, 0.5, 0.4, 1.0);
+    inst.curves[1] = std::make_unique<synthetic_error_curve>(0.55, 0.4, 0.001, 1.0);
+    inst.input.error_models = {inst.curves[0].get(), inst.curves[1].get()};
+    inst.input.workloads[0] = inst.input.workloads[1];
+    inst.input.theta = equal_weight_theta(inst.input);
+
+    const interval_solution sol = solve_synts_poly(inst.input);
+    // The clean thread must speculate at least as deep as the noisy one.
+    EXPECT_LE(sol.metrics[1].tsr, sol.metrics[0].tsr + 1e-12);
+    // And the joint solution beats per-core TS.
+    EXPECT_LE(sol.weighted_cost, solve_per_core_ts(inst.input).weighted_cost + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+// Tests for core/system_model: Eqs. 4.1-4.4 evaluation.
+
+#include <gtest/gtest.h>
+
+#include "core/system_model.h"
+#include "solver_fixtures.h"
+
+namespace {
+
+using namespace synts::core;
+
+TEST(system_model, evaluate_thread_matches_hand_computation)
+{
+    const config_space space({1.0, 0.8}, {0.8, 1.0}, {100.0, 140.0});
+    const synthetic_error_curve curve(0.9, 0.5, 0.1, 1.0);
+    const thread_workload workload{1000, 1.5};
+    synts::energy::energy_params params;
+    params.alpha_switching_cap = 2.0;
+
+    const thread_assignment a{1, 0}; // V = 0.8, r = 0.8
+    const thread_metrics m = evaluate_thread(space, workload, curve, a, params);
+
+    EXPECT_DOUBLE_EQ(m.vdd, 0.8);
+    EXPECT_DOUBLE_EQ(m.tsr, 0.8);
+    EXPECT_DOUBLE_EQ(m.clock_period_ps, 0.8 * 140.0);
+    const double p = curve.error_probability(1, 0.8); // 0.1 * (0.1/0.4)
+    EXPECT_DOUBLE_EQ(m.error_probability, p);
+    EXPECT_DOUBLE_EQ(m.time_ps, 1000.0 * 112.0 * (p * 5 + 1.5));
+    EXPECT_DOUBLE_EQ(m.energy, 2.0 * 0.64 * 1000.0 * (p * 5 + 1.5));
+}
+
+TEST(system_model, evaluate_assignment_aggregates)
+{
+    auto inst = synts::test::make_random_instance(4, 3, 3, 11);
+    std::vector<thread_assignment> assignments(4, inst.space->nominal_assignment());
+    const interval_solution sol = evaluate_assignment(inst.input, assignments);
+
+    double max_time = 0.0;
+    double sum_energy = 0.0;
+    for (const auto& m : sol.metrics) {
+        max_time = std::max(max_time, m.time_ps);
+        sum_energy += m.energy;
+    }
+    EXPECT_DOUBLE_EQ(sol.exec_time_ps, max_time);
+    EXPECT_DOUBLE_EQ(sol.total_energy, sum_energy);
+    EXPECT_DOUBLE_EQ(sol.weighted_cost,
+                     sum_energy + inst.input.theta * max_time);
+    EXPECT_DOUBLE_EQ(sol.edp(), sum_energy * max_time);
+}
+
+TEST(system_model, evaluate_assignment_validates_sizes)
+{
+    auto inst = synts::test::make_random_instance(3, 2, 2, 5);
+    std::vector<thread_assignment> wrong(2, inst.space->nominal_assignment());
+    EXPECT_THROW((void)evaluate_assignment(inst.input, wrong), std::invalid_argument);
+}
+
+TEST(system_model, solver_input_validation)
+{
+    auto inst = synts::test::make_random_instance(2, 2, 2, 7);
+    solver_input bad = inst.input;
+    bad.space = nullptr;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = inst.input;
+    bad.error_models.pop_back();
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = inst.input;
+    bad.theta = -1.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    bad = inst.input;
+    bad.error_models[0] = nullptr;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(system_model, equal_weight_theta_balances_terms)
+{
+    auto inst = synts::test::make_random_instance(4, 3, 4, 13);
+    const double theta = equal_weight_theta(inst.input);
+    const std::vector<thread_assignment> nominal(4, inst.space->nominal_assignment());
+    const interval_solution sol = evaluate_assignment(inst.input, nominal);
+    EXPECT_NEAR(theta * sol.exec_time_ps, sol.total_energy,
+                1e-9 * sol.total_energy);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+// Tests for energy/energy_model (Eqs. 4.1-4.3) and energy/synthesis_report
+// (Section 6.3 overheads).
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist_builder.h"
+#include "energy/energy_model.h"
+#include "energy/synthesis_report.h"
+
+namespace {
+
+using namespace synts::energy;
+
+TEST(energy_model, effective_cpi_identity)
+{
+    EXPECT_DOUBLE_EQ(effective_cpi(0.1, 1.5, 5), 0.1 * 5 + 1.5);
+    EXPECT_DOUBLE_EQ(effective_cpi(0.0, 2.0, 5), 2.0);
+}
+
+TEST(energy_model, spi_equation_4_1)
+{
+    // SPI = t_clk (p C + CPI)
+    EXPECT_DOUBLE_EQ(seconds_per_instruction(100.0, 0.02, 1.2, 5),
+                     100.0 * (0.02 * 5 + 1.2));
+}
+
+TEST(energy_model, thread_time_scales_with_instructions)
+{
+    const double one = thread_execution_time(1, 100.0, 0.0, 1.0, 5);
+    const double thousand = thread_execution_time(1000, 100.0, 0.0, 1.0, 5);
+    EXPECT_DOUBLE_EQ(thousand, 1000.0 * one);
+}
+
+TEST(energy_model, energy_equation_4_3)
+{
+    energy_params params;
+    params.alpha_switching_cap = 2.0;
+    params.error_penalty_cycles = 5;
+    // en = alpha V^2 N (p C + CPI)
+    EXPECT_DOUBLE_EQ(thread_energy(params, 0.9, 1000, 0.01, 1.5),
+                     2.0 * 0.81 * 1000.0 * (0.01 * 5 + 1.5));
+}
+
+TEST(energy_model, energy_quadratic_in_voltage)
+{
+    energy_params params;
+    const double high = thread_energy(params, 1.0, 100, 0.0, 1.0);
+    const double low = thread_energy(params, 0.5, 100, 0.0, 1.0);
+    EXPECT_NEAR(high / low, 4.0, 1e-12);
+}
+
+TEST(energy_model, errors_increase_both_time_and_energy)
+{
+    energy_params params;
+    EXPECT_GT(thread_execution_time(100, 10.0, 0.1, 1.0, 5),
+              thread_execution_time(100, 10.0, 0.0, 1.0, 5));
+    EXPECT_GT(thread_energy(params, 1.0, 100, 0.1, 1.0),
+              thread_energy(params, 1.0, 100, 0.0, 1.0));
+}
+
+TEST(energy_model, barrier_time_is_max)
+{
+    const std::vector<double> times = {3.0, 9.0, 7.0};
+    EXPECT_DOUBLE_EQ(barrier_execution_time(times), 9.0);
+    EXPECT_DOUBLE_EQ(barrier_execution_time({}), 0.0);
+}
+
+TEST(energy_model, edp)
+{
+    EXPECT_DOUBLE_EQ(energy_delay_product(3.0, 4.0), 12.0);
+}
+
+class synthesis_fixture : public ::testing::Test {
+protected:
+    synthesis_fixture()
+        : lib(synts::circuit::cell_library::standard_22nm()),
+          decode(synts::circuit::build_decode_stage()),
+          simple(synts::circuit::build_simple_alu()),
+          complex(synts::circuit::build_complex_alu())
+    {
+        stages = {&decode.nl, &simple.nl, &complex.nl};
+    }
+
+    synts::circuit::cell_library lib;
+    synts::circuit::stage_netlist decode;
+    synts::circuit::stage_netlist simple;
+    synts::circuit::stage_netlist complex;
+    std::array<const synts::circuit::netlist*, 3> stages{};
+};
+
+TEST_F(synthesis_fixture, blocks_inventory_scales_with_tsr_levels)
+{
+    const auto blocks6 = synts_online_blocks(6);
+    const auto blocks12 = synts_online_blocks(12);
+    std::size_t dff6 = 0;
+    std::size_t dff12 = 0;
+    for (const auto& b : blocks6) {
+        dff6 += b.dff_count;
+    }
+    for (const auto& b : blocks12) {
+        dff12 += b.dff_count;
+    }
+    EXPECT_GT(dff12, dff6);
+}
+
+TEST_F(synthesis_fixture, netlist_cost_positive_and_additive)
+{
+    const synthesis_estimator estimator(lib);
+    const block_cost c1 = estimator.cost_of_netlist(decode.nl);
+    EXPECT_GT(c1.area_um2, 0.0);
+    EXPECT_GT(c1.power_uw, 0.0);
+    EXPECT_NEAR(c1.area_um2, decode.nl.total_area_um2(lib), 1e-9);
+}
+
+TEST_F(synthesis_fixture, core_reference_scales)
+{
+    const synthesis_estimator estimator(lib);
+    const core_reference small = estimator.make_core_reference(stages, 1.0);
+    const core_reference full = estimator.make_core_reference(stages, 14.0);
+    EXPECT_NEAR(full.area_um2 / small.area_um2, 14.0, 1e-9);
+}
+
+TEST_F(synthesis_fixture, overhead_close_to_paper_section_6_3)
+{
+    const overhead_report report = estimate_synts_overhead(lib, stages, 6);
+    // Paper: ~3.41% power, ~2.7% area. Our bottom-up accounting must land
+    // in the same small-percentage regime.
+    EXPECT_GT(report.power_percent, 0.5);
+    EXPECT_LT(report.power_percent, 8.0);
+    EXPECT_GT(report.area_percent, 0.5);
+    EXPECT_LT(report.area_percent, 8.0);
+    // Area overhead is smaller than power overhead (counters toggle every
+    // cycle while the core average activity is lower) -- matching the
+    // paper's ordering is not required, but both must be nonzero.
+    EXPECT_GT(report.core.area_um2, report.synts_additions.area_um2);
+}
+
+} // namespace

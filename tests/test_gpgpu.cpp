@@ -1,0 +1,146 @@
+// Tests for gpgpu: VALU semantics, kernels, and the Fig. 5.10 homogeneity
+// claim.
+
+#include <gtest/gtest.h>
+
+#include "gpgpu/hamming.h"
+#include "gpgpu/kernels.h"
+#include "gpgpu/simd.h"
+
+namespace {
+
+using namespace synts::gpgpu;
+
+TEST(valu, op_semantics)
+{
+    EXPECT_EQ(evaluate_valu_op(valu_op::add, 3, 4), 7u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::sub, 3, 4), 0xFFFFFFFFu);
+    EXPECT_EQ(evaluate_valu_op(valu_op::mul, 6, 7), 42u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::logic_and, 0b1100, 0b1010), 0b1000u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::logic_or, 0b1100, 0b1010), 0b1110u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::logic_xor, 0b1100, 0b1010), 0b0110u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::shift_right, 0x80, 4), 0x8u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::shift_right, 1, 33), 0u); // mod-32 shift
+    EXPECT_EQ(evaluate_valu_op(valu_op::min_u32, 9, 5), 5u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::max_u32, 9, 5), 9u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::abs_diff, 3, 10), 7u);
+    EXPECT_EQ(evaluate_valu_op(valu_op::abs_diff, 10, 3), 7u);
+}
+
+TEST(valu, trace_records_results)
+{
+    valu_trace trace;
+    trace.execute(valu_op::add, 1, 2);
+    trace.execute(valu_op::mul, 3, 4);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.instructions[0].result, 3u);
+    EXPECT_EQ(trace.instructions[1].result, 12u);
+}
+
+TEST(hamming, distance_is_popcount_of_xor)
+{
+    EXPECT_EQ(hamming_distance(0, 0), 0u);
+    EXPECT_EQ(hamming_distance(0xFFFFFFFF, 0), 32u);
+    EXPECT_EQ(hamming_distance(0b1010, 0b0101), 4u);
+}
+
+TEST(hamming, histogram_counts_consecutive_pairs)
+{
+    valu_trace trace;
+    trace.execute(valu_op::add, 0, 0);      // result 0
+    trace.execute(valu_op::add, 0, 1);      // result 1 (distance 1)
+    trace.execute(valu_op::add, 0, 1);      // result 1 (distance 0)
+    const auto hist = hamming_histogram(trace);
+    EXPECT_EQ(hist.total(), 2u);
+    EXPECT_EQ(hist.count_at(1), 1u);
+    EXPECT_EQ(hist.count_at(0), 1u);
+}
+
+TEST(kernels, names_and_count)
+{
+    EXPECT_EQ(all_gpgpu_kernels().size(), gpgpu_kernel_count);
+    EXPECT_EQ(gpgpu_kernel_name(gpgpu_kernel::blackscholes), "BlackScholes");
+    EXPECT_EQ(gpgpu_kernel_name(gpgpu_kernel::x264), "X264");
+}
+
+TEST(kernels, produce_requested_volume_on_every_valu)
+{
+    const auto traces = execute_kernel(gpgpu_kernel::matrixmult, 16, 2000, 1);
+    ASSERT_EQ(traces.size(), 16u);
+    for (const auto& t : traces) {
+        EXPECT_GE(t.size(), 2000u);
+    }
+}
+
+TEST(kernels, deterministic_in_seed)
+{
+    const auto a = execute_kernel(gpgpu_kernel::fft, 4, 500, 9);
+    const auto b = execute_kernel(gpgpu_kernel::fft, 4, 500, 9);
+    for (std::size_t v = 0; v < 4; ++v) {
+        ASSERT_EQ(a[v].size(), b[v].size());
+        for (std::size_t i = 0; i < a[v].size(); i += 37) {
+            ASSERT_EQ(a[v].instructions[i].result, b[v].instructions[i].result);
+        }
+    }
+}
+
+TEST(kernels, rejects_zero_valus)
+{
+    EXPECT_THROW((void)execute_kernel(gpgpu_kernel::fft, 0, 10, 1),
+                 std::invalid_argument);
+}
+
+class kernel_homogeneity : public ::testing::TestWithParam<gpgpu_kernel> {};
+
+TEST_P(kernel_homogeneity, hamming_histograms_match_across_valus)
+{
+    // The paper's Fig. 5.10 conclusion: all 16 VALUs show near-identical
+    // Hamming-distance histograms -> homogeneous error probabilities ->
+    // per-core TS suffices on the GPGPU.
+    const auto traces = execute_kernel(GetParam(), hd7970_valu_count, 16000, 42);
+    const homogeneity_report report = analyze_homogeneity(traces);
+    EXPECT_EQ(report.valu_count, hd7970_valu_count);
+    EXPECT_TRUE(report.is_homogeneous(0.08))
+        << gpgpu_kernel_name(GetParam()) << " max TVD " << report.max_tvd;
+    EXPECT_LT(report.mean_tvd, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_kernels, kernel_homogeneity,
+    ::testing::Values(gpgpu_kernel::blackscholes, gpgpu_kernel::eigenvalue,
+                      gpgpu_kernel::matrixmult, gpgpu_kernel::fft,
+                      gpgpu_kernel::binarysearch, gpgpu_kernel::raytrace,
+                      gpgpu_kernel::streamcluster, gpgpu_kernel::swaptions,
+                      gpgpu_kernel::x264),
+    [](const ::testing::TestParamInfo<gpgpu_kernel>& info) {
+        return std::string(gpgpu_kernel_name(info.param));
+    });
+
+TEST(homogeneity, different_kernels_are_distinguishable)
+{
+    // Contrast: histograms of *different* kernels differ far more than
+    // histograms of the same kernel across VALUs -- the homogeneity metric
+    // is not trivially small.
+    const auto mm = execute_kernel(gpgpu_kernel::matrixmult, 2, 8000, 1);
+    const auto bs = execute_kernel(gpgpu_kernel::binarysearch, 2, 8000, 1);
+    std::vector<valu_trace> mixed;
+    mixed.push_back(mm[0]);
+    mixed.push_back(bs[0]);
+    const homogeneity_report cross = analyze_homogeneity(mixed);
+    const homogeneity_report within = analyze_homogeneity(mm);
+    EXPECT_GT(cross.max_tvd, 3.0 * within.max_tvd);
+}
+
+TEST(homogeneity, report_is_symmetric)
+{
+    const auto traces = execute_kernel(gpgpu_kernel::swaptions, 4, 2000, 3);
+    const homogeneity_report report = analyze_homogeneity(traces);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_DOUBLE_EQ(report.pairwise_tvd[i * 4 + j],
+                             report.pairwise_tvd[j * 4 + i]);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+// Tests for util/histogram.
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace synts::util;
+
+TEST(histogram, rejects_bad_construction)
+{
+    EXPECT_THROW(histogram(0.0, 1.0, 0), std::invalid_argument);
+    EXPECT_THROW(histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(histogram, bins_values_correctly)
+{
+    histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(5.0);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count_at(0), 1u);
+    EXPECT_EQ(h.count_at(9), 1u);
+    EXPECT_EQ(h.count_at(5), 1u);
+}
+
+TEST(histogram, clamps_out_of_range)
+{
+    histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count_at(0), 1u);
+    EXPECT_EQ(h.count_at(9), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(histogram, exceedance_boundaries)
+{
+    histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) {
+        h.add(static_cast<double>(i) + 0.5);
+    }
+    EXPECT_DOUBLE_EQ(h.exceedance(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.exceedance(10.0), 0.0);
+    EXPECT_NEAR(h.exceedance(5.0), 0.5, 0.05);
+}
+
+TEST(histogram, exceedance_monotone_non_increasing)
+{
+    xoshiro256 rng(3);
+    histogram h(0.0, 1.0, 64);
+    for (int i = 0; i < 5000; ++i) {
+        h.add(rng.uniform());
+    }
+    double previous = 1.1;
+    for (double x = -0.1; x <= 1.1; x += 0.01) {
+        const double e = h.exceedance(x);
+        ASSERT_LE(e, previous + 1e-12);
+        previous = e;
+    }
+}
+
+TEST(histogram, quantile_uniform_data)
+{
+    xoshiro256 rng(9);
+    histogram h(0.0, 1.0, 100);
+    for (int i = 0; i < 100000; ++i) {
+        h.add(rng.uniform());
+    }
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(histogram, quantile_exceedance_roundtrip)
+{
+    xoshiro256 rng(11);
+    histogram h(0.0, 2.0, 128);
+    for (int i = 0; i < 20000; ++i) {
+        h.add(rng.uniform(0.0, 2.0));
+    }
+    for (const double q : {0.1, 0.5, 0.9}) {
+        const double x = h.quantile(q);
+        EXPECT_NEAR(h.exceedance(x), 1.0 - q, 0.03);
+    }
+}
+
+TEST(histogram, normalized_sums_to_one)
+{
+    histogram h(0.0, 1.0, 16);
+    for (int i = 0; i < 100; ++i) {
+        h.add(0.03 * i);
+    }
+    double total = 0.0;
+    for (const double m : h.normalized()) {
+        total += m;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(histogram, empty_histogram_behaviors)
+{
+    histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.exceedance(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    for (const double m : h.normalized()) {
+        EXPECT_DOUBLE_EQ(m, 0.0);
+    }
+}
+
+TEST(histogram, ascii_render_nonempty)
+{
+    histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    const std::string render = h.ascii_render();
+    EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+TEST(integer_histogram, counts_and_clamps)
+{
+    integer_histogram h(4);
+    h.add(0);
+    h.add(4);
+    h.add(10); // clamps to 4
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count_at(0), 1u);
+    EXPECT_EQ(h.count_at(4), 2u);
+    EXPECT_EQ(h.bucket_count(), 5u);
+}
+
+TEST(integer_histogram, mean_of_known_data)
+{
+    integer_histogram h(8);
+    h.add(2);
+    h.add(4);
+    h.add(6);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(integer_histogram, normalized_masses)
+{
+    integer_histogram h(2);
+    h.add(0);
+    h.add(0);
+    h.add(2);
+    h.add(2);
+    const auto mass = h.normalized();
+    EXPECT_DOUBLE_EQ(mass[0], 0.5);
+    EXPECT_DOUBLE_EQ(mass[1], 0.0);
+    EXPECT_DOUBLE_EQ(mass[2], 0.5);
+}
+
+} // namespace

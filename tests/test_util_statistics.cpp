@@ -1,0 +1,203 @@
+// Tests for util/statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/statistics.h"
+
+namespace {
+
+using namespace synts::util;
+
+TEST(running_stats, empty_state)
+{
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(running_stats, matches_direct_computation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+    running_stats s;
+    for (const double x : xs) {
+        s.add(x);
+    }
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 16.0);
+    // Sample variance computed by hand: sum((x - 6.2)^2) / 4 = 37.2.
+    EXPECT_NEAR(s.variance(), 37.2, 1e-12);
+    EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(running_stats, merge_equals_sequential)
+{
+    xoshiro256 rng(5);
+    running_stats all;
+    running_stats left;
+    running_stats right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 == 0 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(running_stats, merge_with_empty)
+{
+    running_stats a;
+    a.add(1.0);
+    a.add(3.0);
+    running_stats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(quantile, interpolates_between_order_statistics)
+{
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+    EXPECT_NEAR(quantile(xs, 1.0 / 3.0), 20.0, 1e-12);
+}
+
+TEST(quantile, handles_unsorted_input)
+{
+    const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+}
+
+TEST(quantile, empty_returns_zero)
+{
+    EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(exceedance, counts_strictly_greater)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(exceedance_fraction(xs, 2.0), 0.5);
+    EXPECT_DOUBLE_EQ(exceedance_fraction(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(exceedance_fraction(xs, 4.0), 0.0);
+}
+
+TEST(pearson, perfect_correlation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(pearson, perfect_anticorrelation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    const std::vector<double> ys = {3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearson_correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(pearson, constant_series_returns_zero)
+{
+    const std::vector<double> xs = {1.0, 1.0, 1.0};
+    const std::vector<double> ys = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson_correlation(xs, ys), 0.0);
+}
+
+TEST(errors, mae_and_rmse)
+{
+    const std::vector<double> truth = {1.0, 2.0, 3.0};
+    const std::vector<double> estimate = {1.5, 1.5, 3.0};
+    EXPECT_NEAR(mean_absolute_error(truth, estimate), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(root_mean_squared_error(truth, estimate),
+                std::sqrt((0.25 + 0.25 + 0.0) / 3.0), 1e-12);
+}
+
+TEST(total_variation, identical_distributions)
+{
+    const std::vector<double> p = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(total_variation_distance(p, p), 0.0);
+}
+
+TEST(total_variation, disjoint_distributions)
+{
+    const std::vector<double> p = {1.0, 0.0};
+    const std::vector<double> q = {0.0, 1.0};
+    EXPECT_DOUBLE_EQ(total_variation_distance(p, q), 1.0);
+}
+
+TEST(total_variation, symmetric_and_bounded)
+{
+    xoshiro256 rng(3);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<double> p(8);
+        std::vector<double> q(8);
+        for (std::size_t i = 0; i < 8; ++i) {
+            p[i] = rng.uniform();
+            q[i] = rng.uniform();
+        }
+        const double pq = total_variation_distance(p, q);
+        const double qp = total_variation_distance(q, p);
+        ASSERT_NEAR(pq, qp, 1e-12);
+        ASSERT_GE(pq, 0.0);
+        ASSERT_LE(pq, 1.0);
+    }
+}
+
+TEST(total_variation, normalization_invariant)
+{
+    const std::vector<double> p = {1.0, 2.0, 3.0};
+    std::vector<double> p_scaled = {10.0, 20.0, 30.0};
+    const std::vector<double> q = {3.0, 2.0, 1.0};
+    EXPECT_NEAR(total_variation_distance(p, q), total_variation_distance(p_scaled, q),
+                1e-12);
+}
+
+TEST(wilson, half_width_shrinks_with_samples)
+{
+    const double w10 = wilson_half_width(3, 10);
+    const double w1000 = wilson_half_width(300, 1000);
+    EXPECT_LT(w1000, w10);
+    EXPECT_GT(w10, 0.0);
+}
+
+TEST(wilson, zero_trials_returns_one)
+{
+    EXPECT_DOUBLE_EQ(wilson_half_width(0, 0), 1.0);
+}
+
+TEST(wilson, contains_truth_about_95_percent)
+{
+    xoshiro256 rng(77);
+    const double p = 0.07;
+    const int trials = 500;
+    int covered = 0;
+    const int rounds = 400;
+    for (int round = 0; round < rounds; ++round) {
+        int successes = 0;
+        for (int i = 0; i < trials; ++i) {
+            successes += rng.bernoulli(p) ? 1 : 0;
+        }
+        const double estimate = static_cast<double>(successes) / trials;
+        const double half = wilson_half_width(static_cast<std::size_t>(successes), trials);
+        if (std::abs(estimate - p) <= half) {
+            ++covered;
+        }
+    }
+    EXPECT_GT(static_cast<double>(covered) / rounds, 0.90);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+// Tests for util/table and util/csv.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace synts::util;
+
+TEST(text_table, renders_header_and_rows)
+{
+    text_table t({"name", "value"});
+    t.begin_row();
+    t.cell(std::string("alpha"));
+    t.cell(1.5, 2);
+    t.begin_row();
+    t.cell(std::string("beta"));
+    t.cell(static_cast<long long>(7));
+    const std::string out = t.render(0);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(text_table, pads_columns_to_widest_cell)
+{
+    text_table t({"a", "b"});
+    t.add_row({"wide-cell-content", "x"});
+    const std::string out = t.render(0);
+    std::istringstream lines(out);
+    std::string header;
+    std::getline(lines, header);
+    std::string underline;
+    std::getline(lines, underline);
+    EXPECT_GE(underline.find("-"), 0u);
+    EXPECT_NE(out.find("wide-cell-content"), std::string::npos);
+}
+
+TEST(format, format_double_precision)
+{
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(format, vs_paper_includes_delta)
+{
+    const std::string s = format_vs_paper(0.93, 1.0, 2);
+    EXPECT_NE(s.find("0.93"), std::string::npos);
+    EXPECT_NE(s.find("paper 1.00"), std::string::npos);
+    EXPECT_NE(s.find("-7.0%"), std::string::npos);
+}
+
+TEST(format, vs_paper_zero_expected_omits_delta)
+{
+    const std::string s = format_vs_paper(0.5, 0.0, 2);
+    EXPECT_EQ(s.find('%'), std::string::npos);
+}
+
+TEST(csv, writes_header_and_rows)
+{
+    std::ostringstream out;
+    {
+        csv_writer w(out);
+        w.header({"a", "b"});
+        w.begin_row();
+        w.field(std::string("x"));
+        w.field(1.5);
+        w.begin_row();
+        w.field(static_cast<long long>(3));
+        w.field(std::string("y"));
+    }
+    EXPECT_EQ(out.str(), "a,b\nx,1.5\n3,y\n");
+}
+
+TEST(csv, escapes_special_characters)
+{
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(csv, finish_is_idempotent)
+{
+    std::ostringstream out;
+    csv_writer w(out);
+    w.begin_row();
+    w.field(std::string("only"));
+    w.finish();
+    w.finish();
+    EXPECT_EQ(out.str(), "only\n");
+}
+
+} // namespace
