@@ -8,12 +8,21 @@
 //   6.14 Raytrace Decode      (25.1% lower energy / 21% faster)
 //   6.15 Cholesky ComplexALU  (SynTS dominates; fronts do not converge)
 //   6.16 Raytrace ComplexALU  (same qualitative statement)
+//
+// Runs on the experiment runtime: all (pair, policy) cells are expanded
+// into one sweep over the thread pool, and each pair's characterization is
+// memoized in the process cache -- once per pair instead of once per
+// (figure, policy) sweep as in the serial version. Cell numbers are
+// bit-identical to the serial core::pareto_sweep path.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
 #include "bench_common.h"
 #include "core/experiment.h"
+#include "runtime/sweep.h"
+#include "runtime/sweep_io.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -81,7 +90,22 @@ int main()
          0.0, 0.0},
     };
 
-    const auto multipliers = core::default_theta_multipliers();
+    // One batched sweep for all six figures x three policies.
+    runtime::sweep_spec spec;
+    for (const auto& fig : figures) {
+        const runtime::benchmark_stage pair{fig.benchmark, fig.stage};
+        if (std::find(spec.pairs.begin(), spec.pairs.end(), pair) == spec.pairs.end()) {
+            spec.pairs.push_back(pair);
+        }
+    }
+    spec.policies = {policy_kind::synts_offline, policy_kind::per_core_ts,
+                     policy_kind::no_ts};
+    spec.theta_multipliers = core::default_theta_multipliers();
+
+    runtime::thread_pool pool;
+    runtime::sweep_scheduler scheduler(pool, runtime::experiment_cache::process_cache());
+    const runtime::sweep_result result = scheduler.run(spec);
+    const auto& multipliers = spec.theta_multipliers;
 
     for (const auto& fig : figures) {
         bench::banner(fig.id,
@@ -89,14 +113,12 @@ int main()
                           circuit::pipe_stage_name(fig.stage) +
                           " -- offline Pareto fronts (normalized to Nominal)");
 
-        core::experiment_config cfg;
-        const core::benchmark_experiment experiment(fig.benchmark, fig.stage, cfg);
-
-        const auto synts =
-            core::pareto_sweep(experiment, policy_kind::synts_offline, multipliers);
-        const auto per_core =
-            core::pareto_sweep(experiment, policy_kind::per_core_ts, multipliers);
-        const auto no_ts = core::pareto_sweep(experiment, policy_kind::no_ts, multipliers);
+        const auto& synts =
+            result.find(fig.benchmark, fig.stage, policy_kind::synts_offline)->pareto;
+        const auto& per_core =
+            result.find(fig.benchmark, fig.stage, policy_kind::per_core_ts)->pareto;
+        const auto& no_ts =
+            result.find(fig.benchmark, fig.stage, policy_kind::no_ts)->pareto;
 
         util::text_table table({"theta x", "SynTS E", "SynTS T", "PerCore E",
                                 "PerCore T", "NoTS E", "NoTS T"});
@@ -158,5 +180,11 @@ int main()
         dump("PerCoreTS", per_core);
         dump("NoTS", no_ts);
     }
+
+    std::printf("runtime: %zu cells on %zu workers in %.2f s "
+                "(characterizations: %llu, cache hits: %llu)\n",
+                result.cells.size(), pool.worker_count(), result.wall_seconds,
+                static_cast<unsigned long long>(result.cache_misses),
+                static_cast<unsigned long long>(result.cache_hits));
     return 0;
 }

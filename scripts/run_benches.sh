@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs the runtime micro benches and dumps wall-clock timings to
+# BENCH_runtime.json (schema: {"generated_unix": N, "hardware_threads": N,
+# "benches": [{"name", "seconds", "exit_code"}...]}).
+#
+# Usage: scripts/run_benches.sh [build-dir] (default: build)
+
+set -u
+
+build_dir="${1:-build}"
+out="BENCH_runtime.json"
+
+if [[ ! -d "${build_dir}" ]]; then
+    echo "run_benches.sh: build dir '${build_dir}' not found (run cmake first)" >&2
+    exit 1
+fi
+
+# The micro + runtime benches: small enough for CI, and together they cover
+# the solver hot path, the estimator, the circuit simulator, and the new
+# parallel sweep runtime.
+benches=(
+    bench_runtime_scaling
+    bench_micro_solver
+    bench_micro_estimator
+    bench_micro_circuit
+)
+
+now_s() { date +%s.%N; }
+
+json_rows=""
+failures=0
+for bench in "${benches[@]}"; do
+    exe="${build_dir}/${bench}"
+    if [[ ! -x "${exe}" ]]; then
+        echo "skip ${bench}: not built" >&2
+        continue
+    fi
+    echo "== ${bench}" >&2
+    t0=$(now_s)
+    "${exe}" > /dev/null 2>&1
+    code=$?
+    t1=$(now_s)
+    seconds=$(awk -v a="${t0}" -v b="${t1}" 'BEGIN { printf "%.3f", b - a }')
+    if [[ "${code}" -ne 0 ]]; then
+        echo "FAIL ${bench}: exit ${code}" >&2
+        failures=$((failures + 1))
+    fi
+    [[ -n "${json_rows}" ]] && json_rows+=","
+    json_rows+=$'\n    '"{\"name\": \"${bench}\", \"seconds\": ${seconds}, \"exit_code\": ${code}}"
+done
+
+cat > "${out}" <<EOF
+{
+  "generated_unix": $(date +%s),
+  "hardware_threads": $(nproc),
+  "benches": [${json_rows}
+  ]
+}
+EOF
+
+echo "wrote ${out}" >&2
+cat "${out}"
+
+# A failing bench (e.g. bench_runtime_scaling's bit-identity check) must
+# fail the CI step, not just be recorded in the artifact.
+exit $((failures > 0 ? 1 : 0))

@@ -3,7 +3,37 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/hashing.h"
+
 namespace synts::core {
+
+std::uint64_t experiment_config::digest() const noexcept
+{
+    util::digest_builder h;
+    h.value(thread_count);
+    h.value(seed);
+    h.value(sampling.sample_fraction);
+    h.value(sampling.sample_voltage_index);
+    h.value(sampling.min_sample_instructions);
+    h.value(characterization.histogram_bins);
+    h.value(characterization.histogram_headroom);
+    h.value(characterization.keep_sampling_trace);
+    const arch::core_config& core = characterization.core;
+    h.value(core.dcache.size_bytes);
+    h.value(core.dcache.line_bytes);
+    h.value(core.dcache.ways);
+    h.value(core.dcache.hit_latency_cycles);
+    h.value(core.dcache.miss_penalty_cycles);
+    h.value(core.branch_mispredict_penalty);
+    h.value(core.mul_latency_cycles);
+    h.value(core.fp_latency_cycles);
+    h.value(core.predictor_index_bits);
+    h.value(params.alpha_switching_cap);
+    h.value(params.error_penalty_cycles);
+    h.value(params.leakage_power);
+    h.value(voltage_class_spread);
+    return h.digest();
+}
 
 benchmark_experiment::benchmark_experiment(workload::benchmark_id benchmark,
                                            circuit::pipe_stage stage,
@@ -148,8 +178,16 @@ std::vector<pareto_point> pareto_sweep(const benchmark_experiment& experiment,
                                        std::span<const double> theta_multipliers)
 {
     const double theta_eq = experiment.equal_weight_theta();
-    const auto nominal = experiment.run_policy(policy_kind::nominal, theta_eq);
+    return pareto_sweep(experiment, kind, theta_multipliers, theta_eq,
+                        experiment.run_policy(policy_kind::nominal, theta_eq));
+}
 
+std::vector<pareto_point> pareto_sweep(const benchmark_experiment& experiment,
+                                       policy_kind kind,
+                                       std::span<const double> theta_multipliers,
+                                       const double theta_eq,
+                                       const benchmark_experiment::policy_run& nominal)
+{
     std::vector<pareto_point> points;
     points.reserve(theta_multipliers.size());
     for (const double multiplier : theta_multipliers) {

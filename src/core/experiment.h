@@ -30,6 +30,12 @@ struct experiment_config {
     characterization_config characterization{};
     energy::energy_params params{};
     double voltage_class_spread = 0.04; ///< see voltage_model (0 = uniform)
+
+    /// Stable 64-bit digest over every result-affecting field. Two configs
+    /// with equal digests characterize identically, so the runtime's
+    /// experiment cache may serve one in place of the other. Any new knob
+    /// added above MUST be folded into digest().
+    [[nodiscard]] std::uint64_t digest() const noexcept;
 };
 
 /// A fully characterized (benchmark, stage) experiment, ready to evaluate
@@ -85,6 +91,15 @@ public:
     };
 
     /// Runs one policy at `theta` over every interval.
+    ///
+    /// Thread safety: this and every other const member (make_solver_input,
+    /// equal_weight_theta, run_all_policies, run_synts_online_predicted, and
+    /// the free pareto_sweep below) may be called concurrently on one
+    /// instance. The evaluation path holds no hidden mutable state -- the
+    /// policy_engine, solvers and estimators are pure const code, and the
+    /// MILP's instrumentation counters are thread_local. The runtime's
+    /// experiment_cache relies on this to share one instance across all
+    /// sweep workers; tests/test_runtime_sweep.cpp pins the contract.
     [[nodiscard]] policy_run run_policy(policy_kind kind, double theta) const;
 
     /// Convenience: runs all five policies at `theta`.
@@ -122,6 +137,17 @@ struct pareto_point {
 [[nodiscard]] std::vector<pareto_point>
 pareto_sweep(const benchmark_experiment& experiment, policy_kind kind,
              std::span<const double> theta_multipliers);
+
+/// Same sweep with the shared per-experiment inputs precomputed:
+/// `theta_eq` must be experiment.equal_weight_theta() and
+/// `nominal_baseline` its Nominal run at theta_eq. The two-argument
+/// overload above delegates here, so results are bit-identical; the runtime
+/// scheduler uses this form to compute the baseline once per
+/// (benchmark, stage) pair instead of once per policy cell.
+[[nodiscard]] std::vector<pareto_point>
+pareto_sweep(const benchmark_experiment& experiment, policy_kind kind,
+             std::span<const double> theta_multipliers, double theta_eq,
+             const benchmark_experiment::policy_run& nominal_baseline);
 
 /// Default multiplier ladder for Pareto sweeps (log-spaced around 1).
 [[nodiscard]] std::vector<double> default_theta_multipliers();

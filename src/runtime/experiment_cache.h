@@ -1,0 +1,104 @@
+// experiment_cache.h -- process-wide memoization of characterized
+// experiments.
+//
+// benchmark_experiment construction is the heavyweight step of every figure
+// bench: trace generation + architectural profiling + gate-level dynamic
+// timing at every voltage corner. The seed tree re-ran it from scratch for
+// every (figure, policy) block. This cache keys experiments on
+// (benchmark, stage, experiment_config::digest()) and constructs each at
+// most once per process, concurrently safe:
+//
+//   * the key->entry map is sharded and mutex-striped, so lookups from many
+//     sweep workers don't serialize on one lock;
+//   * each entry is a shared_future: the first caller constructs *outside*
+//     the shard lock while later callers block on the future, so a popular
+//     benchmark is characterized exactly once and never holds up unrelated
+//     keys. Construction happens on the calling thread (never deferred to a
+//     pool task), so waiting cannot deadlock a fully-busy pool.
+//
+// The cached experiment is shared as shared_ptr<const ...>: every consumer
+// path (run_policy, pareto_sweep, make_solver_input) is const and free of
+// hidden mutable state, so one instance may serve all workers.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace synts::runtime {
+
+/// Cache key: what uniquely determines a characterization.
+struct experiment_key {
+    workload::benchmark_id benchmark = workload::benchmark_id::fmm;
+    circuit::pipe_stage stage = circuit::pipe_stage::decode;
+    std::uint64_t config_digest = 0;
+
+    friend bool operator==(const experiment_key&, const experiment_key&) = default;
+};
+
+/// Sharded, mutex-striped experiment memo.
+class experiment_cache {
+public:
+    using experiment_ptr = std::shared_ptr<const core::benchmark_experiment>;
+
+    /// `shard_count` is rounded up to a power of two (default 16).
+    explicit experiment_cache(std::size_t shard_count = 16);
+
+    experiment_cache(const experiment_cache&) = delete;
+    experiment_cache& operator=(const experiment_cache&) = delete;
+
+    /// Returns the cached experiment for (benchmark, stage, config),
+    /// constructing it on this thread if absent. Blocks when another thread
+    /// is mid-construction of the same key. A constructor exception is
+    /// rethrown to every waiter and the entry is dropped so a later call can
+    /// retry.
+    [[nodiscard]] experiment_ptr get_or_create(workload::benchmark_id benchmark,
+                                               circuit::pipe_stage stage,
+                                               const core::experiment_config& config = {});
+
+    /// Calls served without construction.
+    [[nodiscard]] std::uint64_t hit_count() const noexcept
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    /// Calls that had to construct.
+    [[nodiscard]] std::uint64_t miss_count() const noexcept
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    /// Entries currently resident (settled or under construction).
+    [[nodiscard]] std::size_t size() const;
+
+    /// Drops every entry (in-flight constructions settle their waiters
+    /// normally; the results are just no longer retained).
+    void clear();
+
+    /// The process-wide cache shared by the benches and the runner CLI.
+    [[nodiscard]] static experiment_cache& process_cache();
+
+private:
+    struct key_hash {
+        std::size_t operator()(const experiment_key& key) const noexcept;
+    };
+    struct shard {
+        std::mutex mutex;
+        std::unordered_map<experiment_key, std::shared_future<experiment_ptr>, key_hash>
+            entries;
+    };
+
+    [[nodiscard]] shard& shard_for(const experiment_key& key) noexcept;
+
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace synts::runtime

@@ -1,0 +1,128 @@
+#include "runtime/sweep.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+
+#include "util/hashing.h"
+
+namespace synts::runtime {
+
+std::vector<benchmark_stage> sweep_spec::expanded_pairs() const
+{
+    if (!pairs.empty()) {
+        return pairs;
+    }
+    std::vector<benchmark_stage> expanded;
+    expanded.reserve(benchmarks.size() * stages.size());
+    for (const workload::benchmark_id benchmark : benchmarks) {
+        for (const circuit::pipe_stage stage : stages) {
+            expanded.emplace_back(benchmark, stage);
+        }
+    }
+    return expanded;
+}
+
+std::size_t sweep_spec::task_count() const
+{
+    return expanded_pairs().size() * policies.size();
+}
+
+const sweep_cell* sweep_result::find(workload::benchmark_id benchmark,
+                                     circuit::pipe_stage stage,
+                                     core::policy_kind policy) const noexcept
+{
+    for (const sweep_cell& cell : cells) {
+        if (cell.benchmark == benchmark && cell.stage == stage &&
+            cell.policy == policy) {
+            return &cell;
+        }
+    }
+    return nullptr;
+}
+
+sweep_result sweep_scheduler::run(const sweep_spec& spec) const
+{
+    const std::vector<benchmark_stage> pairs = spec.expanded_pairs();
+
+    sweep_result result;
+    result.spec = spec;
+    result.cells.resize(pairs.size() * spec.policies.size());
+
+    const std::uint64_t hits_before = cache_->hit_count();
+    const std::uint64_t misses_before = cache_->miss_count();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // One task per (benchmark, stage) pair: the pair's shared inputs --
+    // the characterization, theta_eq, and the Nominal baseline run -- are
+    // computed once and reused across its policy cells, instead of once per
+    // cell (per-cell tasks would re-derive theta_eq Q times and a ladder's
+    // Nominal baseline Q more times). Policy cells within a pair run
+    // sequentially; pairs run in parallel, which is where the work is.
+    std::vector<std::future<void>> tasks;
+    tasks.reserve(pairs.size());
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        tasks.push_back(pool_->submit([this, &spec, &result, &pairs, p] {
+            const auto [benchmark, stage] = pairs[p];
+            const experiment_cache::experiment_ptr experiment =
+                cache_->get_or_create(benchmark, stage, spec.config);
+            const double theta_eq = experiment->equal_weight_theta();
+            core::benchmark_experiment::policy_run nominal_baseline;
+            if (!spec.theta_multipliers.empty()) {
+                nominal_baseline =
+                    experiment->run_policy(core::policy_kind::nominal, theta_eq);
+            }
+
+            for (std::size_t q = 0; q < spec.policies.size(); ++q) {
+                const std::size_t index = p * spec.policies.size() + q;
+                sweep_cell& cell = result.cells[index];
+                cell.benchmark = benchmark;
+                cell.stage = stage;
+                cell.policy = spec.policies[q];
+                cell.task_seed = util::hash_mix(spec.config.seed, index);
+                cell.theta_eq = theta_eq;
+                cell.equal_weight =
+                    cell.policy == core::policy_kind::nominal &&
+                            !spec.theta_multipliers.empty()
+                        ? nominal_baseline
+                        : experiment->run_policy(cell.policy, theta_eq);
+                if (!spec.theta_multipliers.empty()) {
+                    cell.pareto =
+                        core::pareto_sweep(*experiment, cell.policy,
+                                           spec.theta_multipliers, theta_eq,
+                                           nominal_baseline);
+                }
+            }
+        }));
+    }
+
+    std::exception_ptr first_error;
+    for (std::future<void>& task : tasks) {
+        // Help while waiting (same discipline as parallel_for): run() may
+        // itself be called from inside a pool task, and on a small pool the
+        // cells would otherwise sit behind the blocked caller forever.
+        while (task.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+            if (!pool_->run_one_task()) {
+                task.wait_for(std::chrono::milliseconds(1));
+            }
+        }
+        try {
+            task.get();
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.cache_hits = cache_->hit_count() - hits_before;
+    result.cache_misses = cache_->miss_count() - misses_before;
+    return result;
+}
+
+} // namespace synts::runtime

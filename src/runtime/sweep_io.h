@@ -1,0 +1,54 @@
+// sweep_io.h -- serialization and parsing for sweep specs and results.
+//
+// The synts_runner CLI and the ported benches share these: CSV (via
+// util/csv) for re-plotting, JSON for downstream tooling, text tables (via
+// util/table) for the console, and forgiving name->enum parsing (matching
+// is case-insensitive and ignores '-'/'_', so "lu-contig", "LU_CONTIG" and
+// "Lu-Contig" all resolve).
+
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/sweep.h"
+
+namespace synts::runtime {
+
+/// One row per (cell, theta multiplier): the Pareto fronts.
+/// Columns: benchmark, stage, policy, theta_multiplier, theta, energy_norm,
+/// time_norm.
+void write_pareto_csv(const sweep_result& result, std::ostream& out);
+
+/// One row per cell: the equal-weight operating points.
+/// Columns: benchmark, stage, policy, theta_eq, energy, time_ps, edp.
+void write_summary_csv(const sweep_result& result, std::ostream& out);
+
+/// The whole result (spec echo, cells, pareto points, cache stats) as one
+/// JSON document.
+void write_sweep_json(const sweep_result& result, std::ostream& out);
+
+/// Console table: one block per (benchmark, stage) pair, EDP and the
+/// equal-weight operating point per policy.
+[[nodiscard]] std::string render_sweep_table(const sweep_result& result);
+
+/// Splits a comma-separated list into tokens (empty tokens preserved, so
+/// callers can reject "a,,b" or a trailing comma explicitly).
+[[nodiscard]] std::vector<std::string_view> split_csv(std::string_view csv);
+
+/// Name parsing. Each returns std::nullopt on an unknown token.
+[[nodiscard]] std::optional<workload::benchmark_id> parse_benchmark(std::string_view token);
+[[nodiscard]] std::optional<circuit::pipe_stage> parse_stage(std::string_view token);
+[[nodiscard]] std::optional<core::policy_kind> parse_policy(std::string_view token);
+
+/// List parsing for CLI flags: comma-separated tokens, or the keywords
+/// "all" (every value) and -- for benchmarks -- "reported" (the paper's
+/// seven). Throws std::invalid_argument naming the offending token.
+[[nodiscard]] std::vector<workload::benchmark_id> parse_benchmark_list(std::string_view csv);
+[[nodiscard]] std::vector<circuit::pipe_stage> parse_stage_list(std::string_view csv);
+[[nodiscard]] std::vector<core::policy_kind> parse_policy_list(std::string_view csv);
+
+} // namespace synts::runtime

@@ -1,0 +1,188 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace synts::runtime {
+
+namespace {
+
+/// Index of the pool worker running on this thread, or npos outside a pool.
+/// Used so tasks submitted from inside a worker land on that worker's own
+/// queue (LIFO locality) instead of round-robin.
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+thread_local std::size_t tls_worker_index = npos;
+thread_local const thread_pool* tls_worker_pool = nullptr;
+
+} // namespace
+
+thread_pool::thread_pool(std::size_t worker_count)
+{
+    if (worker_count == 0) {
+        worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    queues_.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+        queues_.push_back(std::make_unique<worker_queue>());
+    }
+    workers_.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+thread_pool::~thread_pool()
+{
+    {
+        std::lock_guard lock(sleep_mutex_);
+        stopping_.store(true, std::memory_order_release);
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::enqueue(unique_task task)
+{
+    std::size_t target = tls_worker_pool == this ? tls_worker_index : npos;
+    if (target == npos) {
+        target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    }
+    {
+        std::lock_guard lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_front(std::move(task));
+    }
+    {
+        // The increment must be ordered against the workers' predicate
+        // check under sleep_mutex_, or a notify can land in the window
+        // between a worker seeing pending_ == 0 and blocking -- a lost
+        // wakeup that strands a queued task forever.
+        std::lock_guard lock(sleep_mutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    wake_.notify_one();
+}
+
+bool thread_pool::run_one_task()
+{
+    unique_task task;
+    if (!steal_any(task)) {
+        return false;
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool thread_pool::acquire_task(std::size_t index, unique_task& out)
+{
+    {
+        worker_queue& own = *queues_[index];
+        std::lock_guard lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    for (std::size_t hop = 1; hop < queues_.size(); ++hop) {
+        worker_queue& victim = *queues_[(index + hop) % queues_.size()];
+        std::lock_guard lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool thread_pool::steal_any(unique_task& out)
+{
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        worker_queue& victim = *queues_[i];
+        std::lock_guard lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void thread_pool::worker_loop(std::size_t index)
+{
+    tls_worker_index = index;
+    tls_worker_pool = this;
+    for (;;) {
+        unique_task task;
+        if (acquire_task(index, task)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::unique_lock lock(sleep_mutex_);
+        wake_.wait(lock, [this] {
+            return pending_.load(std::memory_order_acquire) > 0 ||
+                   stopping_.load(std::memory_order_acquire);
+        });
+        if (stopping_.load(std::memory_order_acquire) &&
+            pending_.load(std::memory_order_acquire) == 0) {
+            return;
+        }
+    }
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end,
+                               const std::function<void(std::size_t)>& body,
+                               std::size_t grain)
+{
+    if (begin >= end) {
+        return;
+    }
+    const std::size_t count = end - begin;
+    if (grain == 0) {
+        // Aim for a few blocks per worker so stealing can rebalance.
+        grain = std::max<std::size_t>(1, count / (4 * worker_count()));
+    }
+
+    std::vector<std::future<void>> blocks;
+    blocks.reserve((count + grain - 1) / grain);
+    for (std::size_t block_begin = begin; block_begin < end; block_begin += grain) {
+        const std::size_t block_end = std::min(end, block_begin + grain);
+        blocks.push_back(submit([&body, block_begin, block_end] {
+            for (std::size_t i = block_begin; i < block_end; ++i) {
+                body(i);
+            }
+        }));
+    }
+
+    // Help while waiting: run queued tasks on this thread so a blocked
+    // caller (even a pool worker) can never starve its own blocks.
+    std::exception_ptr first_error;
+    for (std::future<void>& block : blocks) {
+        while (block.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+            if (!run_one_task()) {
+                block.wait_for(std::chrono::milliseconds(1));
+            }
+        }
+        try {
+            block.get();
+        } catch (...) {
+            if (!first_error) {
+                first_error = std::current_exception();
+            }
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+} // namespace synts::runtime

@@ -1,0 +1,152 @@
+// thread_pool.h -- work-stealing thread pool for the experiment runtime.
+//
+// The sweep workload is a bag of coarse, independent, CPU-bound tasks
+// (characterize a benchmark, run a policy ladder), so the pool favors
+// simplicity over lock-free exotica: one deque per worker, owner pops LIFO
+// from the front, idle workers steal FIFO from the back of a victim chosen
+// round-robin. External submissions are striped across the queues.
+// `submit` returns a std::future carrying the task's value or exception;
+// `parallel_for` blocks, and while blocked *helps* -- it drains pool tasks
+// on the calling thread -- so nested parallelism cannot deadlock even on a
+// single-worker pool. The shape follows the speculative-thread worker loop
+// of adevs' SpecThread (see SNIPPETS.md): park on a condition variable,
+// wake, drain, repark.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+namespace synts::runtime {
+
+/// Move-only type-erased nullary task. std::function requires copyable
+/// callables, which std::packaged_task is not; this is the minimal
+/// replacement (std::move_only_function is C++23).
+class unique_task {
+public:
+    unique_task() = default;
+
+    template <typename F>
+        requires(!std::is_same_v<std::decay_t<F>, unique_task>)
+    unique_task(F&& f) // NOLINT(google-explicit-constructor)
+        : impl_(std::make_unique<model<std::decay_t<F>>>(std::forward<F>(f)))
+    {
+    }
+
+    /// Runs the task. Requires a non-empty task.
+    void operator()() { impl_->call(); }
+
+    /// True when a callable is held.
+    [[nodiscard]] explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+private:
+    struct callable_base {
+        virtual ~callable_base() = default;
+        virtual void call() = 0;
+    };
+    template <typename F>
+    struct model final : callable_base {
+        explicit model(F f) : fn(std::move(f)) {}
+        void call() override { fn(); }
+        F fn;
+    };
+    std::unique_ptr<callable_base> impl_;
+};
+
+/// Work-stealing pool of `worker_count` threads.
+class thread_pool {
+public:
+    /// `worker_count` 0 picks std::thread::hardware_concurrency() (min 1).
+    explicit thread_pool(std::size_t worker_count = 0);
+
+    /// Drains every queued task, then joins the workers.
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Number of worker threads.
+    [[nodiscard]] std::size_t worker_count() const noexcept { return queues_.size(); }
+
+    /// Schedules `f(args...)`; the future carries the result or exception.
+    template <typename F, typename... Args>
+    auto submit(F&& f, Args&&... args)
+        -> std::future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>>
+    {
+        using result_type = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
+        std::packaged_task<result_type()> task(
+            [fn = std::forward<F>(f),
+             tup = std::make_tuple(std::forward<Args>(args)...)]() mutable {
+                return std::apply(std::move(fn), std::move(tup));
+            });
+        std::future<result_type> future = task.get_future();
+        enqueue(unique_task(std::move(task)));
+        return future;
+    }
+
+    /// Runs `body(i)` for every i in [begin, end), in parallel, in blocks of
+    /// `grain` indices (0 = auto). Blocks until every index completed; the
+    /// calling thread executes pool tasks while it waits. Rethrows the first
+    /// failing block's exception (by index order) after all blocks settle.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& body,
+                      std::size_t grain = 0);
+
+    /// Runs one queued task on the calling thread, if any is available.
+    /// Returns false when every queue is empty. This is the helping
+    /// primitive: anything blocked on a future of this pool should loop
+    /// run_one_task() instead of sleeping, so a caller inside a pool worker
+    /// can never starve the tasks it is waiting for (parallel_for and
+    /// sweep_scheduler::run both do).
+    bool run_one_task();
+
+    /// Tasks stolen from another worker's queue since construction
+    /// (observability for the scaling bench; not part of any contract).
+    [[nodiscard]] std::uint64_t steal_count() const noexcept
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    /// Tasks fully executed since construction.
+    [[nodiscard]] std::uint64_t executed_count() const noexcept
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct worker_queue {
+        std::mutex mutex;
+        std::deque<unique_task> tasks;
+    };
+
+    void enqueue(unique_task task);
+    void worker_loop(std::size_t index);
+    /// Pops from own queue front, else steals from a victim's back.
+    bool acquire_task(std::size_t index, unique_task& out);
+    /// Non-worker variant used by helping waiters: steal from anyone.
+    bool steal_any(unique_task& out);
+
+    std::vector<std::unique_ptr<worker_queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleep_mutex_;
+    std::condition_variable wake_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<std::size_t> next_queue_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> executed_{0};
+};
+
+} // namespace synts::runtime

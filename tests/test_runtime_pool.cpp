@@ -1,0 +1,185 @@
+// Tests for runtime/thread_pool: correctness under contention, exception
+// propagation through futures, parallel_for vs serial equivalence, and
+// help-while-waiting (no deadlock from nested parallelism, even on a
+// single-worker pool).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using synts::runtime::thread_pool;
+
+TEST(runtime_pool, worker_count_defaults_to_at_least_one)
+{
+    thread_pool pool;
+    EXPECT_GE(pool.worker_count(), 1u);
+    thread_pool fixed(3);
+    EXPECT_EQ(fixed.worker_count(), 3u);
+}
+
+TEST(runtime_pool, submit_returns_value_through_future)
+{
+    thread_pool pool(2);
+    auto future = pool.submit([](int a, int b) { return a + b; }, 20, 22);
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(runtime_pool, many_tasks_all_execute_exactly_once)
+{
+    thread_pool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    constexpr int n = 2000;
+    futures.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        futures.push_back(pool.submit([&counter] {
+            counter.fetch_add(1, std::memory_order_relaxed);
+        }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(counter.load(), n);
+    EXPECT_GE(pool.executed_count(), static_cast<std::uint64_t>(n));
+}
+
+TEST(runtime_pool, results_deterministic_vs_serial_run)
+{
+    // Each task computes a pure function of its index into a pre-assigned
+    // slot; the aggregate must equal the serial evaluation regardless of
+    // scheduling order.
+    constexpr std::size_t n = 500;
+    std::vector<double> serial(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        serial[i] = std::sin(static_cast<double>(i)) * std::sqrt(i + 1.0);
+    }
+
+    thread_pool pool(4);
+    std::vector<double> parallel(n);
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        futures.push_back(pool.submit([&parallel, i] {
+            parallel[i] = std::sin(static_cast<double>(i)) * std::sqrt(i + 1.0);
+        }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(parallel[i], serial[i]) << "slot " << i;
+    }
+}
+
+TEST(runtime_pool, exceptions_propagate_and_pool_survives)
+{
+    thread_pool pool(2);
+    auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW((void)bad.get(), std::runtime_error);
+    // The worker that ran the throwing task must still serve new work.
+    auto good = pool.submit([] { return 7; });
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(runtime_pool, parallel_for_covers_every_index_once)
+{
+    thread_pool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    pool.parallel_for(0, n, [&visits](std::size_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(runtime_pool, parallel_for_empty_and_single_ranges)
+{
+    thread_pool pool(2);
+    int calls = 0;
+    pool.parallel_for(5, 5, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    std::atomic<int> one{0};
+    pool.parallel_for(9, 10, [&one](std::size_t i) {
+        EXPECT_EQ(i, 9u);
+        one.fetch_add(1);
+    });
+    EXPECT_EQ(one.load(), 1);
+}
+
+TEST(runtime_pool, parallel_for_propagates_body_exception)
+{
+    thread_pool pool(2);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [](std::size_t i) {
+                                       if (i == 37) {
+                                           throw std::logic_error("index 37");
+                                       }
+                                   },
+                                   8),
+                 std::logic_error);
+}
+
+TEST(runtime_pool, nested_parallel_for_does_not_deadlock_single_worker)
+{
+    // The inner parallel_for runs on the pool's only worker; the helping
+    // waiter must drain the inner blocks instead of parking forever.
+    thread_pool pool(1);
+    std::atomic<int> inner_total{0};
+    auto outer = pool.submit([&pool, &inner_total] {
+        pool.parallel_for(0, 16, [&inner_total](std::size_t) {
+            inner_total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    outer.get();
+    EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(runtime_pool, submissions_from_tasks_are_stealable)
+{
+    // Tasks submitted from inside a worker go to that worker's own queue;
+    // other workers must still be able to steal them.
+    thread_pool pool(4);
+    std::atomic<int> total{0};
+    auto root = pool.submit([&pool, &total] {
+        std::vector<std::future<void>> children;
+        children.reserve(64);
+        for (int i = 0; i < 64; ++i) {
+            children.push_back(pool.submit([&total] {
+                total.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        for (auto& child : children) {
+            while (child.wait_for(std::chrono::milliseconds(1)) !=
+                   std::future_status::ready) {
+            }
+        }
+    });
+    root.get();
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(runtime_pool, destructor_drains_queued_tasks)
+{
+    std::atomic<int> done{0};
+    {
+        thread_pool pool(1);
+        for (int i = 0; i < 50; ++i) {
+            (void)pool.submit([&done] { done.fetch_add(1); });
+        }
+    } // ~thread_pool drains, then joins
+    EXPECT_EQ(done.load(), 50);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+// synts_runner -- batched sweep CLI over the experiment runtime.
+//
+// Expands a declarative sweep spec (benchmark set x stage set x theta
+// ladder x policy set) onto the work-stealing thread pool, memoizing
+// characterizations in the process-wide experiment cache, and emits the
+// aggregate as a console table plus optional CSV / JSON files.
+//
+// Examples:
+//   synts_runner --benchmarks=reported --stages=all --policies=all
+//   synts_runner --benchmarks=fmm,cholesky --stages=simple_alu
+//                --ladder=default --workers=4 --pareto-csv=fronts.csv
+//                --summary-csv=summary.csv --json=sweep.json
+//   (one line; wrapped here for width)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runtime/sweep.h"
+#include "runtime/sweep_io.h"
+
+namespace {
+
+using namespace synts;
+
+constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment sweeps
+
+  --benchmarks=LIST   comma list, "all", or "reported" (default: reported)
+  --stages=LIST       comma list of decode,simple_alu,complex_alu or "all"
+                      (default: all)
+  --policies=LIST     comma list of nominal,no_ts,per_core_ts,synts_offline,
+                      synts_online or "all" (default: all)
+  --ladder=SPEC       theta multipliers: "default" (2^-6..2^6), "none", or a
+                      comma list of numbers (default: none)
+  --workers=N         thread-pool width (default: hardware concurrency)
+  --cores=M           modeled CMP cores per experiment (default: 4)
+  --seed=N            workload seed (default: 42)
+  --pareto-csv=PATH   write per-multiplier Pareto fronts as CSV
+  --summary-csv=PATH  write equal-weight operating points as CSV
+  --json=PATH         write the full result (spec, cells, cache stats)
+  --quiet             suppress the console table
+  --help              this text
+)";
+
+std::optional<std::string_view> flag_value(std::string_view arg, std::string_view name)
+{
+    if (arg.size() > name.size() + 3 && arg.starts_with("--") &&
+        arg.substr(2, name.size()) == name && arg[2 + name.size()] == '=') {
+        return arg.substr(name.size() + 3);
+    }
+    return std::nullopt;
+}
+
+std::vector<double> parse_ladder(std::string_view spec)
+{
+    if (spec == "default") {
+        return core::default_theta_multipliers();
+    }
+    if (spec == "none" || spec.empty()) {
+        return {};
+    }
+    std::vector<double> ladder;
+    for (const std::string_view raw : runtime::split_csv(spec)) {
+        const std::string token(raw);
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(token, &consumed);
+        } catch (const std::exception&) {
+            consumed = 0;
+        }
+        if (token.empty() || consumed != token.size() || value <= 0.0) {
+            throw std::invalid_argument("bad theta multiplier: \"" + token + "\"");
+        }
+        ladder.push_back(value);
+    }
+    return ladder;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    runtime::sweep_spec spec;
+    {
+        const auto reported = workload::reported_benchmarks();
+        spec.benchmarks.assign(reported.begin(), reported.end());
+        spec.stages = runtime::parse_stage_list("all");
+        const auto all = core::all_policies();
+        spec.policies.assign(all.begin(), all.end());
+    }
+    std::size_t workers = 0; // 0 = hardware concurrency
+    std::string pareto_csv_path;
+    std::string summary_csv_path;
+    std::string json_path;
+    bool quiet = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string_view arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::fputs(usage.data(), stdout);
+                return 0;
+            }
+            if (arg == "--quiet") {
+                quiet = true;
+            } else if (const auto v = flag_value(arg, "benchmarks")) {
+                spec.benchmarks = runtime::parse_benchmark_list(*v);
+            } else if (const auto v = flag_value(arg, "stages")) {
+                spec.stages = runtime::parse_stage_list(*v);
+            } else if (const auto v = flag_value(arg, "policies")) {
+                spec.policies = runtime::parse_policy_list(*v);
+            } else if (const auto v = flag_value(arg, "ladder")) {
+                spec.theta_multipliers = parse_ladder(*v);
+            } else if (const auto v = flag_value(arg, "workers")) {
+                workers = std::stoul(std::string(*v));
+            } else if (const auto v = flag_value(arg, "cores")) {
+                spec.config.thread_count = std::stoul(std::string(*v));
+            } else if (const auto v = flag_value(arg, "seed")) {
+                spec.config.seed = std::stoull(std::string(*v));
+            } else if (const auto v = flag_value(arg, "pareto-csv")) {
+                pareto_csv_path = *v;
+            } else if (const auto v = flag_value(arg, "summary-csv")) {
+                summary_csv_path = *v;
+            } else if (const auto v = flag_value(arg, "json")) {
+                json_path = *v;
+            } else {
+                throw std::invalid_argument("unknown flag: " + std::string(arg));
+            }
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "synts_runner: %s\n\n%s", error.what(), usage.data());
+        return 2;
+    }
+
+    try {
+        runtime::thread_pool pool(workers);
+        runtime::sweep_scheduler scheduler(pool, runtime::experiment_cache::process_cache());
+        const runtime::sweep_result result = scheduler.run(spec);
+
+        if (!quiet) {
+            std::fputs(runtime::render_sweep_table(result).c_str(), stdout);
+            std::printf("%zu cells in %.2f s on %zu workers "
+                        "(cache: %llu hits, %llu misses, %llu steals)\n",
+                        result.cells.size(), result.wall_seconds, pool.worker_count(),
+                        static_cast<unsigned long long>(result.cache_hits),
+                        static_cast<unsigned long long>(result.cache_misses),
+                        static_cast<unsigned long long>(pool.steal_count()));
+        }
+
+        const auto write_file = [](const std::string& path, const auto& writer) {
+            std::ofstream out(path);
+            if (!out) {
+                throw std::runtime_error("cannot open " + path);
+            }
+            writer(out);
+        };
+        if (!pareto_csv_path.empty()) {
+            write_file(pareto_csv_path,
+                       [&](std::ostream& out) { runtime::write_pareto_csv(result, out); });
+        }
+        if (!summary_csv_path.empty()) {
+            write_file(summary_csv_path, [&](std::ostream& out) {
+                runtime::write_summary_csv(result, out);
+            });
+        }
+        if (!json_path.empty()) {
+            write_file(json_path,
+                       [&](std::ostream& out) { runtime::write_sweep_json(result, out); });
+        }
+        return 0;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "synts_runner: %s\n", error.what());
+        return 1;
+    }
+}
