@@ -1,0 +1,219 @@
+// bench_characterization -- phase timings of the staged characterization
+// pipeline.
+//
+// Times each pipeline phase (trace generation, architectural profiling,
+// per-stage timing simulation) serial vs pool-parallel, plus the end-to-end
+// win of the two-tier cache: all three pipe stages of one benchmark through
+// shared program artifacts vs three naive from-scratch constructions. While
+// timing, it also re-checks the bit-identity contract (parallel phases must
+// equal serial exactly) and exits non-zero on any mismatch, so a regression
+// fails CI instead of being recorded in the artifact.
+//
+// Output: one JSON document on stdout (scripts/run_benches.sh captures it
+// as BENCH_characterization.json). Human-readable progress goes to stderr.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "runtime/experiment_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace synts;
+
+double seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+bool same_trace(const arch::program_trace& a, const arch::program_trace& b)
+{
+    if (a.thread_count() != b.thread_count()) {
+        return false;
+    }
+    for (std::size_t t = 0; t < a.thread_count(); ++t) {
+        if (a.threads[t].barrier_points != b.threads[t].barrier_points ||
+            a.threads[t].ops.size() != b.threads[t].ops.size()) {
+            return false;
+        }
+        for (std::size_t n = 0; n < a.threads[t].ops.size(); ++n) {
+            const arch::micro_op& x = a.threads[t].ops[n];
+            const arch::micro_op& y = b.threads[t].ops[n];
+            if (x.cls != y.cls || x.encoding != y.encoding ||
+                x.operand_a != y.operand_a || x.operand_b != y.operand_b ||
+                x.address != y.address || x.branch_taken != y.branch_taken) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool same_profiles(const std::vector<arch::thread_profile>& a,
+                   const std::vector<arch::thread_profile>& b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        if (a[t].size() != b[t].size()) {
+            return false;
+        }
+        for (std::size_t k = 0; k < a[t].size(); ++k) {
+            if (a[t][k].instruction_count != b[t][k].instruction_count ||
+                a[t][k].base_cycles != b[t][k].base_cycles ||
+                a[t][k].cpi_base != b[t][k].cpi_base ||
+                a[t][k].dcache_miss_rate != b[t][k].dcache_miss_rate ||
+                a[t][k].branch_misprediction_rate != b[t][k].branch_misprediction_rate) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool same_characterization(const core::stage_characterization& a,
+                           const core::stage_characterization& b)
+{
+    if (a.tnom_ps != b.tnom_ps || a.threads.size() != b.threads.size()) {
+        return false;
+    }
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        if (a.threads[t].size() != b.threads[t].size()) {
+            return false;
+        }
+        for (std::size_t k = 0; k < a.threads[t].size(); ++k) {
+            const auto& x = a.threads[t][k];
+            const auto& y = b.threads[t][k];
+            if (x.vector_count != y.vector_count ||
+                x.sampling_delays_ps != y.sampling_delays_ps) {
+                return false;
+            }
+            for (std::size_t c = 0; c < x.delay_histograms.size(); ++c) {
+                for (std::size_t i = 0; i < x.delay_histograms[c].bin_count(); ++i) {
+                    if (x.delay_histograms[c].count_at(i) !=
+                        y.delay_histograms[c].count_at(i)) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int main()
+{
+    constexpr auto kBenchmark = workload::benchmark_id::radix;
+    constexpr std::uint64_t kSeed = 42;
+    const core::experiment_config config;
+
+    runtime::thread_pool pool;
+    const util::parallel_for_fn parallel = runtime::make_parallel_for(pool);
+
+    std::vector<std::pair<std::string, double>> phases;
+    bool identity_ok = true;
+    const auto timed = [&phases](const std::string& name, const auto& body) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body();
+        const double s = seconds_since(t0);
+        phases.emplace_back(name, s);
+        std::fprintf(stderr, "%-32s %8.3f s\n", name.c_str(), s);
+        return s;
+    };
+
+    // Phase 1: workload trace generation.
+    const workload::benchmark_profile profile =
+        workload::make_profile(kBenchmark, config.thread_count);
+    arch::program_trace trace_serial;
+    arch::program_trace trace_parallel;
+    timed("trace_generation_serial",
+          [&] { trace_serial = workload::generate_program_trace(profile, kSeed); });
+    timed("trace_generation_parallel", [&] {
+        trace_parallel = workload::generate_program_trace(profile, kSeed, parallel);
+    });
+    identity_ok = identity_ok && same_trace(trace_serial, trace_parallel);
+
+    // Phase 2: architectural profiling.
+    arch::multicore_profiler profiler(config.characterization.core);
+    std::vector<arch::thread_profile> profiles_serial;
+    std::vector<arch::thread_profile> profiles_parallel;
+    timed("arch_profile_serial", [&] { profiles_serial = profiler.profile(trace_serial); });
+    timed("arch_profile_parallel",
+          [&] { profiles_parallel = profiler.profile(trace_serial, parallel); });
+    identity_ok = identity_ok && same_profiles(profiles_serial, profiles_parallel);
+
+    // Phase 3: per-stage timing simulation, serial vs (thread, interval)
+    // fan-out, on shared artifacts.
+    core::program_artifacts artifacts;
+    artifacts.benchmark = kBenchmark;
+    artifacts.thread_count = config.thread_count;
+    artifacts.seed = kSeed;
+    artifacts.trace = std::move(trace_serial);
+    artifacts.arch_profiles = std::move(profiles_serial);
+
+    const auto lib = circuit::cell_library::standard_22nm();
+    const circuit::voltage_model vm(config.voltage_class_spread);
+    const core::characterizer chars(lib, vm, config.characterization);
+
+    core::stage_characterization stage_serial;
+    core::stage_characterization stage_parallel;
+    timed("stage_characterization_serial", [&] {
+        stage_serial = chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
+    });
+    timed("stage_characterization_parallel", [&] {
+        stage_parallel =
+            chars.characterize(artifacts, circuit::pipe_stage::simple_alu, parallel);
+    });
+    identity_ok = identity_ok && same_characterization(stage_serial, stage_parallel);
+
+    // Phase 4: end-to-end -- three naive constructions vs the two-tier
+    // cache sharing one artifact set across all three pipe stages.
+    timed("all_stages_naive", [&] {
+        for (std::size_t s = 0; s < circuit::pipe_stage_count; ++s) {
+            const core::benchmark_experiment experiment(
+                kBenchmark, static_cast<circuit::pipe_stage>(s), config);
+            (void)experiment.interval_count();
+        }
+    });
+    runtime::experiment_cache cache;
+    timed("all_stages_staged_cache", [&] {
+        for (std::size_t s = 0; s < circuit::pipe_stage_count; ++s) {
+            const auto experiment = cache.get_or_create(
+                kBenchmark, static_cast<circuit::pipe_stage>(s), config, &pool);
+            (void)experiment->interval_count();
+        }
+    });
+    const bool cache_ok =
+        cache.program_miss_count() == 1 && cache.miss_count() == circuit::pipe_stage_count;
+    identity_ok = identity_ok && cache_ok;
+    if (!cache_ok) {
+        std::fprintf(stderr, "FAIL: program tier did not share artifacts "
+                             "(program misses %llu, stage misses %llu)\n",
+                     static_cast<unsigned long long>(cache.program_miss_count()),
+                     static_cast<unsigned long long>(cache.miss_count()));
+    }
+
+    std::printf("{\n  \"benchmark\": \"%s\",\n  \"workers\": %zu,\n  \"phases\": [\n",
+                std::string(workload::benchmark_name(kBenchmark)).c_str(),
+                pool.worker_count());
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        std::printf("    {\"name\": \"%s\", \"seconds\": %.6f}%s\n",
+                    phases[i].first.c_str(), phases[i].second,
+                    i + 1 < phases.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"identity_ok\": %s\n}\n", identity_ok ? "true" : "false");
+
+    if (!identity_ok) {
+        std::fprintf(stderr, "FAIL: parallel characterization diverged from serial\n");
+        return 1;
+    }
+    return 0;
+}

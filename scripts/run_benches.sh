@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the runtime micro benches and dumps wall-clock timings to
 # BENCH_runtime.json (schema: {"generated_unix": N, "hardware_threads": N,
-# "benches": [{"name", "seconds", "exit_code"}...]}).
+# "benches": [{"name", "seconds", "exit_code"}...]}), then runs the
+# characterization phase-timing bench, whose own JSON (per-pipeline-phase
+# serial vs parallel timings plus the bit-identity verdict) is captured as
+# BENCH_characterization.json.
 #
 # Usage: scripts/run_benches.sh [build-dir] (default: build)
 
@@ -60,6 +63,24 @@ EOF
 
 echo "wrote ${out}" >&2
 cat "${out}"
+
+# -- characterization phase timings ------------------------------------------
+# bench_characterization emits its own JSON (phase-by-phase serial vs
+# parallel timings) on stdout and checks parallel/serial bit-identity
+# itself, exiting non-zero on divergence.
+char_bench="${build_dir}/bench_characterization"
+char_out="BENCH_characterization.json"
+if [[ -x "${char_bench}" ]]; then
+    echo "== bench_characterization" >&2
+    if ! "${char_bench}" > "${char_out}"; then
+        echo "FAIL bench_characterization" >&2
+        failures=$((failures + 1))
+    fi
+    echo "wrote ${char_out}" >&2
+    cat "${char_out}"
+else
+    echo "skip bench_characterization: not built" >&2
+fi
 
 # A failing bench (e.g. bench_runtime_scaling's bit-identity check) must
 # fail the CI step, not just be recorded in the artifact.

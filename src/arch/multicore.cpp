@@ -7,14 +7,15 @@ multicore_profiler::multicore_profiler(const core_config& config)
 {
 }
 
-std::vector<thread_profile> multicore_profiler::profile(const program_trace& program)
+std::vector<thread_profile> multicore_profiler::profile(const program_trace& program,
+                                                        const util::parallel_for_fn& parallel)
 {
     program.validate();
 
-    std::vector<thread_profile> profiles;
-    profiles.reserve(program.thread_count());
+    std::vector<thread_profile> profiles(program.thread_count());
 
-    for (const thread_trace& trace : program.threads) {
+    util::for_each_index(parallel, program.thread_count(), [&](std::size_t t) {
+        const thread_trace& trace = program.threads[t];
         inorder_core core(config_);
         thread_profile profile;
         profile.reserve(trace.interval_count());
@@ -53,8 +54,8 @@ std::vector<thread_profile> multicore_profiler::profile(const program_trace& pro
 
             profile.push_back(p);
         }
-        profiles.push_back(std::move(profile));
-    }
+        profiles[t] = std::move(profile);
+    });
     return profiles;
 }
 

@@ -15,6 +15,7 @@
 
 #include "arch/pipeline.h"
 #include "arch/trace.h"
+#include "util/parallel.h"
 
 namespace synts::arch {
 
@@ -38,8 +39,12 @@ public:
 
     /// Runs every thread's full trace; returns profiles indexed
     /// [thread][interval]. Throws std::logic_error if the program trace is
-    /// inconsistent.
-    [[nodiscard]] std::vector<thread_profile> profile(const program_trace& program);
+    /// inconsistent. Each thread runs on its own core instance whose cache
+    /// and predictor state persists across that thread's intervals, so
+    /// threads are mutually independent: `parallel` fans them out without
+    /// changing a single count (bit-identical to the serial path).
+    [[nodiscard]] std::vector<thread_profile> profile(const program_trace& program,
+                                                      const util::parallel_for_fn& parallel = {});
 
 private:
     core_config config_;

@@ -7,31 +7,47 @@
 
 namespace synts::circuit {
 
+std::shared_ptr<const timing_corner_tables>
+make_corner_tables(const netlist& nl, const cell_library& lib, const voltage_model& vm,
+                   std::span<const double> vdd_levels)
+{
+    if (vdd_levels.empty()) {
+        throw std::invalid_argument("make_corner_tables: need at least one corner");
+    }
+    const static_timing_analyzer sta(nl);
+    const std::vector<double> nominal = sta.nominal_gate_delays(lib);
+    const auto gates = nl.gates();
+
+    auto tables = std::make_shared<timing_corner_tables>();
+    tables->vdd.assign(vdd_levels.begin(), vdd_levels.end());
+    tables->nominal_period_ps.reserve(vdd_levels.size());
+    tables->gate_delay_ps.reserve(vdd_levels.size());
+    for (const double vdd : vdd_levels) {
+        std::vector<double> delays(gates.size());
+        vm.scale_gate_delays(gates, nominal, delays, vdd);
+        tables->nominal_period_ps.push_back(sta.analyze(delays).critical_delay_ps);
+        tables->gate_delay_ps.push_back(std::move(delays));
+    }
+    return tables;
+}
+
 dynamic_timing_simulator::dynamic_timing_simulator(const netlist& nl, const cell_library& lib,
                                                    const voltage_model& vm,
                                                    std::span<const double> vdd_levels)
-    : nl_(nl)
+    : dynamic_timing_simulator(nl, make_corner_tables(nl, lib, vm, vdd_levels))
 {
-    if (vdd_levels.empty()) {
+}
+
+dynamic_timing_simulator::dynamic_timing_simulator(
+    const netlist& nl, std::shared_ptr<const timing_corner_tables> tables)
+    : nl_(nl), tables_(std::move(tables))
+{
+    if (!tables_ || tables_->vdd.empty()) {
         throw std::invalid_argument("dynamic_timing_simulator: need at least one corner");
     }
-    const static_timing_analyzer sta(nl_);
-    const std::vector<double> nominal = sta.nominal_gate_delays(lib);
-    const auto gates = nl_.gates();
-
-    corners_.reserve(vdd_levels.size());
-    for (const double vdd : vdd_levels) {
-        corner c;
-        c.vdd = vdd;
-        c.gate_delay_ps.resize(gates.size());
-        vm.scale_gate_delays(gates, nominal, c.gate_delay_ps, vdd);
-        c.nominal_period_ps = sta.analyze(c.gate_delay_ps).critical_delay_ps;
-        corners_.push_back(std::move(c));
-    }
-
     values_.assign(nl_.net_count(), 0);
     changed_.assign(nl_.net_count(), 0);
-    toggle_ps_.assign(corners_.size() * nl_.net_count(), 0.0);
+    toggle_ps_.assign(tables_->vdd.size() * nl_.net_count(), 0.0);
 }
 
 void dynamic_timing_simulator::reset()
@@ -46,7 +62,7 @@ double dynamic_timing_simulator::step(std::span<const bool> inputs,
 {
     const std::size_t input_count = nl_.input_count();
     const std::size_t net_count = nl_.net_count();
-    const std::size_t corner_count_ = corners_.size();
+    const std::size_t corner_count_ = tables_->vdd.size();
     if (inputs.size() != input_count) {
         throw std::invalid_argument("dynamic_timing_simulator: input vector width mismatch");
     }
@@ -67,6 +83,7 @@ double dynamic_timing_simulator::step(std::span<const bool> inputs,
     }
 
     const auto gates = nl_.gates();
+    const auto& gate_delays = tables_->gate_delay_ps;
     for (std::size_t gi = 0; gi < gates.size(); ++gi) {
         const gate& g = gates[gi];
         bool in_bits[3] = {false, false, false};
@@ -90,7 +107,7 @@ double dynamic_timing_simulator::step(std::span<const bool> inputs,
                     latest_input = std::max(latest_input, toggle_ps_[c * net_count + in]);
                 }
             }
-            toggle_ps_[c * net_count + out] = latest_input + corners_[c].gate_delay_ps[gi];
+            toggle_ps_[c * net_count + out] = latest_input + gate_delays[c][gi];
         }
     }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,28 +24,56 @@
 
 namespace synts::circuit {
 
+/// Precomputed per-corner timing of one netlist: supply, STA critical-path
+/// delay (the nominal period), and per-gate delays. Building the tables
+/// runs the static timing analysis once per corner -- the expensive part of
+/// simulator construction -- so callers that spin up many simulators over
+/// the same netlist (the per-(thread, interval) characterization cells)
+/// build one set and share it.
+struct timing_corner_tables {
+    std::vector<double> vdd;                        ///< [corner]
+    std::vector<double> nominal_period_ps;          ///< [corner]
+    std::vector<std::vector<double>> gate_delay_ps; ///< [corner][gate]
+};
+
+/// Runs the STA and builds the shared tables for every supply level in
+/// `vdd_levels` (throws std::invalid_argument when empty).
+[[nodiscard]] std::shared_ptr<const timing_corner_tables>
+make_corner_tables(const netlist& nl, const cell_library& lib, const voltage_model& vm,
+                   std::span<const double> vdd_levels);
+
 /// Multi-corner dynamic timing simulator bound to one netlist.
 class dynamic_timing_simulator {
 public:
     /// Binds to `nl` (which must outlive the simulator) and prepares delay
-    /// tables for every supply level in `vdd_levels`.
+    /// tables for every supply level in `vdd_levels`. Convenience overload:
+    /// pays the per-corner STA; use the tables overload to amortize it.
     dynamic_timing_simulator(const netlist& nl, const cell_library& lib,
                              const voltage_model& vm, std::span<const double> vdd_levels);
 
+    /// Binds to `nl` sharing precomputed tables (which must describe `nl`):
+    /// no STA runs, so construction is cheap enough for one simulator per
+    /// (thread, interval) characterization cell.
+    dynamic_timing_simulator(const netlist& nl,
+                             std::shared_ptr<const timing_corner_tables> tables);
+
     /// Number of voltage corners.
-    [[nodiscard]] std::size_t corner_count() const noexcept { return corners_.size(); }
+    [[nodiscard]] std::size_t corner_count() const noexcept
+    {
+        return tables_->vdd.size();
+    }
 
     /// Supply of corner `c`.
     [[nodiscard]] double corner_vdd(std::size_t c) const noexcept
     {
-        return corners_[c].vdd;
+        return tables_->vdd[c];
     }
 
     /// STA critical-path delay (the stage's nominal period t_nom) at
     /// corner `c`.
     [[nodiscard]] double nominal_period_ps(std::size_t c) const noexcept
     {
-        return corners_[c].nominal_period_ps;
+        return tables_->nominal_period_ps[c];
     }
 
     /// Clears all state to the all-zero vector. The first step after a
@@ -66,14 +95,8 @@ public:
     }
 
 private:
-    struct corner {
-        double vdd = 1.0;
-        double nominal_period_ps = 0.0;
-        std::vector<double> gate_delay_ps; ///< per gate
-    };
-
     const netlist& nl_;
-    std::vector<corner> corners_;
+    std::shared_ptr<const timing_corner_tables> tables_;
     std::vector<std::uint8_t> values_;  ///< per net, current value
     std::vector<std::uint8_t> changed_; ///< per net, toggled in current step
     std::vector<double> toggle_ps_;     ///< [corner * net_count + net]

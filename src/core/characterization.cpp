@@ -3,7 +3,6 @@
 #include <memory>
 #include <stdexcept>
 
-#include "arch/stage_taps.h"
 #include "circuit/dynamic_timing.h"
 
 namespace synts::core {
@@ -22,8 +21,65 @@ characterizer::characterizer(const circuit::cell_library& lib,
 {
 }
 
-stage_characterization characterizer::characterize(const arch::program_trace& program,
-                                                   circuit::pipe_stage stage) const
+interval_characterization characterizer::characterize_interval(
+    const circuit::stage_netlist& stage_nl, const arch::stage_tap& tap,
+    const std::shared_ptr<const circuit::timing_corner_tables>& tables,
+    const arch::thread_trace& trace, std::size_t interval,
+    std::size_t warmup_op) const
+{
+    // One simulator per cell: the stage's datapath state is private to the
+    // core the thread runs on, and a settled netlist's node values are a
+    // pure function of the last applied vector. Replaying the last driving
+    // vector of the preceding intervals -- `warmup_op`, precomputed by
+    // characterize() -- with its delays discarded therefore reproduces
+    // exactly the state a single serial walk of the whole thread would
+    // carry into this interval: cells stay bit-identical to serial while
+    // running embarrassingly parallel. The shared corner tables keep
+    // per-cell construction cheap (no STA).
+    const std::size_t corner_count = tables->vdd.size();
+    const std::vector<double>& tnom_ps = tables->nominal_period_ps;
+    circuit::dynamic_timing_simulator sim(stage_nl.nl, tables);
+    const auto bits_storage = std::make_unique<bool[]>(tap.width());
+    const std::span<bool> bits(bits_storage.get(), tap.width());
+    std::vector<double> corner_delays(corner_count);
+
+    if (warmup_op != no_warmup_op) {
+        if (!tap.extract(trace.ops[warmup_op], bits)) {
+            throw std::logic_error("characterizer: warm-up op does not drive the stage");
+        }
+        sim.step(std::span<const bool>(bits_storage.get(), tap.width()), corner_delays);
+    }
+
+    interval_characterization data;
+    data.delay_histograms.reserve(corner_count);
+    for (std::size_t c = 0; c < corner_count; ++c) {
+        data.delay_histograms.emplace_back(
+            0.0, tnom_ps[c] * config_.histogram_headroom, config_.histogram_bins);
+    }
+
+    const auto ops = trace.interval(interval);
+    data.instruction_count = ops.size();
+    for (std::size_t n = 0; n < ops.size(); ++n) {
+        if (!tap.extract(ops[n], bits)) {
+            continue;
+        }
+        sim.step(std::span<const bool>(bits_storage.get(), tap.width()), corner_delays);
+
+        ++data.vector_count;
+        for (std::size_t c = 0; c < corner_count; ++c) {
+            data.delay_histograms[c].add(corner_delays[c]);
+        }
+        if (config_.keep_sampling_trace) {
+            data.sampling_delays_ps.push_back(static_cast<float>(corner_delays[0]));
+            data.sampling_instr_index.push_back(static_cast<std::uint32_t>(n));
+        }
+    }
+    return data;
+}
+
+stage_characterization characterizer::characterize(const program_artifacts& program,
+                                                   circuit::pipe_stage stage,
+                                                   const util::parallel_for_fn& parallel) const
 {
     program.validate();
 
@@ -33,64 +89,66 @@ stage_characterization characterizer::characterize(const arch::program_trace& pr
     stage_characterization result;
     result.stage = stage;
     result.corner_vdd.assign(corners.begin(), corners.end());
+    result.arch_profiles = program.arch_profiles;
 
-    // Architectural profiling (N_i, CPI_base_i per interval).
-    arch::multicore_profiler profiler(config_.core);
-    result.arch_profiles = profiler.profile(program);
+    // One STA pass for the whole stage: the corner tables (per-gate delays
+    // and the nominal periods, which depend only on (netlist, corner), not
+    // on stepping history) are computed once up front and shared by every
+    // cell's simulator.
+    const std::shared_ptr<const circuit::timing_corner_tables> tables =
+        circuit::make_corner_tables(stage_nl.nl, lib_, vm_, corners);
+    result.tnom_ps = tables->nominal_period_ps;
 
     const arch::stage_tap tap(stage, stage_nl.layout);
-    const auto bits_storage = std::make_unique<bool[]>(tap.width());
-    const std::span<bool> bits(bits_storage.get(), tap.width());
-    std::vector<double> corner_delays(corners.size());
+    const std::size_t thread_count = program.trace.thread_count();
+    const std::size_t interval_count = program.trace.interval_count();
 
-    result.threads.resize(program.thread_count());
-    for (std::size_t t = 0; t < program.thread_count(); ++t) {
-        // One simulator per thread: the stage's datapath state is private
-        // to the core the thread runs on.
-        circuit::dynamic_timing_simulator sim(stage_nl.nl, lib_, vm_, corners);
-        if (result.tnom_ps.empty()) {
-            result.tnom_ps.resize(corners.size());
-            for (std::size_t c = 0; c < corners.size(); ++c) {
-                result.tnom_ps[c] = sim.nominal_period_ps(c);
-            }
-        }
-
-        const arch::thread_trace& trace = program.threads[t];
-        auto& intervals = result.threads[t];
-        intervals.reserve(trace.interval_count());
-
-        for (std::size_t k = 0; k < trace.interval_count(); ++k) {
-            interval_characterization data;
-            data.delay_histograms.reserve(corners.size());
-            for (std::size_t c = 0; c < corners.size(); ++c) {
-                data.delay_histograms.emplace_back(
-                    0.0, result.tnom_ps[c] * config_.histogram_headroom,
-                    config_.histogram_bins);
-            }
-
-            const auto ops = trace.interval(k);
-            data.instruction_count = ops.size();
-            for (std::size_t n = 0; n < ops.size(); ++n) {
-                if (!tap.extract(ops[n], bits)) {
-                    continue;
-                }
-                sim.step(std::span<const bool>(bits_storage.get(), tap.width()),
-                         corner_delays);
-
-                ++data.vector_count;
-                for (std::size_t c = 0; c < corners.size(); ++c) {
-                    data.delay_histograms[c].add(corner_delays[c]);
-                }
-                if (config_.keep_sampling_trace) {
-                    data.sampling_delays_ps.push_back(
-                        static_cast<float>(corner_delays[0]));
-                    data.sampling_instr_index.push_back(static_cast<std::uint32_t>(n));
-                }
-            }
-            intervals.push_back(std::move(data));
-        }
+    result.threads.resize(thread_count);
+    for (auto& intervals : result.threads) {
+        intervals.resize(interval_count);
     }
+
+    // Pre-pass: each interval's replay vector is the last op *before* it
+    // that drives the stage. One forward scan per thread finds them all;
+    // a per-cell backward scan would re-walk the whole preceding history
+    // per interval -- quadratic exactly when the stage fires rarely and
+    // there is little simulation work to amortize it.
+    std::vector<std::vector<std::size_t>> warmup_ops(
+        thread_count, std::vector<std::size_t>(interval_count, no_warmup_op));
+    util::for_each_index(parallel, thread_count, [&](std::size_t t) {
+        const arch::thread_trace& trace = program.trace.threads[t];
+        const auto bits_storage = std::make_unique<bool[]>(tap.width());
+        const std::span<bool> bits(bits_storage.get(), tap.width());
+        std::size_t last_driving = no_warmup_op;
+        for (std::size_t k = 0; k < interval_count; ++k) {
+            warmup_ops[t][k] = last_driving;
+            const std::size_t begin = k == 0 ? 0 : trace.barrier_points[k - 1];
+            for (std::size_t n = begin; n < trace.barrier_points[k]; ++n) {
+                if (tap.extract(trace.ops[n], bits)) {
+                    last_driving = n;
+                }
+            }
+        }
+    });
+
+    // Every (thread, interval) cell is independent (see
+    // characterize_interval) and lands in its pre-assigned slot, so the
+    // merge order is deterministic regardless of schedule.
+    util::for_each_index(parallel, thread_count * interval_count, [&](std::size_t cell) {
+        const std::size_t t = cell / interval_count;
+        const std::size_t k = cell % interval_count;
+        result.threads[t][k] =
+            characterize_interval(stage_nl, tap, tables, program.trace.threads[t], k,
+                                  warmup_ops[t][k]);
+    });
     return result;
+}
+
+stage_characterization characterizer::characterize(const arch::program_trace& program,
+                                                   circuit::pipe_stage stage) const
+{
+    const program_characterizer profiler(config_.core);
+    return characterize(profiler.characterize_trace(program), stage);
 }
 
 } // namespace synts::core

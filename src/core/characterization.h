@@ -12,15 +12,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "arch/multicore.h"
+#include "arch/stage_taps.h"
 #include "arch/trace.h"
 #include "circuit/cell_library.h"
+#include "circuit/dynamic_timing.h"
 #include "circuit/netlist_builder.h"
 #include "circuit/voltage_model.h"
 #include "core/error_model.h"
+#include "core/program_artifacts.h"
 #include "util/histogram.h"
+#include "util/parallel.h"
 
 namespace synts::core {
 
@@ -81,11 +87,34 @@ public:
     characterizer(const circuit::cell_library& lib, const circuit::voltage_model& vm,
                   characterization_config config = {});
 
-    /// Characterizes `program` against one pipe stage.
+    /// Characterizes pre-built program artifacts against one pipe stage --
+    /// the staged-pipeline entry point; the architectural profiles are taken
+    /// from `program`, never recomputed. `parallel` fans the independent
+    /// (thread, interval) cells out; each cell runs on a private simulator
+    /// whose entry state is replayed from the last driving vector of the
+    /// preceding intervals, so the output is bit-identical to the serial
+    /// pass for any executor (pinned by
+    /// tests/test_core_characterization_pipeline.cpp).
+    [[nodiscard]] stage_characterization
+    characterize(const program_artifacts& program, circuit::pipe_stage stage,
+                 const util::parallel_for_fn& parallel = {}) const;
+
+    /// Legacy one-shot: profiles `program` architecturally, then delegates
+    /// to the artifact overload above. Equivalent to running
+    /// program_characterizer::characterize_trace yourself.
     [[nodiscard]] stage_characterization characterize(const arch::program_trace& program,
                                                       circuit::pipe_stage stage) const;
 
 private:
+    /// Sentinel for "no driving op precedes the interval" (fresh sim state).
+    static constexpr std::size_t no_warmup_op = static_cast<std::size_t>(-1);
+
+    [[nodiscard]] interval_characterization characterize_interval(
+        const circuit::stage_netlist& stage_nl, const arch::stage_tap& tap,
+        const std::shared_ptr<const circuit::timing_corner_tables>& tables,
+        const arch::thread_trace& trace, std::size_t interval,
+        std::size_t warmup_op) const;
+
     const circuit::cell_library& lib_;
     const circuit::voltage_model& vm_;
     characterization_config config_;

@@ -7,27 +7,21 @@
 
 namespace synts::core {
 
+std::uint64_t experiment_config::workload_digest() const noexcept
+{
+    return core::workload_digest(thread_count, seed, characterization.core);
+}
+
 std::uint64_t experiment_config::digest() const noexcept
 {
     util::digest_builder h;
-    h.value(thread_count);
-    h.value(seed);
+    h.value(workload_digest());
     h.value(sampling.sample_fraction);
     h.value(sampling.sample_voltage_index);
     h.value(sampling.min_sample_instructions);
     h.value(characterization.histogram_bins);
     h.value(characterization.histogram_headroom);
     h.value(characterization.keep_sampling_trace);
-    const arch::core_config& core = characterization.core;
-    h.value(core.dcache.size_bytes);
-    h.value(core.dcache.line_bytes);
-    h.value(core.dcache.ways);
-    h.value(core.dcache.hit_latency_cycles);
-    h.value(core.dcache.miss_penalty_cycles);
-    h.value(core.branch_mispredict_penalty);
-    h.value(core.mul_latency_cycles);
-    h.value(core.fp_latency_cycles);
-    h.value(core.predictor_index_bits);
     h.value(params.alpha_switching_cap);
     h.value(params.error_penalty_cycles);
     h.value(params.leakage_power);
@@ -35,20 +29,55 @@ std::uint64_t experiment_config::digest() const noexcept
     return h.digest();
 }
 
+std::shared_ptr<const program_artifacts>
+make_program_artifacts(workload::benchmark_id benchmark, const experiment_config& config,
+                       const util::parallel_for_fn& parallel)
+{
+    const program_characterizer characterizer(config.characterization.core);
+    return std::make_shared<const program_artifacts>(characterizer.characterize(
+        benchmark, config.thread_count, config.seed, parallel));
+}
+
+namespace {
+
+const program_artifacts&
+checked_artifacts(const std::shared_ptr<const program_artifacts>& artifacts)
+{
+    if (!artifacts) {
+        throw std::invalid_argument("benchmark_experiment: null program artifacts");
+    }
+    return *artifacts;
+}
+
+} // namespace
+
 benchmark_experiment::benchmark_experiment(workload::benchmark_id benchmark,
                                            circuit::pipe_stage stage,
                                            const experiment_config& config)
-    : benchmark_(benchmark), stage_(stage), config_(config),
-      lib_(circuit::cell_library::standard_22nm()),
+    : benchmark_experiment(make_program_artifacts(benchmark, config), stage, config)
+{
+}
+
+benchmark_experiment::benchmark_experiment(
+    std::shared_ptr<const program_artifacts> artifacts, circuit::pipe_stage stage,
+    const experiment_config& config, const util::parallel_for_fn& parallel)
+    : benchmark_(checked_artifacts(artifacts).benchmark), stage_(stage), config_(config),
+      artifacts_(std::move(artifacts)), lib_(circuit::cell_library::standard_22nm()),
       vm_(config.voltage_class_spread), engine_(config.sampling)
 {
-    const workload::benchmark_profile profile =
-        workload::make_profile(benchmark, config_.thread_count);
-    const arch::program_trace program =
-        workload::generate_program_trace(profile, config_.seed);
+    if (artifacts_->trace.thread_count() != config_.thread_count) {
+        throw std::invalid_argument(
+            "benchmark_experiment: artifacts/config thread count mismatch");
+    }
+    if (artifacts_->workload_digest != config_.workload_digest()) {
+        throw std::invalid_argument(
+            "benchmark_experiment: artifacts/config workload mismatch (seed or "
+            "core model differs -- results would be attributed to the wrong "
+            "workload)");
+    }
 
     const characterizer chars(lib_, vm_, config_.characterization);
-    characterization_ = chars.characterize(program, stage);
+    characterization_ = chars.characterize(*artifacts_, stage, parallel);
 
     space_ = config_space::paper_grid(characterization_.tnom_ps);
 

@@ -9,15 +9,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/cell_library.h"
 #include "circuit/netlist_builder.h"
 #include "circuit/voltage_model.h"
 #include "core/characterization.h"
+#include "core/program_artifacts.h"
 #include "core/workload_predictor.h"
 #include "core/config_space.h"
 #include "core/policies.h"
+#include "util/parallel.h"
 #include "workload/splash2.h"
 
 namespace synts::core {
@@ -31,10 +34,23 @@ struct experiment_config {
     energy::energy_params params{};
     double voltage_class_spread = 0.04; ///< see voltage_model (0 = uniform)
 
-    /// Stable 64-bit digest over every result-affecting field. Two configs
-    /// with equal digests characterize identically, so the runtime's
-    /// experiment cache may serve one in place of the other. Any new knob
-    /// added above MUST be folded into digest().
+    /// Stable 64-bit digest over the fields that determine the
+    /// stage-INDEPENDENT program artifacts (trace + architectural
+    /// profiles): thread_count, seed, and every core-model knob. Two
+    /// configs with equal workload digests generate identical
+    /// program_artifacts, so the runtime's program-tier cache may share one
+    /// artifact set between them -- across all pipe stages and across
+    /// configs differing only in sampling/histogram/energy/voltage knobs.
+    [[nodiscard]] std::uint64_t workload_digest() const noexcept;
+
+    /// Stable 64-bit digest over every result-affecting field; composes
+    /// workload_digest() with the stage-characterization and evaluation
+    /// knobs. Two configs with equal digests characterize identically, so
+    /// the runtime's experiment cache may serve one in place of the other.
+    /// Any new knob added above MUST be folded into digest() (or, when it
+    /// changes the trace or architectural profiles, into
+    /// workload_digest()); tests/test_core_experiment_api.cpp perturbs
+    /// every field and fails on a forgotten one.
     [[nodiscard]] std::uint64_t digest() const noexcept;
 };
 
@@ -43,9 +59,31 @@ struct experiment_config {
 class benchmark_experiment {
 public:
     /// Generates the workload, profiles the cores and characterizes the
-    /// stage. Heavyweight: run once and reuse.
+    /// stage. Heavyweight: run once and reuse. Prefer the artifact
+    /// constructor below when several stages (or configs differing only in
+    /// evaluation knobs) share one workload -- this overload rebuilds the
+    /// stage-independent artifacts every time.
     benchmark_experiment(workload::benchmark_id benchmark, circuit::pipe_stage stage,
                          const experiment_config& config = {});
+
+    /// Staged-pipeline constructor: consumes pre-built stage-independent
+    /// artifacts (trace + architectural profiles) instead of regenerating
+    /// them, and keeps them alive for the experiment's lifetime. Throws
+    /// std::invalid_argument when `artifacts` is null or its provenance
+    /// (thread count, and the stamped workload digest covering seed and
+    /// core model) disagrees with `config`. `parallel` fans the
+    /// per-(thread, interval) stage characterization out; results are
+    /// bit-identical for any executor.
+    benchmark_experiment(std::shared_ptr<const program_artifacts> artifacts,
+                         circuit::pipe_stage stage, const experiment_config& config = {},
+                         const util::parallel_for_fn& parallel = {});
+
+    /// The shared stage-independent artifacts this experiment was built on.
+    [[nodiscard]] const std::shared_ptr<const program_artifacts>&
+    artifacts() const noexcept
+    {
+        return artifacts_;
+    }
 
     /// The benchmark id.
     [[nodiscard]] workload::benchmark_id benchmark() const noexcept { return benchmark_; }
@@ -117,6 +155,7 @@ private:
     workload::benchmark_id benchmark_;
     circuit::pipe_stage stage_;
     experiment_config config_;
+    std::shared_ptr<const program_artifacts> artifacts_;
     circuit::cell_library lib_;
     circuit::voltage_model vm_;
     stage_characterization characterization_;
@@ -124,6 +163,14 @@ private:
     std::vector<std::vector<empirical_error_model>> error_models_; ///< [thread][interval]
     policy_engine engine_;
 };
+
+/// Builds the stage-independent program artifacts of (benchmark, config):
+/// phase one of the staged pipeline. Only config.thread_count, config.seed
+/// and config.characterization.core participate (== workload_digest()).
+[[nodiscard]] std::shared_ptr<const program_artifacts>
+make_program_artifacts(workload::benchmark_id benchmark,
+                       const experiment_config& config = {},
+                       const util::parallel_for_fn& parallel = {});
 
 /// One point of a Pareto sweep (Figs. 6.11-6.16).
 struct pareto_point {

@@ -1,99 +1,49 @@
 #include "runtime/experiment_cache.h"
 
-#include <bit>
-
-#include "util/hashing.h"
-
 namespace synts::runtime {
 
-std::size_t experiment_cache::key_hash::operator()(
-    const experiment_key& key) const noexcept
+namespace {
+
+util::parallel_for_fn pool_executor(thread_pool* pool)
 {
-    util::digest_builder h;
-    h.value(key.benchmark);
-    h.value(key.stage);
-    h.value(key.config_digest);
-    return static_cast<std::size_t>(h.digest());
+    return pool != nullptr ? make_parallel_for(*pool) : util::parallel_for_fn{};
 }
+
+} // namespace
 
 experiment_cache::experiment_cache(std::size_t shard_count)
+    : stage_tier_(shard_count), program_tier_(shard_count)
 {
-    shard_count = std::bit_ceil(shard_count == 0 ? std::size_t{1} : shard_count);
-    shards_.reserve(shard_count);
-    for (std::size_t i = 0; i < shard_count; ++i) {
-        shards_.push_back(std::make_unique<shard>());
-    }
-}
-
-experiment_cache::shard& experiment_cache::shard_for(const experiment_key& key) noexcept
-{
-    // Re-mix so shard choice and bucket choice use decorrelated bits.
-    const std::uint64_t mixed =
-        util::hash_mix(key.config_digest,
-                       (static_cast<std::uint64_t>(key.benchmark) << 8) |
-                           static_cast<std::uint64_t>(key.stage));
-    return *shards_[mixed & (shards_.size() - 1)];
 }
 
 experiment_cache::experiment_ptr
 experiment_cache::get_or_create(workload::benchmark_id benchmark,
                                 circuit::pipe_stage stage,
-                                const core::experiment_config& config)
+                                const core::experiment_config& config, thread_pool* pool)
 {
     const experiment_key key{benchmark, stage, config.digest()};
-    shard& home = shard_for(key);
-
-    std::promise<experiment_ptr> construction;
-    std::shared_future<experiment_ptr> entry;
-    bool owner = false;
-    {
-        std::lock_guard lock(home.mutex);
-        auto it = home.entries.find(key);
-        if (it != home.entries.end()) {
-            entry = it->second;
-        } else {
-            entry = construction.get_future().share();
-            home.entries.emplace(key, entry);
-            owner = true;
-        }
-    }
-
-    if (!owner) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return entry.get(); // blocks while the owner constructs; rethrows
-    }
-
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    try {
-        construction.set_value(
-            std::make_shared<const core::benchmark_experiment>(benchmark, stage, config));
-    } catch (...) {
-        construction.set_exception(std::current_exception());
-        {
-            std::lock_guard lock(home.mutex);
-            home.entries.erase(key);
-        }
-        throw;
-    }
-    return entry.get();
+    return stage_tier_.get_or_create(key, [&]() -> experiment_ptr {
+        const program_ptr program = get_or_create_program(benchmark, config, pool);
+        return std::make_shared<const core::benchmark_experiment>(
+            program, stage, config, pool_executor(pool));
+    });
 }
 
-std::size_t experiment_cache::size() const
+experiment_cache::program_ptr
+experiment_cache::get_or_create_program(workload::benchmark_id benchmark,
+                                        const core::experiment_config& config,
+                                        thread_pool* pool)
 {
-    std::size_t total = 0;
-    for (const auto& s : shards_) {
-        std::lock_guard lock(s->mutex);
-        total += s->entries.size();
-    }
-    return total;
+    const program_key key{benchmark, config.workload_digest()};
+    return program_tier_.get_or_create(key, [&]() -> program_ptr {
+        return core::make_program_artifacts(benchmark, config, pool_executor(pool));
+    });
 }
 
 void experiment_cache::clear()
 {
-    for (const auto& s : shards_) {
-        std::lock_guard lock(s->mutex);
-        s->entries.clear();
-    }
+    stage_tier_.clear();
+    program_tier_.clear();
 }
 
 experiment_cache& experiment_cache::process_cache()

@@ -1,20 +1,43 @@
-// experiment_cache.h -- process-wide memoization of characterized
-// experiments.
+// experiment_cache.h -- two-tier, process-wide memoization of the staged
+// characterization pipeline.
 //
 // benchmark_experiment construction is the heavyweight step of every figure
-// bench: trace generation + architectural profiling + gate-level dynamic
-// timing at every voltage corner. The seed tree re-ran it from scratch for
-// every (figure, policy) block. This cache keys experiments on
-// (benchmark, stage, experiment_config::digest()) and constructs each at
-// most once per process, concurrently safe:
+// bench. The seed tree re-ran it from scratch for every (figure, policy)
+// block; PR 1 memoized whole experiments on (benchmark, stage, digest). This
+// version splits the cache along the pipeline's phase boundary:
+//
+//   program tier  (benchmark, workload_digest) -> program_artifacts
+//       the generated SPLASH-2 trace + per-thread architectural profiles --
+//       everything stage-INDEPENDENT. All three pipe stages of a benchmark
+//       (and any configs differing only in sampling/histogram/energy/
+//       voltage knobs) share one entry, so the trace is generated and the
+//       architectural profiler run exactly once per workload.
+//   stage tier    (benchmark, stage, digest)   -> benchmark_experiment
+//       the per-stage characterization + config space + error models,
+//       constructed FROM the program tier's artifacts.
+//
+// Both tiers use the same discipline:
 //
 //   * the key->entry map is sharded and mutex-striped, so lookups from many
 //     sweep workers don't serialize on one lock;
 //   * each entry is a shared_future: the first caller constructs *outside*
 //     the shard lock while later callers block on the future, so a popular
-//     benchmark is characterized exactly once and never holds up unrelated
-//     keys. Construction happens on the calling thread (never deferred to a
-//     pool task), so waiting cannot deadlock a fully-busy pool.
+//     key is constructed exactly once and never holds up unrelated keys.
+//     Construction happens on the calling thread (never deferred to a pool
+//     task), so waiting cannot deadlock a fully-busy pool. Pool-parallel
+//     construction preserves this: parallel_for is self-claiming (the
+//     constructing thread completes the fan-out alone if no worker is
+//     free, and never executes a foreign task that could block on the very
+//     entry it is mid-constructing);
+//   * a constructor exception is rethrown to every waiter and the entry is
+//     dropped so a later call can retry. A workload-level failure therefore
+//     leaves BOTH tiers empty (the stage factory invokes the program tier,
+//     and each tier erases its own failed entry).
+//
+// Passing a thread_pool to get_or_create fans the *inside* of a miss's
+// construction (trace generation, profiling, per-(thread, interval) timing
+// simulation) out across the pool; results are bit-identical to serial
+// construction, so the pool choice never affects what a key maps to.
 //
 // The cached experiment is shared as shared_ptr<const ...>: every consumer
 // path (run_policy, pareto_sweep, make_solver_input) is const and free of
@@ -23,82 +46,232 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
+#include "runtime/thread_pool.h"
+#include "util/hashing.h"
 
 namespace synts::runtime {
 
-/// Cache key: what uniquely determines a characterization.
+/// Stage-tier key: what uniquely determines a characterized experiment.
 struct experiment_key {
     workload::benchmark_id benchmark = workload::benchmark_id::fmm;
     circuit::pipe_stage stage = circuit::pipe_stage::decode;
     std::uint64_t config_digest = 0;
 
     friend bool operator==(const experiment_key&, const experiment_key&) = default;
+
+    [[nodiscard]] std::uint64_t digest() const noexcept
+    {
+        util::digest_builder h;
+        h.value(benchmark);
+        h.value(stage);
+        h.value(config_digest);
+        return h.digest();
+    }
 };
 
-/// Sharded, mutex-striped experiment memo.
+/// Program-tier key: what uniquely determines the stage-independent
+/// artifacts (see experiment_config::workload_digest()).
+struct program_key {
+    workload::benchmark_id benchmark = workload::benchmark_id::fmm;
+    std::uint64_t workload_digest = 0;
+
+    friend bool operator==(const program_key&, const program_key&) = default;
+
+    [[nodiscard]] std::uint64_t digest() const noexcept
+    {
+        util::digest_builder h;
+        h.value(benchmark);
+        h.value(workload_digest);
+        return h.digest();
+    }
+};
+
+/// One sharded, mutex-striped shared-future memo level. Key must provide
+/// digest() and operator==; Ptr is the shared_ptr the factory produces.
+template <typename Key, typename Ptr>
+class memo_tier {
+public:
+    /// `shard_count` is rounded up to a power of two (the shard mask
+    /// requires it), minimum 1.
+    explicit memo_tier(std::size_t shard_count)
+    {
+        shard_count = std::bit_ceil(shard_count == 0 ? std::size_t{1} : shard_count);
+        shards_.reserve(shard_count);
+        for (std::size_t i = 0; i < shard_count; ++i) {
+            shards_.push_back(std::make_unique<shard>());
+        }
+    }
+
+    /// Returns the entry of `key`, invoking `factory()` on this thread if
+    /// absent. Blocks when another thread is mid-construction of the same
+    /// key; a factory exception is rethrown to every waiter and the entry
+    /// dropped so a later call can retry.
+    template <typename Factory>
+    [[nodiscard]] Ptr get_or_create(const Key& key, Factory&& factory)
+    {
+        shard& home = shard_for(key);
+
+        std::promise<Ptr> construction;
+        std::shared_future<Ptr> entry;
+        bool owner = false;
+        {
+            std::lock_guard lock(home.mutex);
+            auto it = home.entries.find(key);
+            if (it != home.entries.end()) {
+                entry = it->second;
+            } else {
+                entry = construction.get_future().share();
+                home.entries.emplace(key, entry);
+                owner = true;
+            }
+        }
+
+        if (!owner) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return entry.get(); // blocks while the owner constructs; rethrows
+        }
+
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            construction.set_value(factory());
+        } catch (...) {
+            construction.set_exception(std::current_exception());
+            {
+                std::lock_guard lock(home.mutex);
+                home.entries.erase(key);
+            }
+            throw;
+        }
+        return entry.get();
+    }
+
+    [[nodiscard]] std::uint64_t hit_count() const noexcept
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t miss_count() const noexcept
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::size_t size() const
+    {
+        std::size_t total = 0;
+        for (const auto& s : shards_) {
+            std::lock_guard lock(s->mutex);
+            total += s->entries.size();
+        }
+        return total;
+    }
+
+    void clear()
+    {
+        for (const auto& s : shards_) {
+            std::lock_guard lock(s->mutex);
+            s->entries.clear();
+        }
+    }
+
+private:
+    struct key_hash {
+        std::size_t operator()(const Key& key) const noexcept
+        {
+            return static_cast<std::size_t>(key.digest());
+        }
+    };
+    struct shard {
+        std::mutex mutex;
+        std::unordered_map<Key, std::shared_future<Ptr>, key_hash> entries;
+    };
+
+    [[nodiscard]] shard& shard_for(const Key& key) noexcept
+    {
+        // Re-mix so shard choice and bucket choice use decorrelated bits.
+        return *shards_[util::hash_mix(key.digest(), shards_.size()) &
+                        (shards_.size() - 1)];
+    }
+
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+/// The two-tier experiment memo (see file comment).
 class experiment_cache {
 public:
     using experiment_ptr = std::shared_ptr<const core::benchmark_experiment>;
+    using program_ptr = std::shared_ptr<const core::program_artifacts>;
 
-    /// `shard_count` is rounded up to a power of two (default 16).
+    /// `shard_count` is rounded up to a power of two (default 16) and used
+    /// for both tiers.
     explicit experiment_cache(std::size_t shard_count = 16);
 
     experiment_cache(const experiment_cache&) = delete;
     experiment_cache& operator=(const experiment_cache&) = delete;
 
     /// Returns the cached experiment for (benchmark, stage, config),
-    /// constructing it on this thread if absent. Blocks when another thread
-    /// is mid-construction of the same key. A constructor exception is
-    /// rethrown to every waiter and the entry is dropped so a later call can
-    /// retry.
+    /// constructing it on this thread if absent -- sourcing the
+    /// stage-independent artifacts from the program tier, so a stage miss
+    /// only pays for the per-stage work when the workload is already
+    /// resident. `pool`, when given, parallelizes a miss's construction
+    /// (bit-identical results either way) and must outlive the call.
     [[nodiscard]] experiment_ptr get_or_create(workload::benchmark_id benchmark,
                                                circuit::pipe_stage stage,
-                                               const core::experiment_config& config = {});
+                                               const core::experiment_config& config = {},
+                                               thread_pool* pool = nullptr);
 
-    /// Calls served without construction.
-    [[nodiscard]] std::uint64_t hit_count() const noexcept
-    {
-        return hits_.load(std::memory_order_relaxed);
-    }
-    /// Calls that had to construct.
+    /// Returns the cached stage-independent artifacts for
+    /// (benchmark, config.workload_digest()), constructing them on this
+    /// thread if absent.
+    [[nodiscard]] program_ptr get_or_create_program(workload::benchmark_id benchmark,
+                                                    const core::experiment_config& config = {},
+                                                    thread_pool* pool = nullptr);
+
+    /// Stage-tier calls served without construction.
+    [[nodiscard]] std::uint64_t hit_count() const noexcept { return stage_tier_.hit_count(); }
+    /// Stage-tier calls that had to construct.
     [[nodiscard]] std::uint64_t miss_count() const noexcept
     {
-        return misses_.load(std::memory_order_relaxed);
+        return stage_tier_.miss_count();
+    }
+    /// Program-tier calls served without construction.
+    [[nodiscard]] std::uint64_t program_hit_count() const noexcept
+    {
+        return program_tier_.hit_count();
+    }
+    /// Program-tier calls that had to construct (== number of times a trace
+    /// was generated and the architectural profiler ran).
+    [[nodiscard]] std::uint64_t program_miss_count() const noexcept
+    {
+        return program_tier_.miss_count();
     }
 
-    /// Entries currently resident (settled or under construction).
-    [[nodiscard]] std::size_t size() const;
+    /// Stage-tier entries currently resident (settled or under
+    /// construction).
+    [[nodiscard]] std::size_t size() const { return stage_tier_.size(); }
+    /// Program-tier entries currently resident.
+    [[nodiscard]] std::size_t program_size() const { return program_tier_.size(); }
 
-    /// Drops every entry (in-flight constructions settle their waiters
-    /// normally; the results are just no longer retained).
+    /// Drops every entry of both tiers (in-flight constructions settle
+    /// their waiters normally; the results are just no longer retained).
     void clear();
 
     /// The process-wide cache shared by the benches and the runner CLI.
     [[nodiscard]] static experiment_cache& process_cache();
 
 private:
-    struct key_hash {
-        std::size_t operator()(const experiment_key& key) const noexcept;
-    };
-    struct shard {
-        std::mutex mutex;
-        std::unordered_map<experiment_key, std::shared_future<experiment_ptr>, key_hash>
-            entries;
-    };
-
-    [[nodiscard]] shard& shard_for(const experiment_key& key) noexcept;
-
-    std::vector<std::unique_ptr<shard>> shards_;
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
+    memo_tier<experiment_key, experiment_ptr> stage_tier_;
+    memo_tier<program_key, program_ptr> program_tier_;
 };
 
 } // namespace synts::runtime

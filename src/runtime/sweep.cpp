@@ -51,6 +51,8 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
 
     const std::uint64_t hits_before = cache_->hit_count();
     const std::uint64_t misses_before = cache_->miss_count();
+    const std::uint64_t program_hits_before = cache_->program_hit_count();
+    const std::uint64_t program_misses_before = cache_->program_miss_count();
     const auto t0 = std::chrono::steady_clock::now();
 
     // One task per (benchmark, stage) pair: the pair's shared inputs --
@@ -65,7 +67,7 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
         tasks.push_back(pool_->submit([this, &spec, &result, &pairs, p] {
             const auto [benchmark, stage] = pairs[p];
             const experiment_cache::experiment_ptr experiment =
-                cache_->get_or_create(benchmark, stage, spec.config);
+                cache_->get_or_create(benchmark, stage, spec.config, pool_);
             const double theta_eq = experiment->equal_weight_theta();
             core::benchmark_experiment::policy_run nominal_baseline;
             if (!spec.theta_multipliers.empty()) {
@@ -122,6 +124,8 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
     result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     result.cache_hits = cache_->hit_count() - hits_before;
     result.cache_misses = cache_->miss_count() - misses_before;
+    result.program_cache_hits = cache_->program_hit_count() - program_hits_before;
+    result.program_cache_misses = cache_->program_miss_count() - program_misses_before;
     return result;
 }
 

@@ -85,9 +85,13 @@ struct sweep_result {
     sweep_spec spec;
     std::vector<sweep_cell> cells;
     double wall_seconds = 0.0;
-    /// Cache traffic attributable to this sweep.
+    /// Stage-tier cache traffic attributable to this sweep.
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    /// Program-tier (shared artifacts) cache traffic attributable to this
+    /// sweep. misses == number of trace generations + profiler runs.
+    std::uint64_t program_cache_hits = 0;
+    std::uint64_t program_cache_misses = 0;
 
     /// The cell of (benchmark, stage, policy), or nullptr.
     [[nodiscard]] const sweep_cell* find(workload::benchmark_id benchmark,

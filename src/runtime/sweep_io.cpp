@@ -131,7 +131,10 @@ void write_sweep_json(const sweep_result& result, std::ostream& out)
     }
     body << "],\n  \"wall_seconds\": " << result.wall_seconds
          << ",\n  \"cache\": {\"hits\": " << result.cache_hits
-         << ", \"misses\": " << result.cache_misses << "},\n  \"cells\": [\n";
+         << ", \"misses\": " << result.cache_misses
+         << ", \"program_hits\": " << result.program_cache_hits
+         << ", \"program_misses\": " << result.program_cache_misses
+         << "},\n  \"cells\": [\n";
     for (std::size_t c = 0; c < result.cells.size(); ++c) {
         const sweep_cell& cell = result.cells[c];
         body << "    {\"benchmark\": \""
@@ -174,6 +177,64 @@ std::string render_sweep_table(const sweep_result& result)
                     circuit::pipe_stage_name(pair.second) + "\n" + table.render() + "\n";
     }
     return rendered;
+}
+
+std::string render_cache_stats(const sweep_result& result, cache_stats_format format)
+{
+    struct row {
+        const char* tier;
+        std::uint64_t hits;
+        std::uint64_t misses;
+    };
+    const row rows[] = {
+        {"program", result.program_cache_hits, result.program_cache_misses},
+        {"stage", result.cache_hits, result.cache_misses},
+    };
+
+    std::ostringstream out;
+    switch (format) {
+    case cache_stats_format::table: {
+        util::text_table table({"tier", "hits", "misses"});
+        for (const row& r : rows) {
+            table.begin_row();
+            table.cell(std::string(r.tier));
+            table.cell(static_cast<long long>(r.hits));
+            table.cell(static_cast<long long>(r.misses));
+        }
+        out << table.render();
+        break;
+    }
+    case cache_stats_format::csv:
+        out << "tier,hits,misses\n";
+        for (const row& r : rows) {
+            out << r.tier << ',' << r.hits << ',' << r.misses << '\n';
+        }
+        break;
+    case cache_stats_format::json:
+        out << "{\"cache\": {";
+        for (std::size_t i = 0; i < std::size(rows); ++i) {
+            out << (i ? ", " : "") << '"' << rows[i].tier << "\": {\"hits\": "
+                << rows[i].hits << ", \"misses\": " << rows[i].misses << '}';
+        }
+        out << "}}\n";
+        break;
+    }
+    return out.str();
+}
+
+std::optional<cache_stats_format> parse_cache_stats_format(std::string_view token)
+{
+    const std::string wanted = normalize(token);
+    if (wanted == "table") {
+        return cache_stats_format::table;
+    }
+    if (wanted == "csv") {
+        return cache_stats_format::csv;
+    }
+    if (wanted == "json") {
+        return cache_stats_format::json;
+    }
+    return std::nullopt;
 }
 
 std::optional<workload::benchmark_id> parse_benchmark(std::string_view token)

@@ -35,6 +35,20 @@ void write_sweep_json(const sweep_result& result, std::ostream& out);
 /// equal-weight operating point per policy.
 [[nodiscard]] std::string render_sweep_table(const sweep_result& result);
 
+/// Output shape for render_cache_stats.
+enum class cache_stats_format { table, csv, json };
+
+/// Hit/miss counts of both cache tiers (program artifacts + stage
+/// experiments) attributable to `result`, as a console table, CSV rows, or
+/// a JSON object (the runner's --cache-stats flag).
+[[nodiscard]] std::string render_cache_stats(const sweep_result& result,
+                                             cache_stats_format format);
+
+/// Parses "table" / "csv" / "json" (same forgiving matching as the enum
+/// parsers below); std::nullopt on an unknown token.
+[[nodiscard]] std::optional<cache_stats_format>
+parse_cache_stats_format(std::string_view token);
+
 /// Splits a comma-separated list into tokens (empty tokens preserved, so
 /// callers can reject "a,,b" or a trailing comma explicitly).
 [[nodiscard]] std::vector<std::string_view> split_csv(std::string_view csv);

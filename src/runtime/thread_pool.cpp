@@ -148,41 +148,93 @@ void thread_pool::parallel_for(std::size_t begin, std::size_t end,
     }
     const std::size_t count = end - begin;
     if (grain == 0) {
-        // Aim for a few blocks per worker so stealing can rebalance.
+        // Aim for a few blocks per worker so claiming can rebalance.
         grain = std::max<std::size_t>(1, count / (4 * worker_count()));
     }
+    const std::size_t block_count = (count + grain - 1) / grain;
 
-    std::vector<std::future<void>> blocks;
-    blocks.reserve((count + grain - 1) / grain);
-    for (std::size_t block_begin = begin; block_begin < end; block_begin += grain) {
-        const std::size_t block_end = std::min(end, block_begin + grain);
-        blocks.push_back(submit([&body, block_begin, block_end] {
-            for (std::size_t i = block_begin; i < block_end; ++i) {
-                body(i);
+    // Self-claiming execution: the caller and any recruited workers pull
+    // block indices from a shared counter and run ONLY this loop's blocks --
+    // never unrelated pool tasks. Two properties follow:
+    //
+    //   * progress never depends on the pool: a fully-busy (or one-worker)
+    //     pool just degrades to the caller running every block itself, so
+    //     nested parallelism cannot deadlock;
+    //   * the caller executes no foreign task while blocked. The earlier
+    //     help-with-anything scheme could lift a task that blocks on a
+    //     shared-future the caller itself was mid-constructing (the
+    //     experiment cache's in-flight entries) -- a self-wait cycle. A
+    //     sweep worker characterizing inside the cache must therefore never
+    //     pick up another sweep pair while it waits.
+    struct control {
+        std::atomic<std::size_t> next_block{0};
+        std::atomic<std::size_t> remaining;
+        std::vector<std::exception_ptr> errors; ///< [block]
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        std::size_t grain = 1;
+        std::size_t block_count = 0;
+    };
+    const auto ctl = std::make_shared<control>();
+    ctl->remaining.store(block_count, std::memory_order_relaxed);
+    ctl->errors.resize(block_count);
+    ctl->body = &body;
+    ctl->begin = begin;
+    ctl->end = end;
+    ctl->grain = grain;
+    ctl->block_count = block_count;
+
+    const auto drain = [](control& c) {
+        for (;;) {
+            const std::size_t block = c.next_block.fetch_add(1, std::memory_order_relaxed);
+            if (block >= c.block_count) {
+                return;
             }
-        }));
-    }
-
-    // Help while waiting: run queued tasks on this thread so a blocked
-    // caller (even a pool worker) can never starve its own blocks.
-    std::exception_ptr first_error;
-    for (std::future<void>& block : blocks) {
-        while (block.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-            if (!run_one_task()) {
-                block.wait_for(std::chrono::milliseconds(1));
+            const std::size_t block_begin = c.begin + block * c.grain;
+            const std::size_t block_end = std::min(c.end, block_begin + c.grain);
+            try {
+                for (std::size_t i = block_begin; i < block_end; ++i) {
+                    (*c.body)(i);
+                }
+            } catch (...) {
+                c.errors[block] = std::current_exception();
+            }
+            if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                c.remaining.notify_all();
             }
         }
-        try {
-            block.get();
-        } catch (...) {
-            if (!first_error) {
-                first_error = std::current_exception();
-            }
+    };
+
+    // Recruit at most one participant per block beyond the caller. A
+    // participant that wakes after everything is claimed touches only the
+    // counter (the shared control keeps it valid past the caller's return),
+    // so stragglers are harmless.
+    const std::size_t participants =
+        std::min(worker_count(), block_count > 0 ? block_count - 1 : 0);
+    for (std::size_t p = 0; p < participants; ++p) {
+        enqueue(unique_task([ctl, drain] { drain(*ctl); }));
+    }
+
+    drain(*ctl);
+    for (std::size_t r = ctl->remaining.load(std::memory_order_acquire); r != 0;
+         r = ctl->remaining.load(std::memory_order_acquire)) {
+        ctl->remaining.wait(r, std::memory_order_acquire);
+    }
+
+    // First failing block by index order, matching the old contract.
+    for (std::exception_ptr& error : ctl->errors) {
+        if (error) {
+            std::rethrow_exception(error);
         }
     }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
+}
+
+util::parallel_for_fn make_parallel_for(thread_pool& pool)
+{
+    return [&pool](std::size_t count, const std::function<void(std::size_t)>& body) {
+        pool.parallel_for(0, count, body);
+    };
 }
 
 } // namespace synts::runtime

@@ -6,11 +6,13 @@
 // from the front, idle workers steal FIFO from the back of a victim chosen
 // round-robin. External submissions are striped across the queues.
 // `submit` returns a std::future carrying the task's value or exception;
-// `parallel_for` blocks, and while blocked *helps* -- it drains pool tasks
-// on the calling thread -- so nested parallelism cannot deadlock even on a
-// single-worker pool. The shape follows the speculative-thread worker loop
-// of adevs' SpecThread (see SNIPPETS.md): park on a condition variable,
-// wake, drain, repark.
+// `parallel_for` blocks, and while blocked executes its OWN blocks
+// (self-claiming from a shared counter, never unrelated pool tasks), so
+// nested parallelism cannot deadlock even on a single-worker pool and a
+// caller mid-construction of a cache entry never lifts a task that would
+// block on that same entry. The shape follows the speculative-thread worker
+// loop of adevs' SpecThread (see SNIPPETS.md): park on a condition
+// variable, wake, drain, repark.
 
 #pragma once
 
@@ -27,6 +29,8 @@
 #include <tuple>
 #include <type_traits>
 #include <vector>
+
+#include "util/parallel.h"
 
 namespace synts::runtime {
 
@@ -97,7 +101,9 @@ public:
 
     /// Runs `body(i)` for every i in [begin, end), in parallel, in blocks of
     /// `grain` indices (0 = auto). Blocks until every index completed; the
-    /// calling thread executes pool tasks while it waits. Rethrows the first
+    /// calling thread claims and executes this loop's blocks while it waits
+    /// (never unrelated pool tasks -- see the .cpp for why that matters),
+    /// so completion never depends on a free worker. Rethrows the first
     /// failing block's exception (by index order) after all blocks settle.
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& body,
@@ -148,5 +154,14 @@ private:
     std::atomic<std::uint64_t> steals_{0};
     std::atomic<std::uint64_t> executed_{0};
 };
+
+/// Adapts `pool` to the layer-neutral util::parallel_for_fn hook the
+/// characterization pipeline (workload generation, profiling, per-interval
+/// timing simulation) consumes. The returned function captures `pool` by
+/// reference and must not outlive it; because parallel_for is self-claiming
+/// (the caller completes the fan-out alone if no worker is free, and never
+/// executes unrelated pool tasks while blocked), the hook is safe to invoke
+/// from inside a pool task -- including mid-construction of a cache entry.
+[[nodiscard]] util::parallel_for_fn make_parallel_for(thread_pool& pool);
 
 } // namespace synts::runtime

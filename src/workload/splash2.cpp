@@ -491,20 +491,30 @@ private:
 } // namespace
 
 arch::program_trace generate_program_trace(const benchmark_profile& profile,
-                                           std::uint64_t seed)
+                                           std::uint64_t seed,
+                                           const util::parallel_for_fn& parallel)
 {
     if (profile.threads.size() != profile.thread_count ||
         profile.work_imbalance.size() != profile.thread_count) {
         throw std::invalid_argument("generate_program_trace: profile arrays inconsistent");
     }
 
+    // split() advances the root engine, so the per-thread stream seeds are
+    // derived serially, in thread order, before any generation runs. The
+    // per-thread work below then depends only on (profile, its seed) and may
+    // execute in any order.
     util::xoshiro256 root(seed ^ (static_cast<std::uint64_t>(profile.id) << 32));
+    std::vector<std::uint64_t> stream_seeds(profile.thread_count);
+    for (std::size_t t = 0; t < profile.thread_count; ++t) {
+        util::xoshiro256 thread_rng = root.split(t);
+        stream_seeds[t] = thread_rng();
+    }
+
     arch::program_trace program;
     program.threads.resize(profile.thread_count);
 
-    for (std::size_t t = 0; t < profile.thread_count; ++t) {
-        util::xoshiro256 thread_rng = root.split(t);
-        thread_stream stream(profile.threads[t], thread_rng());
+    util::for_each_index(parallel, profile.thread_count, [&](std::size_t t) {
+        thread_stream stream(profile.threads[t], stream_seeds[t]);
         arch::thread_trace& trace = program.threads[t];
 
         const auto interval_ops = static_cast<std::uint64_t>(
@@ -518,7 +528,7 @@ arch::program_trace generate_program_trace(const benchmark_profile& profile,
             }
             trace.barrier_points.push_back(trace.ops.size());
         }
-    }
+    });
 
     program.validate();
     return program;

@@ -33,6 +33,7 @@
 
 #include "arch/isa.h"
 #include "arch/trace.h"
+#include "util/parallel.h"
 
 namespace synts::workload {
 
@@ -127,8 +128,12 @@ struct benchmark_profile {
 [[nodiscard]] benchmark_profile make_profile(benchmark_id id, std::size_t thread_count = 4);
 
 /// Generates the full program trace (all threads, all intervals) for a
-/// profile. Deterministic in (profile, seed).
+/// profile. Deterministic in (profile, seed). Per-thread stream seeds are
+/// derived serially before any generation, so `parallel` (which fans the
+/// per-thread generation out) cannot change the result: output is
+/// bit-identical to the serial path for any executor.
 [[nodiscard]] arch::program_trace generate_program_trace(const benchmark_profile& profile,
-                                                         std::uint64_t seed);
+                                                         std::uint64_t seed,
+                                                         const util::parallel_for_fn& parallel = {});
 
 } // namespace synts::workload

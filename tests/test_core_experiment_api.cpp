@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "core/experiment.h"
 
 namespace {
 
 using namespace synts;
 using core::benchmark_experiment;
+using core::experiment_config;
 using core::policy_kind;
 
 class barnes_experiment : public ::testing::Test {
@@ -97,6 +102,142 @@ TEST_F(barnes_experiment, equal_weight_theta_positive_and_stable)
     const double b = experiment->equal_weight_theta();
     EXPECT_GT(a, 0.0);
     EXPECT_DOUBLE_EQ(a, b);
+}
+
+// --- digest drift guard -----------------------------------------------------
+//
+// The runtime's experiment cache trusts experiment_config::digest() (and the
+// program tier trusts workload_digest()) to change whenever any
+// result-affecting field changes. A field someone adds but forgets to fold
+// in would silently serve stale cache entries; this table makes that a test
+// failure instead. Every field of experiment_config -- including every
+// energy_params and core_config field -- must appear here.
+
+struct digest_perturbation {
+    std::string name;
+    std::function<void(experiment_config&)> mutate;
+    /// True when the field feeds the stage-independent program artifacts
+    /// (trace generation or architectural profiling), i.e. must also change
+    /// workload_digest().
+    bool affects_workload = false;
+};
+
+std::vector<digest_perturbation> digest_perturbations()
+{
+    return {
+        {"thread_count", [](experiment_config& c) { c.thread_count = 8; }, true},
+        {"seed", [](experiment_config& c) { c.seed = 7; }, true},
+        {"sampling.sample_fraction",
+         [](experiment_config& c) { c.sampling.sample_fraction = 0.25; }, false},
+        {"sampling.sample_voltage_index",
+         [](experiment_config& c) { c.sampling.sample_voltage_index += 1; }, false},
+        {"sampling.min_sample_instructions",
+         [](experiment_config& c) { c.sampling.min_sample_instructions += 100; }, false},
+        {"characterization.histogram_bins",
+         [](experiment_config& c) { c.characterization.histogram_bins = 256; }, false},
+        {"characterization.histogram_headroom",
+         [](experiment_config& c) { c.characterization.histogram_headroom = 1.25; },
+         false},
+        {"characterization.keep_sampling_trace",
+         [](experiment_config& c) {
+             c.characterization.keep_sampling_trace =
+                 !c.characterization.keep_sampling_trace;
+         },
+         false},
+        {"core.dcache.size_bytes",
+         [](experiment_config& c) { c.characterization.core.dcache.size_bytes *= 2; },
+         true},
+        {"core.dcache.line_bytes",
+         [](experiment_config& c) { c.characterization.core.dcache.line_bytes *= 2; },
+         true},
+        {"core.dcache.ways",
+         [](experiment_config& c) { c.characterization.core.dcache.ways += 1; }, true},
+        {"core.dcache.hit_latency_cycles",
+         [](experiment_config& c) {
+             c.characterization.core.dcache.hit_latency_cycles += 1;
+         },
+         true},
+        {"core.dcache.miss_penalty_cycles",
+         [](experiment_config& c) {
+             c.characterization.core.dcache.miss_penalty_cycles += 6;
+         },
+         true},
+        {"core.branch_mispredict_penalty",
+         [](experiment_config& c) {
+             c.characterization.core.branch_mispredict_penalty += 2;
+         },
+         true},
+        {"core.mul_latency_cycles",
+         [](experiment_config& c) { c.characterization.core.mul_latency_cycles += 1; },
+         true},
+        {"core.fp_latency_cycles",
+         [](experiment_config& c) { c.characterization.core.fp_latency_cycles += 1; },
+         true},
+        {"core.predictor_index_bits",
+         [](experiment_config& c) { c.characterization.core.predictor_index_bits += 1; },
+         true},
+        {"params.alpha_switching_cap",
+         [](experiment_config& c) { c.params.alpha_switching_cap = 1.5; }, false},
+        {"params.error_penalty_cycles",
+         [](experiment_config& c) { c.params.error_penalty_cycles += 1; }, false},
+        {"params.leakage_power",
+         [](experiment_config& c) { c.params.leakage_power = 1e-6; }, false},
+        {"voltage_class_spread",
+         [](experiment_config& c) { c.voltage_class_spread = 0.0; }, false},
+    };
+}
+
+TEST(experiment_config_digest, is_stable_for_equal_configs)
+{
+    const experiment_config a;
+    const experiment_config b;
+    EXPECT_EQ(a.digest(), b.digest());
+    EXPECT_EQ(a.workload_digest(), b.workload_digest());
+}
+
+TEST(experiment_config_digest, every_field_perturbation_changes_the_digest)
+{
+    const experiment_config base;
+    for (const digest_perturbation& p : digest_perturbations()) {
+        experiment_config changed = base;
+        p.mutate(changed);
+        EXPECT_NE(changed.digest(), base.digest()) << "field not in digest(): " << p.name;
+    }
+}
+
+TEST(experiment_config_digest, workload_digest_tracks_exactly_the_workload_fields)
+{
+    const experiment_config base;
+    for (const digest_perturbation& p : digest_perturbations()) {
+        experiment_config changed = base;
+        p.mutate(changed);
+        if (p.affects_workload) {
+            EXPECT_NE(changed.workload_digest(), base.workload_digest())
+                << "workload field not in workload_digest(): " << p.name;
+        } else {
+            EXPECT_EQ(changed.workload_digest(), base.workload_digest())
+                << "evaluation-only field leaked into workload_digest(): " << p.name
+                << " (it would needlessly split the shared program tier)";
+        }
+    }
+}
+
+TEST(experiment_config_digest, perturbed_digests_are_pairwise_distinct)
+{
+    // A weak mixer could map two different single-field perturbations to one
+    // digest; with FNV-1a over 64 bits any collision here is a bug, not luck.
+    const experiment_config base;
+    std::vector<std::uint64_t> digests{base.digest()};
+    for (const digest_perturbation& p : digest_perturbations()) {
+        experiment_config changed = base;
+        p.mutate(changed);
+        digests.push_back(changed.digest());
+    }
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+        for (std::size_t j = i + 1; j < digests.size(); ++j) {
+            EXPECT_NE(digests[i], digests[j]) << "digest collision between perturbations";
+        }
+    }
 }
 
 } // namespace

@@ -37,11 +37,15 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
   --ladder=SPEC       theta multipliers: "default" (2^-6..2^6), "none", or a
                       comma list of numbers (default: none)
   --workers=N         thread-pool width (default: hardware concurrency)
+  --jobs=N            alias for --workers (last one given wins)
   --cores=M           modeled CMP cores per experiment (default: 4)
   --seed=N            workload seed (default: 42)
   --pareto-csv=PATH   write per-multiplier Pareto fronts as CSV
   --summary-csv=PATH  write equal-weight operating points as CSV
   --json=PATH         write the full result (spec, cells, cache stats)
+  --cache-stats[=FMT] print hit/miss counts of both cache tiers (program
+                      artifacts + stage experiments); FMT: table (default),
+                      csv, json
   --quiet             suppress the console table
   --help              this text
 )";
@@ -98,6 +102,7 @@ int main(int argc, char** argv)
     std::string summary_csv_path;
     std::string json_path;
     bool quiet = false;
+    std::optional<runtime::cache_stats_format> cache_stats;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -108,6 +113,14 @@ int main(int argc, char** argv)
             }
             if (arg == "--quiet") {
                 quiet = true;
+            } else if (arg == "--cache-stats") {
+                cache_stats = runtime::cache_stats_format::table;
+            } else if (const auto v = flag_value(arg, "cache-stats")) {
+                cache_stats = runtime::parse_cache_stats_format(*v);
+                if (!cache_stats) {
+                    throw std::invalid_argument("bad --cache-stats format: \"" +
+                                                std::string(*v) + "\"");
+                }
             } else if (const auto v = flag_value(arg, "benchmarks")) {
                 spec.benchmarks = runtime::parse_benchmark_list(*v);
             } else if (const auto v = flag_value(arg, "stages")) {
@@ -117,6 +130,8 @@ int main(int argc, char** argv)
             } else if (const auto v = flag_value(arg, "ladder")) {
                 spec.theta_multipliers = parse_ladder(*v);
             } else if (const auto v = flag_value(arg, "workers")) {
+                workers = std::stoul(std::string(*v));
+            } else if (const auto v = flag_value(arg, "jobs")) {
                 workers = std::stoul(std::string(*v));
             } else if (const auto v = flag_value(arg, "cores")) {
                 spec.config.thread_count = std::stoul(std::string(*v));
@@ -145,11 +160,17 @@ int main(int argc, char** argv)
         if (!quiet) {
             std::fputs(runtime::render_sweep_table(result).c_str(), stdout);
             std::printf("%zu cells in %.2f s on %zu workers "
-                        "(cache: %llu hits, %llu misses, %llu steals)\n",
+                        "(stage cache: %llu hits, %llu misses; program cache: "
+                        "%llu hits, %llu misses; %llu steals)\n",
                         result.cells.size(), result.wall_seconds, pool.worker_count(),
                         static_cast<unsigned long long>(result.cache_hits),
                         static_cast<unsigned long long>(result.cache_misses),
+                        static_cast<unsigned long long>(result.program_cache_hits),
+                        static_cast<unsigned long long>(result.program_cache_misses),
                         static_cast<unsigned long long>(pool.steal_count()));
+        }
+        if (cache_stats) {
+            std::fputs(runtime::render_cache_stats(result, *cache_stats).c_str(), stdout);
         }
 
         const auto write_file = [](const std::string& path, const auto& writer) {
