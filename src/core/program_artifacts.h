@@ -64,6 +64,19 @@ struct program_artifacts {
     /// (same thread count, same interval count per thread). Throws
     /// std::logic_error on violation.
     void validate() const;
+
+    /// Provenance check for artifacts of EXTERNAL origin (deserialized from
+    /// an artifact store, handed across an API boundary): true only when
+    /// the stamped provenance says these artifacts were produced for
+    /// exactly `benchmark` with `thread_count` threads under
+    /// `expected_workload_digest` (seed + core model, see
+    /// core::workload_digest), and the trace agrees with the stamp. A
+    /// digest mismatch means "not the artifacts you asked for" -- loaders
+    /// must treat it as a cache miss and rebuild, never serve the data.
+    [[nodiscard]] bool provenance_matches(workload::benchmark_id expected_benchmark,
+                                          std::size_t expected_thread_count,
+                                          std::uint64_t expected_workload_digest)
+        const noexcept;
 };
 
 /// Produces program_artifacts: workload generation plus architectural

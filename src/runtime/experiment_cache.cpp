@@ -1,5 +1,10 @@
 #include "runtime/experiment_cache.h"
 
+#include <exception>
+
+#include "storage/artifact_store.h"
+#include "storage/serialize.h"
+
 namespace synts::runtime {
 
 namespace {
@@ -7,6 +12,35 @@ namespace {
 util::parallel_for_fn pool_executor(thread_pool* pool)
 {
     return pool != nullptr ? make_parallel_for(*pool) : util::parallel_for_fn{};
+}
+
+/// Disk-tier probe: decodes and provenance-checks a store frame. Returns
+/// nullptr -- a disk miss -- on ANY failure (unreadable, truncated,
+/// bit-flipped, wrong format version, wrong payload kind, or a stamped
+/// workload digest that disagrees with the request). The caller rebuilds;
+/// stale or foreign data is never served.
+experiment_cache::program_ptr try_load_program(const storage::artifact_store& store,
+                                               std::uint64_t key_digest,
+                                               workload::benchmark_id benchmark,
+                                               const core::experiment_config& config)
+{
+    const std::optional<std::string> frame =
+        store.load(storage::program_bucket, key_digest);
+    if (!frame) {
+        return nullptr;
+    }
+    try {
+        auto loaded = std::make_shared<core::program_artifacts>(
+            storage::decode_program_artifacts(*frame));
+        if (!loaded->provenance_matches(benchmark, config.thread_count,
+                                        config.workload_digest())) {
+            return nullptr;
+        }
+        loaded->validate();
+        return loaded;
+    } catch (const std::exception&) {
+        return nullptr; // corrupt or inconsistent frame == miss
+    }
 }
 
 } // namespace
@@ -36,6 +70,21 @@ experiment_cache::get_or_create_program(workload::benchmark_id benchmark,
 {
     const program_key key{benchmark, config.workload_digest()};
     return program_tier_.get_or_create(key, [&]() -> program_ptr {
+        if (store_ != nullptr) {
+            if (program_ptr loaded =
+                    try_load_program(*store_, key.digest(), benchmark, config)) {
+                disk_hits_.fetch_add(1, std::memory_order_relaxed);
+                return loaded;
+            }
+            disk_misses_.fetch_add(1, std::memory_order_relaxed);
+            program_ptr built =
+                core::make_program_artifacts(benchmark, config, pool_executor(pool));
+            // Best-effort write-back: a failed publish (read-only store,
+            // disk full) degrades persistence, never the result.
+            (void)store_->store(storage::program_bucket, key.digest(),
+                                storage::encode(*built));
+            return built;
+        }
         return core::make_program_artifacts(benchmark, config, pool_executor(pool));
     });
 }

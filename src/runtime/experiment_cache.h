@@ -1,4 +1,4 @@
-// experiment_cache.h -- two-tier, process-wide memoization of the staged
+// experiment_cache.h -- multi-tier, process-wide memoization of the staged
 // characterization pipeline.
 //
 // benchmark_experiment construction is the heavyweight step of every figure
@@ -15,6 +15,17 @@
 //   stage tier    (benchmark, stage, digest)   -> benchmark_experiment
 //       the per-stage characterization + config space + error models,
 //       constructed FROM the program tier's artifacts.
+//   disk tier     (optional; attach_store)     -> storage::artifact_store
+//       a process-SURVIVING tier below the program tier. A program-tier
+//       miss falls through memory -> disk -> compute: the store is probed
+//       for a serialized artifact frame keyed by the same program_key
+//       digest; a decodable frame whose stamped provenance matches the
+//       request is adopted (a disk hit -- no trace generation, no profiler
+//       run), anything else (absent, truncated, bit-flipped, wrong
+//       version, wrong digest) counts as a disk miss and the freshly
+//       computed artifacts are written back atomically. Deserialized
+//       artifacts are bit-identical to computed ones, so the tier never
+//       changes what a key maps to -- it only changes how fast.
 //
 // Both tiers use the same discipline:
 //
@@ -58,6 +69,10 @@
 #include "core/experiment.h"
 #include "runtime/thread_pool.h"
 #include "util/hashing.h"
+
+namespace synts::storage {
+class artifact_store;
+}
 
 namespace synts::runtime {
 
@@ -232,10 +247,26 @@ public:
 
     /// Returns the cached stage-independent artifacts for
     /// (benchmark, config.workload_digest()), constructing them on this
-    /// thread if absent.
+    /// thread if absent. With a store attached, a memory miss probes the
+    /// disk tier before computing (see file comment).
     [[nodiscard]] program_ptr get_or_create_program(workload::benchmark_id benchmark,
                                                     const core::experiment_config& config = {},
                                                     thread_pool* pool = nullptr);
+
+    /// Attaches (or, with nullptr, detaches) the persistent disk tier.
+    /// Not synchronized against in-flight lookups: attach before handing
+    /// the cache to workers. The store may be shared with other caches and
+    /// processes; see artifact_store for the torn-write guarantees.
+    void attach_store(std::shared_ptr<storage::artifact_store> store) noexcept
+    {
+        store_ = std::move(store);
+    }
+
+    /// The attached disk tier, or nullptr.
+    [[nodiscard]] const std::shared_ptr<storage::artifact_store>& store() const noexcept
+    {
+        return store_;
+    }
 
     /// Stage-tier calls served without construction.
     [[nodiscard]] std::uint64_t hit_count() const noexcept { return stage_tier_.hit_count(); }
@@ -249,11 +280,31 @@ public:
     {
         return program_tier_.hit_count();
     }
-    /// Program-tier calls that had to construct (== number of times a trace
-    /// was generated and the architectural profiler ran).
+    /// Program-tier calls not served by memory. Without a store this equals
+    /// the number of trace generations + profiler runs; with one, a miss
+    /// may still be served from disk (see program_compute_count()).
     [[nodiscard]] std::uint64_t program_miss_count() const noexcept
     {
         return program_tier_.miss_count();
+    }
+    /// Memory misses served by a decodable, provenance-matching store entry
+    /// (no trace generation, no profiler run).
+    [[nodiscard]] std::uint64_t disk_hit_count() const noexcept
+    {
+        return disk_hits_.load(std::memory_order_relaxed);
+    }
+    /// Memory misses the disk tier could not serve (store attached but the
+    /// entry was absent, corrupt, version-skewed, or provenance-mismatched)
+    /// -- each one computed the artifacts and wrote them back.
+    [[nodiscard]] std::uint64_t disk_miss_count() const noexcept
+    {
+        return disk_misses_.load(std::memory_order_relaxed);
+    }
+    /// Times the expensive pipeline actually ran (trace generated + profiler
+    /// run): program-tier misses minus the ones the disk tier absorbed.
+    [[nodiscard]] std::uint64_t program_compute_count() const noexcept
+    {
+        return program_tier_.miss_count() - disk_hit_count();
     }
 
     /// Stage-tier entries currently resident (settled or under
@@ -272,6 +323,9 @@ public:
 private:
     memo_tier<experiment_key, experiment_ptr> stage_tier_;
     memo_tier<program_key, program_ptr> program_tier_;
+    std::shared_ptr<storage::artifact_store> store_;
+    std::atomic<std::uint64_t> disk_hits_{0};
+    std::atomic<std::uint64_t> disk_misses_{0};
 };
 
 } // namespace synts::runtime

@@ -1,9 +1,13 @@
 #include "runtime/sweep.h"
 
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <future>
+#include <optional>
 
+#include "storage/artifact_store.h"
+#include "storage/serialize.h"
 #include "util/hashing.h"
 
 namespace synts::runtime {
@@ -28,6 +32,29 @@ std::size_t sweep_spec::task_count() const
     return expanded_pairs().size() * policies.size();
 }
 
+std::uint64_t sweep_spec::digest() const
+{
+    util::digest_builder h;
+    h.value(config.digest());
+    const std::vector<benchmark_stage> expanded = expanded_pairs();
+    h.u64(expanded.size());
+    for (const auto& [benchmark, stage] : expanded) {
+        h.value(benchmark);
+        h.value(stage);
+    }
+    h.u64(policies.size());
+    for (const core::policy_kind policy : policies) {
+        h.value(policy);
+    }
+    h.values(theta_multipliers);
+    return h.digest();
+}
+
+std::uint64_t sweep_cell_digest(std::uint64_t spec_digest, std::size_t index) noexcept
+{
+    return util::hash_mix(spec_digest, index);
+}
+
 const sweep_cell* sweep_result::find(workload::benchmark_id benchmark,
                                      circuit::pipe_stage stage,
                                      core::policy_kind policy) const noexcept
@@ -41,9 +68,44 @@ const sweep_cell* sweep_result::find(workload::benchmark_id benchmark,
     return nullptr;
 }
 
-sweep_result sweep_scheduler::run(const sweep_spec& spec) const
+namespace {
+
+/// Checkpoint probe: decodes a stored cell frame and sanity-checks its
+/// identity against the slot it would fill. Returns nullopt -- recompute
+/// -- on any failure; a corrupt or foreign checkpoint is never adopted.
+std::optional<sweep_cell> try_load_cell(const storage::artifact_store& store,
+                                        std::uint64_t cell_key,
+                                        workload::benchmark_id benchmark,
+                                        circuit::pipe_stage stage,
+                                        core::policy_kind policy)
+{
+    const std::optional<std::string> frame = store.load(storage::cell_bucket, cell_key);
+    if (!frame) {
+        return std::nullopt;
+    }
+    try {
+        sweep_cell cell = storage::decode_sweep_cell(*frame);
+        if (cell.benchmark != benchmark || cell.stage != stage ||
+            cell.policy != policy) {
+            return std::nullopt;
+        }
+        return cell;
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+sweep_result sweep_scheduler::run(const sweep_spec& spec,
+                                  const sweep_options& options) const
 {
     const std::vector<benchmark_stage> pairs = spec.expanded_pairs();
+    // Effective checkpoint store: the explicit override, else the store
+    // already attached to the cache (one attach wires the whole feature).
+    storage::artifact_store* const store =
+        options.store != nullptr ? options.store : cache_->store().get();
+    const std::uint64_t spec_digest = store != nullptr ? spec.digest() : 0;
 
     sweep_result result;
     result.spec = spec;
@@ -53,6 +115,10 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
     const std::uint64_t misses_before = cache_->miss_count();
     const std::uint64_t program_hits_before = cache_->program_hit_count();
     const std::uint64_t program_misses_before = cache_->program_miss_count();
+    const std::uint64_t disk_hits_before = cache_->disk_hit_count();
+    const std::uint64_t disk_misses_before = cache_->disk_miss_count();
+    std::atomic<std::uint64_t> cells_loaded{0};
+    std::atomic<std::uint64_t> cells_stored{0};
     const auto t0 = std::chrono::steady_clock::now();
 
     // One task per (benchmark, stage) pair: the pair's shared inputs --
@@ -64,20 +130,48 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
     std::vector<std::future<void>> tasks;
     tasks.reserve(pairs.size());
     for (std::size_t p = 0; p < pairs.size(); ++p) {
-        tasks.push_back(pool_->submit([this, &spec, &result, &pairs, p] {
+        tasks.push_back(pool_->submit([this, &spec, &options, &result, &pairs, store,
+                                       spec_digest, &cells_loaded, &cells_stored, p] {
             const auto [benchmark, stage] = pairs[p];
-            const experiment_cache::experiment_ptr experiment =
-                cache_->get_or_create(benchmark, stage, spec.config, pool_);
-            const double theta_eq = experiment->equal_weight_theta();
-            core::benchmark_experiment::policy_run nominal_baseline;
-            if (!spec.theta_multipliers.empty()) {
-                nominal_baseline =
-                    experiment->run_policy(core::policy_kind::nominal, theta_eq);
+            const std::size_t policy_count = spec.policies.size();
+
+            // Resume pass: adopt every decodable checkpoint of this pair
+            // first; only the gaps are computed. When nothing is missing
+            // the pair's characterization is skipped entirely.
+            std::vector<std::optional<sweep_cell>> restored(policy_count);
+            bool complete = true;
+            if (options.resume && store != nullptr) {
+                for (std::size_t q = 0; q < policy_count; ++q) {
+                    const std::size_t index = p * policy_count + q;
+                    restored[q] = try_load_cell(
+                        *store, sweep_cell_digest(spec_digest, index),
+                        benchmark, stage, spec.policies[q]);
+                    complete = complete && restored[q].has_value();
+                }
+            } else {
+                complete = policy_count == 0;
             }
 
-            for (std::size_t q = 0; q < spec.policies.size(); ++q) {
-                const std::size_t index = p * spec.policies.size() + q;
+            experiment_cache::experiment_ptr experiment;
+            double theta_eq = 0.0;
+            core::benchmark_experiment::policy_run nominal_baseline;
+            if (!complete) {
+                experiment = cache_->get_or_create(benchmark, stage, spec.config, pool_);
+                theta_eq = experiment->equal_weight_theta();
+                if (!spec.theta_multipliers.empty()) {
+                    nominal_baseline =
+                        experiment->run_policy(core::policy_kind::nominal, theta_eq);
+                }
+            }
+
+            for (std::size_t q = 0; q < policy_count; ++q) {
+                const std::size_t index = p * policy_count + q;
                 sweep_cell& cell = result.cells[index];
+                if (restored[q].has_value()) {
+                    cell = *std::move(restored[q]);
+                    cells_loaded.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
                 cell.benchmark = benchmark;
                 cell.stage = stage;
                 cell.policy = spec.policies[q];
@@ -93,6 +187,14 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
                         core::pareto_sweep(*experiment, cell.policy,
                                            spec.theta_multipliers, theta_eq,
                                            nominal_baseline);
+                }
+                // Persist as soon as the cell settles, so a kill between
+                // here and the sweep's end loses only in-flight cells.
+                if (store != nullptr &&
+                    store->store(storage::cell_bucket,
+                                 sweep_cell_digest(spec_digest, index),
+                                 storage::encode(cell))) {
+                    cells_stored.fetch_add(1, std::memory_order_relaxed);
                 }
             }
         }));
@@ -126,6 +228,12 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec) const
     result.cache_misses = cache_->miss_count() - misses_before;
     result.program_cache_hits = cache_->program_hit_count() - program_hits_before;
     result.program_cache_misses = cache_->program_miss_count() - program_misses_before;
+    result.disk_hits = cache_->disk_hit_count() - disk_hits_before;
+    result.disk_misses = cache_->disk_miss_count() - disk_misses_before;
+    result.program_computes = result.program_cache_misses - result.disk_hits;
+    result.checkpointing = store != nullptr;
+    result.cells_loaded = cells_loaded.load(std::memory_order_relaxed);
+    result.cells_stored = cells_stored.load(std::memory_order_relaxed);
     return result;
 }
 

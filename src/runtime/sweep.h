@@ -30,6 +30,10 @@
 #include "runtime/experiment_cache.h"
 #include "runtime/thread_pool.h"
 
+namespace synts::storage {
+class artifact_store;
+}
+
 namespace synts::runtime {
 
 /// One (benchmark, stage) evaluation target.
@@ -59,7 +63,19 @@ struct sweep_spec {
 
     /// Number of (pair, policy) result cells the sweep expands to.
     [[nodiscard]] std::size_t task_count() const;
+
+    /// Stable digest over everything that determines the sweep's cells:
+    /// the config digest, the expanded pair list, the policy list, and the
+    /// theta ladder. Two specs with equal digests expand to cell-for-cell
+    /// identical sweeps, so checkpointed cells are keyed on
+    /// (spec digest, cell index) -- any spec edit changes every key and a
+    /// stale checkpoint can never be resumed into the wrong sweep.
+    [[nodiscard]] std::uint64_t digest() const;
 };
+
+/// Checkpoint key of cell `index` of a spec (see sweep_spec::digest()).
+[[nodiscard]] std::uint64_t sweep_cell_digest(std::uint64_t spec_digest,
+                                              std::size_t index) noexcept;
 
 /// Fully evaluated (benchmark, stage, policy) cell.
 struct sweep_cell {
@@ -89,14 +105,55 @@ struct sweep_result {
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     /// Program-tier (shared artifacts) cache traffic attributable to this
-    /// sweep. misses == number of trace generations + profiler runs.
+    /// sweep. misses == lookups not served by memory; of those, disk_hits
+    /// were served by the persistent store and program_computes actually
+    /// generated the trace and ran the profiler.
     std::uint64_t program_cache_hits = 0;
     std::uint64_t program_cache_misses = 0;
+    /// Disk-tier (persistent artifact store) traffic attributable to this
+    /// sweep; both zero when no store is attached to the cache.
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_misses = 0;
+    /// Trace generations + profiler runs this sweep actually performed.
+    std::uint64_t program_computes = 0;
+    /// True when the run had a checkpoint store (sweep_options::store).
+    bool checkpointing = false;
+    /// Checkpoint traffic: cells adopted from the store (resume) and cells
+    /// computed then persisted this run; both zero without a store.
+    std::uint64_t cells_loaded = 0;
+    std::uint64_t cells_stored = 0;
+
+    /// Cells that went through compute because no usable checkpoint
+    /// covered them; 0 when the run had no store at all.
+    [[nodiscard]] std::uint64_t cells_missed() const noexcept
+    {
+        return checkpointing ? cells.size() - cells_loaded : 0;
+    }
 
     /// The cell of (benchmark, stage, policy), or nullptr.
     [[nodiscard]] const sweep_cell* find(workload::benchmark_id benchmark,
                                          circuit::pipe_stage stage,
                                          core::policy_kind policy) const noexcept;
+};
+
+/// Checkpointing knobs for sweep_scheduler::run.
+struct sweep_options {
+    /// Checkpoint store override. When null (the default), the run uses
+    /// the store attached to the scheduler's experiment_cache -- attaching
+    /// once via experiment_cache::attach_store enables BOTH the artifact
+    /// disk tier and cell checkpointing, so the feature cannot be silently
+    /// half-wired. When set, every computed cell is persisted (atomic
+    /// write-back) as it finishes, keyed on (spec digest, cell index) -- a
+    /// killed sweep leaves its finished cells behind. Must outlive the run.
+    storage::artifact_store* store = nullptr;
+    /// With `store`: cells already materialized (decodable, matching
+    /// (benchmark, stage, policy)) are adopted instead of recomputed, so a
+    /// restarted sweep re-runs only the missing cells. A pair whose every
+    /// cell is checkpointed skips its characterization entirely. Off by
+    /// default so a warm re-run still exercises (and thus re-verifies) the
+    /// evaluation path -- it then recomputes cells from disk-tier
+    /// artifacts, bit-identically, with zero trace generations.
+    bool resume = false;
 };
 
 /// Expands sweep_specs into pool tasks and aggregates the results.
@@ -110,7 +167,10 @@ public:
 
     /// Runs every cell of `spec`; blocks until done. The first cell
     /// exception (in cell order) is rethrown after all tasks settle.
-    [[nodiscard]] sweep_result run(const sweep_spec& spec) const;
+    /// Determinism contract: `options` never change what a cell contains,
+    /// only whether it is recomputed or restored.
+    [[nodiscard]] sweep_result run(const sweep_spec& spec,
+                                   const sweep_options& options = {}) const;
 
 private:
     thread_pool* pool_;

@@ -122,19 +122,17 @@ void write_sweep_json(const sweep_result& result, std::ostream& out)
     body.precision(17);
     body << "{\n  \"config\": {\"thread_count\": " << result.spec.config.thread_count
          << ", \"seed\": " << result.spec.config.seed
-         // The digest is 64-bit; as a bare JSON number it would be rounded
-         // by double-based consumers (anything past 2^53), so emit a string.
-         << ", \"digest\": \"" << result.spec.config.digest() << "\"},\n";
+         // Digests are 64-bit; as bare JSON numbers they would be rounded
+         // by double-based consumers (anything past 2^53), so emit strings.
+         << ", \"digest\": \"" << result.spec.config.digest() << "\"},\n"
+         // The checkpoint keying identity: the artifact store keys this
+         // sweep's cells on (spec_digest, cell index).
+         << "  \"spec_digest\": \"" << result.spec.digest() << "\",\n";
     body << "  \"theta_multipliers\": [";
     for (std::size_t i = 0; i < result.spec.theta_multipliers.size(); ++i) {
         body << (i ? ", " : "") << result.spec.theta_multipliers[i];
     }
-    body << "],\n  \"wall_seconds\": " << result.wall_seconds
-         << ",\n  \"cache\": {\"hits\": " << result.cache_hits
-         << ", \"misses\": " << result.cache_misses
-         << ", \"program_hits\": " << result.program_cache_hits
-         << ", \"program_misses\": " << result.program_cache_misses
-         << "},\n  \"cells\": [\n";
+    body << "],\n  \"cells\": [\n";
     for (std::size_t c = 0; c < result.cells.size(); ++c) {
         const sweep_cell& cell = result.cells[c];
         body << "    {\"benchmark\": \""
@@ -189,6 +187,8 @@ std::string render_cache_stats(const sweep_result& result, cache_stats_format fo
     const row rows[] = {
         {"program", result.program_cache_hits, result.program_cache_misses},
         {"stage", result.cache_hits, result.cache_misses},
+        {"disk", result.disk_hits, result.disk_misses},
+        {"checkpoint", result.cells_loaded, result.cells_missed()},
     };
 
     std::ostringstream out;
@@ -202,9 +202,15 @@ std::string render_cache_stats(const sweep_result& result, cache_stats_format fo
             table.cell(static_cast<long long>(r.misses));
         }
         out << table.render();
+        out << "program computes (trace gen + profiler): "
+            << result.program_computes << "\n";
         break;
     }
     case cache_stats_format::csv:
+        // Strictly (tier, hits, misses) rows; the compute count is not a
+        // tier and is derivable as program.misses - disk.hits, so it is
+        // omitted rather than bent into the schema (table and JSON carry
+        // it explicitly).
         out << "tier,hits,misses\n";
         for (const row& r : rows) {
             out << r.tier << ',' << r.hits << ',' << r.misses << '\n';
@@ -216,7 +222,8 @@ std::string render_cache_stats(const sweep_result& result, cache_stats_format fo
             out << (i ? ", " : "") << '"' << rows[i].tier << "\": {\"hits\": "
                 << rows[i].hits << ", \"misses\": " << rows[i].misses << '}';
         }
-        out << "}}\n";
+        out << ", \"program_computes\": " << result.program_computes
+            << ", \"cells_stored\": " << result.cells_stored << "}}\n";
         break;
     }
     return out.str();

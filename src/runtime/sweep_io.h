@@ -27,8 +27,12 @@ void write_pareto_csv(const sweep_result& result, std::ostream& out);
 /// Columns: benchmark, stage, policy, theta_eq, energy, time_ps, edp.
 void write_summary_csv(const sweep_result& result, std::ostream& out);
 
-/// The whole result (spec echo, cells, pareto points, cache stats) as one
-/// JSON document.
+/// The whole result (spec echo incl. the checkpoint keying digests, cells,
+/// pareto points) as one JSON document. Deliberately DETERMINISTIC: it
+/// contains no wall-clock or cache-traffic fields, so two runs of the same
+/// spec -- cold, warm via the artifact store, or resumed -- emit
+/// byte-identical documents (the CI warm-store job diffs them). Volatile
+/// run stats live in render_cache_stats.
 void write_sweep_json(const sweep_result& result, std::ostream& out);
 
 /// Console table: one block per (benchmark, stage) pair, EDP and the
@@ -38,9 +42,13 @@ void write_sweep_json(const sweep_result& result, std::ostream& out);
 /// Output shape for render_cache_stats.
 enum class cache_stats_format { table, csv, json };
 
-/// Hit/miss counts of both cache tiers (program artifacts + stage
-/// experiments) attributable to `result`, as a console table, CSV rows, or
-/// a JSON object (the runner's --cache-stats flag).
+/// Hit/miss counts of every cache tier attributable to `result` -- program
+/// artifacts, stage experiments, the persistent disk tier, and sweep-cell
+/// checkpoints (hits = cells restored, misses = cells computed) -- plus
+/// the number of program-tier computes (trace generations + profiler
+/// runs), as a console table, CSV rows, or a JSON object (the runner's
+/// --cache-stats flag). Disk and checkpoint rows read 0 when no store is
+/// attached.
 [[nodiscard]] std::string render_cache_stats(const sweep_result& result,
                                              cache_stats_format format);
 

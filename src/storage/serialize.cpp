@@ -1,0 +1,498 @@
+#include "storage/serialize.h"
+
+#include <bit>
+#include <limits>
+#include <utility>
+
+#include "util/hashing.h"
+
+namespace synts::storage {
+
+namespace {
+
+/// FNV-1a over a byte range -- the trailing frame checksum. Uses the same
+/// primitive as util::digest_builder so the constant lives in one place.
+std::uint64_t checksum_bytes(std::string_view bytes)
+{
+    util::digest_builder h;
+    for (const char c : bytes) {
+        h.byte(static_cast<std::uint8_t>(c));
+    }
+    return h.digest();
+}
+
+[[noreturn]] void fail(const char* what)
+{
+    throw serialize_error(std::string("storage frame: ") + what);
+}
+
+/// Range-checks a stored enum ordinal before casting.
+template <typename Enum>
+Enum checked_enum(std::uint64_t raw, std::uint64_t count, const char* what)
+{
+    if (raw >= count) {
+        fail(what);
+    }
+    return static_cast<Enum>(raw);
+}
+
+} // namespace
+
+// -- primitives -------------------------------------------------------------
+
+void binary_writer::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i) {
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void binary_writer::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+void binary_writer::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint8_t binary_reader::u8()
+{
+    if (offset_ >= data_.size()) {
+        fail("truncated (u8 past end)");
+    }
+    return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint32_t binary_reader::u32()
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t binary_reader::u64()
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    }
+    return v;
+}
+
+std::size_t binary_reader::size()
+{
+    const std::uint64_t v = u64();
+    if (v > std::numeric_limits<std::size_t>::max()) {
+        fail("size field exceeds host size_t");
+    }
+    return static_cast<std::size_t>(v);
+}
+
+double binary_reader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+bool binary_reader::boolean()
+{
+    const std::uint8_t v = u8();
+    if (v > 1) {
+        fail("boolean field is neither 0 nor 1");
+    }
+    return v == 1;
+}
+
+// -- arch types -------------------------------------------------------------
+
+void write(binary_writer& out, const arch::micro_op& op)
+{
+    out.u8(static_cast<std::uint8_t>(op.cls));
+    out.u32(op.encoding);
+    out.u64(op.operand_a);
+    out.u64(op.operand_b);
+    out.u64(op.address);
+    out.boolean(op.branch_taken);
+}
+
+arch::micro_op read_micro_op(binary_reader& in)
+{
+    arch::micro_op op;
+    op.cls = checked_enum<arch::op_class>(in.u8(), arch::op_class_count,
+                                          "op_class out of range");
+    op.encoding = in.u32();
+    op.operand_a = in.u64();
+    op.operand_b = in.u64();
+    op.address = in.u64();
+    op.branch_taken = in.boolean();
+    return op;
+}
+
+void write(binary_writer& out, const arch::thread_trace& trace)
+{
+    out.size(trace.ops.size());
+    for (const arch::micro_op& op : trace.ops) {
+        write(out, op);
+    }
+    out.size(trace.barrier_points.size());
+    for (const std::size_t point : trace.barrier_points) {
+        out.size(point);
+    }
+}
+
+arch::thread_trace read_thread_trace(binary_reader& in)
+{
+    arch::thread_trace trace;
+    const std::size_t op_count = in.size();
+    // A micro_op occupies >= 30 payload bytes, so `remaining` bounds the
+    // plausible count: a corrupt length cannot force a huge allocation.
+    if (op_count > in.remaining()) {
+        throw serialize_error("storage frame: op count exceeds frame size");
+    }
+    trace.ops.reserve(op_count);
+    for (std::size_t i = 0; i < op_count; ++i) {
+        trace.ops.push_back(read_micro_op(in));
+    }
+    const std::size_t barrier_count = in.size();
+    if (barrier_count > in.remaining()) {
+        throw serialize_error("storage frame: barrier count exceeds frame size");
+    }
+    trace.barrier_points.reserve(barrier_count);
+    for (std::size_t i = 0; i < barrier_count; ++i) {
+        trace.barrier_points.push_back(in.size());
+    }
+    return trace;
+}
+
+void write(binary_writer& out, const arch::program_trace& trace)
+{
+    out.size(trace.threads.size());
+    for (const arch::thread_trace& thread : trace.threads) {
+        write(out, thread);
+    }
+}
+
+arch::program_trace read_program_trace(binary_reader& in)
+{
+    arch::program_trace trace;
+    const std::size_t thread_count = in.size();
+    if (thread_count > in.remaining()) {
+        throw serialize_error("storage frame: thread count exceeds frame size");
+    }
+    trace.threads.reserve(thread_count);
+    for (std::size_t i = 0; i < thread_count; ++i) {
+        trace.threads.push_back(read_thread_trace(in));
+    }
+    return trace;
+}
+
+void write(binary_writer& out, const arch::interval_profile& profile)
+{
+    out.u64(profile.instruction_count);
+    out.u64(profile.base_cycles);
+    out.f64(profile.cpi_base);
+    out.f64(profile.dcache_miss_rate);
+    out.f64(profile.branch_misprediction_rate);
+}
+
+arch::interval_profile read_interval_profile(binary_reader& in)
+{
+    arch::interval_profile profile;
+    profile.instruction_count = in.u64();
+    profile.base_cycles = in.u64();
+    profile.cpi_base = in.f64();
+    profile.dcache_miss_rate = in.f64();
+    profile.branch_misprediction_rate = in.f64();
+    return profile;
+}
+
+// -- core types -------------------------------------------------------------
+
+void write(binary_writer& out, const core::program_artifacts& artifacts)
+{
+    out.u8(static_cast<std::uint8_t>(artifacts.benchmark));
+    out.size(artifacts.thread_count);
+    out.u64(artifacts.seed);
+    out.u64(artifacts.workload_digest);
+    write(out, artifacts.trace);
+    out.size(artifacts.arch_profiles.size());
+    for (const arch::thread_profile& thread : artifacts.arch_profiles) {
+        out.size(thread.size());
+        for (const arch::interval_profile& interval : thread) {
+            write(out, interval);
+        }
+    }
+}
+
+core::program_artifacts read_program_artifacts(binary_reader& in)
+{
+    core::program_artifacts artifacts;
+    artifacts.benchmark = checked_enum<workload::benchmark_id>(
+        in.u8(), workload::benchmark_count, "benchmark_id out of range");
+    artifacts.thread_count = in.size();
+    artifacts.seed = in.u64();
+    artifacts.workload_digest = in.u64();
+    artifacts.trace = read_program_trace(in);
+    const std::size_t profile_threads = in.size();
+    if (profile_threads > in.remaining()) {
+        throw serialize_error("storage frame: profile count exceeds frame size");
+    }
+    artifacts.arch_profiles.reserve(profile_threads);
+    for (std::size_t t = 0; t < profile_threads; ++t) {
+        const std::size_t interval_count = in.size();
+        if (interval_count > in.remaining()) {
+            throw serialize_error("storage frame: interval count exceeds frame size");
+        }
+        arch::thread_profile thread;
+        thread.reserve(interval_count);
+        for (std::size_t k = 0; k < interval_count; ++k) {
+            thread.push_back(read_interval_profile(in));
+        }
+        artifacts.arch_profiles.push_back(std::move(thread));
+    }
+    return artifacts;
+}
+
+void write(binary_writer& out, const core::pareto_point& point)
+{
+    out.f64(point.theta);
+    out.f64(point.energy);
+    out.f64(point.time);
+}
+
+core::pareto_point read_pareto_point(binary_reader& in)
+{
+    core::pareto_point point;
+    point.theta = in.f64();
+    point.energy = in.f64();
+    point.time = in.f64();
+    return point;
+}
+
+void write(binary_writer& out, const core::interval_outcome& outcome)
+{
+    const core::interval_solution& solution = outcome.solution;
+    out.size(solution.assignments.size());
+    for (const core::thread_assignment& a : solution.assignments) {
+        out.size(a.voltage_index);
+        out.size(a.tsr_index);
+    }
+    out.size(solution.metrics.size());
+    for (const core::thread_metrics& m : solution.metrics) {
+        out.f64(m.vdd);
+        out.f64(m.tsr);
+        out.f64(m.clock_period_ps);
+        out.f64(m.error_probability);
+        out.f64(m.time_ps);
+        out.f64(m.energy);
+    }
+    out.f64(solution.exec_time_ps);
+    out.f64(solution.total_energy);
+    out.f64(solution.weighted_cost);
+    out.f64(outcome.sampling_energy);
+    out.f64(outcome.sampling_time_ps);
+    out.f64(outcome.energy);
+    out.f64(outcome.time_ps);
+}
+
+core::interval_outcome read_interval_outcome(binary_reader& in)
+{
+    core::interval_outcome outcome;
+    const std::size_t assignment_count = in.size();
+    if (assignment_count > in.remaining()) {
+        throw serialize_error("storage frame: assignment count exceeds frame size");
+    }
+    outcome.solution.assignments.reserve(assignment_count);
+    for (std::size_t i = 0; i < assignment_count; ++i) {
+        core::thread_assignment a;
+        a.voltage_index = in.size();
+        a.tsr_index = in.size();
+        outcome.solution.assignments.push_back(a);
+    }
+    const std::size_t metric_count = in.size();
+    if (metric_count > in.remaining()) {
+        throw serialize_error("storage frame: metric count exceeds frame size");
+    }
+    outcome.solution.metrics.reserve(metric_count);
+    for (std::size_t i = 0; i < metric_count; ++i) {
+        core::thread_metrics m;
+        m.vdd = in.f64();
+        m.tsr = in.f64();
+        m.clock_period_ps = in.f64();
+        m.error_probability = in.f64();
+        m.time_ps = in.f64();
+        m.energy = in.f64();
+        outcome.solution.metrics.push_back(m);
+    }
+    outcome.solution.exec_time_ps = in.f64();
+    outcome.solution.total_energy = in.f64();
+    outcome.solution.weighted_cost = in.f64();
+    outcome.sampling_energy = in.f64();
+    outcome.sampling_time_ps = in.f64();
+    outcome.energy = in.f64();
+    outcome.time_ps = in.f64();
+    return outcome;
+}
+
+void write(binary_writer& out, const core::benchmark_experiment::policy_run& run)
+{
+    out.u8(static_cast<std::uint8_t>(run.kind));
+    out.size(run.intervals.size());
+    for (const core::interval_outcome& outcome : run.intervals) {
+        write(out, outcome);
+    }
+    out.f64(run.sum.energy);
+    out.f64(run.sum.time_ps);
+}
+
+core::benchmark_experiment::policy_run read_policy_run(binary_reader& in)
+{
+    core::benchmark_experiment::policy_run run;
+    run.kind = checked_enum<core::policy_kind>(in.u8(), core::policy_count,
+                                               "policy_kind out of range");
+    const std::size_t interval_count = in.size();
+    if (interval_count > in.remaining()) {
+        throw serialize_error("storage frame: interval count exceeds frame size");
+    }
+    run.intervals.reserve(interval_count);
+    for (std::size_t i = 0; i < interval_count; ++i) {
+        run.intervals.push_back(read_interval_outcome(in));
+    }
+    run.sum.energy = in.f64();
+    run.sum.time_ps = in.f64();
+    return run;
+}
+
+// -- runtime types ----------------------------------------------------------
+
+void write(binary_writer& out, const runtime::sweep_cell& cell)
+{
+    out.u8(static_cast<std::uint8_t>(cell.benchmark));
+    out.u8(static_cast<std::uint8_t>(cell.stage));
+    out.u8(static_cast<std::uint8_t>(cell.policy));
+    out.f64(cell.theta_eq);
+    out.u64(cell.task_seed);
+    write(out, cell.equal_weight);
+    out.size(cell.pareto.size());
+    for (const core::pareto_point& point : cell.pareto) {
+        write(out, point);
+    }
+}
+
+runtime::sweep_cell read_sweep_cell(binary_reader& in)
+{
+    runtime::sweep_cell cell;
+    cell.benchmark = checked_enum<workload::benchmark_id>(
+        in.u8(), workload::benchmark_count, "benchmark_id out of range");
+    cell.stage = checked_enum<circuit::pipe_stage>(in.u8(), circuit::pipe_stage_count,
+                                                   "pipe_stage out of range");
+    cell.policy = checked_enum<core::policy_kind>(in.u8(), core::policy_count,
+                                                  "policy_kind out of range");
+    cell.theta_eq = in.f64();
+    cell.task_seed = in.u64();
+    cell.equal_weight = read_policy_run(in);
+    const std::size_t pareto_count = in.size();
+    if (pareto_count > in.remaining()) {
+        throw serialize_error("storage frame: pareto count exceeds frame size");
+    }
+    cell.pareto.reserve(pareto_count);
+    for (std::size_t i = 0; i < pareto_count; ++i) {
+        cell.pareto.push_back(read_pareto_point(in));
+    }
+    return cell;
+}
+
+// -- framing ----------------------------------------------------------------
+
+namespace {
+
+template <typename Payload>
+std::string encode_frame(payload_kind kind, const Payload& payload)
+{
+    binary_writer out;
+    for (const char c : frame_magic) {
+        out.u8(static_cast<std::uint8_t>(c));
+    }
+    out.u32(format_version);
+    out.u32(static_cast<std::uint32_t>(kind));
+    write(out, payload);
+    std::string frame = out.take();
+    binary_writer trailer;
+    trailer.u64(checksum_bytes(frame));
+    frame += trailer.bytes();
+    return frame;
+}
+
+/// Verifies framing and returns a reader positioned at the payload. The
+/// checksum is verified FIRST: a frame that fails it is corrupt, and no
+/// other field of it can be trusted (including the version word).
+binary_reader open_frame(std::string_view frame, payload_kind expected)
+{
+    constexpr std::size_t header_size = 8 + 4 + 4;
+    constexpr std::size_t checksum_size = 8;
+    if (frame.size() < header_size + checksum_size) {
+        fail("shorter than header + checksum");
+    }
+    const std::string_view body = frame.substr(0, frame.size() - checksum_size);
+    binary_reader trailer(frame.substr(frame.size() - checksum_size));
+    if (trailer.u64() != checksum_bytes(body)) {
+        fail("checksum mismatch");
+    }
+    binary_reader in(body);
+    for (const char c : frame_magic) {
+        if (in.u8() != static_cast<std::uint8_t>(c)) {
+            fail("bad magic");
+        }
+    }
+    if (in.u32() != format_version) {
+        fail("format version mismatch");
+    }
+    if (in.u32() != static_cast<std::uint32_t>(expected)) {
+        fail("payload kind mismatch");
+    }
+    return in;
+}
+
+template <typename Payload, typename Read>
+Payload decode_frame(std::string_view frame, payload_kind kind, Read&& read)
+{
+    binary_reader in = open_frame(frame, kind);
+    Payload payload = read(in);
+    if (!in.at_end()) {
+        fail("trailing bytes after payload");
+    }
+    return payload;
+}
+
+} // namespace
+
+std::string encode(const core::program_artifacts& artifacts)
+{
+    return encode_frame(payload_kind::program_artifacts, artifacts);
+}
+
+core::program_artifacts decode_program_artifacts(std::string_view frame)
+{
+    return decode_frame<core::program_artifacts>(
+        frame, payload_kind::program_artifacts,
+        [](binary_reader& in) { return read_program_artifacts(in); });
+}
+
+std::string encode(const runtime::sweep_cell& cell)
+{
+    return encode_frame(payload_kind::sweep_cell, cell);
+}
+
+runtime::sweep_cell decode_sweep_cell(std::string_view frame)
+{
+    return decode_frame<runtime::sweep_cell>(
+        frame, payload_kind::sweep_cell,
+        [](binary_reader& in) { return read_sweep_cell(in); });
+}
+
+} // namespace synts::storage

@@ -220,6 +220,15 @@ TEST(runtime_sweep, emitters_cover_every_cell)
     EXPECT_NE(json_text.find("per_core_ts"), std::string::npos);
 
     EXPECT_NE(runtime::render_sweep_table(result).find("Radix"), std::string::npos);
+
+    // A store-less run reports empty disk and checkpoint tiers (no phantom
+    // "checkpoint misses" from a tier that never ran).
+    EXPECT_FALSE(result.checkpointing);
+    EXPECT_EQ(result.cells_missed(), 0u);
+    const std::string stats =
+        runtime::render_cache_stats(result, runtime::cache_stats_format::csv);
+    EXPECT_NE(stats.find("disk,0,0"), std::string::npos);
+    EXPECT_NE(stats.find("checkpoint,0,0"), std::string::npos);
 }
 
 TEST(runtime_sweep, name_parsers_are_forgiving)

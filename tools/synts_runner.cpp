@@ -16,12 +16,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "runtime/sweep.h"
 #include "runtime/sweep_io.h"
+#include "storage/artifact_store.h"
 
 namespace {
 
@@ -42,10 +44,19 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
   --seed=N            workload seed (default: 42)
   --pareto-csv=PATH   write per-multiplier Pareto fronts as CSV
   --summary-csv=PATH  write equal-weight operating points as CSV
-  --json=PATH         write the full result (spec, cells, cache stats)
-  --cache-stats[=FMT] print hit/miss counts of both cache tiers (program
-                      artifacts + stage experiments); FMT: table (default),
-                      csv, json
+  --json=PATH         write the full result (spec echo + cells; byte-stable
+                      across cold/warm/resumed runs of one spec)
+  --store[=DIR]       persist program artifacts and finished sweep cells in
+                      DIR (default .synts-store), and reuse artifacts from
+                      it: a warm re-run performs zero trace generations and
+                      zero profiler runs. Safe to share between concurrent
+                      runners (atomic write-back).
+  --resume            with --store: skip cells already materialized in the
+                      store, so a killed sweep restarts where it died
+  --cache-stats[=FMT] print hit/miss counts of every cache tier (program
+                      artifacts, stage experiments, disk store, cell
+                      checkpoints) plus the compute count; FMT: table
+                      (default), csv, json
   --quiet             suppress the console table
   --help              this text
 )";
@@ -101,6 +112,8 @@ int main(int argc, char** argv)
     std::string pareto_csv_path;
     std::string summary_csv_path;
     std::string json_path;
+    std::string store_dir; // empty = no persistent store
+    bool resume = false;
     bool quiet = false;
     std::optional<runtime::cache_stats_format> cache_stats;
 
@@ -113,6 +126,12 @@ int main(int argc, char** argv)
             }
             if (arg == "--quiet") {
                 quiet = true;
+            } else if (arg == "--store") {
+                store_dir = ".synts-store";
+            } else if (const auto v = flag_value(arg, "store")) {
+                store_dir = *v;
+            } else if (arg == "--resume") {
+                resume = true;
             } else if (arg == "--cache-stats") {
                 cache_stats = runtime::cache_stats_format::table;
             } else if (const auto v = flag_value(arg, "cache-stats")) {
@@ -147,15 +166,28 @@ int main(int argc, char** argv)
                 throw std::invalid_argument("unknown flag: " + std::string(arg));
             }
         }
+        if (resume && store_dir.empty()) {
+            throw std::invalid_argument("--resume requires --store");
+        }
     } catch (const std::exception& error) {
         std::fprintf(stderr, "synts_runner: %s\n\n%s", error.what(), usage.data());
         return 2;
     }
 
     try {
+        runtime::experiment_cache& cache = runtime::experiment_cache::process_cache();
+        runtime::sweep_options options;
+        std::shared_ptr<storage::artifact_store> store;
+        if (!store_dir.empty()) {
+            store = std::make_shared<storage::artifact_store>(store_dir);
+            cache.attach_store(store);
+            options.store = store.get();
+            options.resume = resume;
+        }
+
         runtime::thread_pool pool(workers);
-        runtime::sweep_scheduler scheduler(pool, runtime::experiment_cache::process_cache());
-        const runtime::sweep_result result = scheduler.run(spec);
+        runtime::sweep_scheduler scheduler(pool, cache);
+        const runtime::sweep_result result = scheduler.run(spec, options);
 
         if (!quiet) {
             std::fputs(runtime::render_sweep_table(result).c_str(), stdout);
@@ -168,6 +200,15 @@ int main(int argc, char** argv)
                         static_cast<unsigned long long>(result.program_cache_hits),
                         static_cast<unsigned long long>(result.program_cache_misses),
                         static_cast<unsigned long long>(pool.steal_count()));
+            if (store != nullptr) {
+                std::printf("store %s: %llu artifact disk hits, %llu computes, "
+                            "%llu cells restored, %llu cells persisted\n",
+                            store->root().c_str(),
+                            static_cast<unsigned long long>(result.disk_hits),
+                            static_cast<unsigned long long>(result.program_computes),
+                            static_cast<unsigned long long>(result.cells_loaded),
+                            static_cast<unsigned long long>(result.cells_stored));
+            }
         }
         if (cache_stats) {
             std::fputs(runtime::render_cache_stats(result, *cache_stats).c_str(), stdout);
