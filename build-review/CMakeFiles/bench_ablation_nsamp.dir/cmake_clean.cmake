@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nsamp.dir/bench/bench_ablation_nsamp.cpp.o"
+  "CMakeFiles/bench_ablation_nsamp.dir/bench/bench_ablation_nsamp.cpp.o.d"
+  "bench_ablation_nsamp"
+  "bench_ablation_nsamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nsamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vscaling.dir/bench/bench_ablation_vscaling.cpp.o"
+  "CMakeFiles/bench_ablation_vscaling.dir/bench/bench_ablation_vscaling.cpp.o.d"
+  "bench_ablation_vscaling"
+  "bench_ablation_vscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

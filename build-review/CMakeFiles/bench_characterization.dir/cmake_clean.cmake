@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_characterization.dir/bench/bench_characterization.cpp.o"
+  "CMakeFiles/bench_characterization.dir/bench/bench_characterization.cpp.o.d"
+  "bench_characterization"
+  "bench_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_leakage.dir/bench/bench_ext_leakage.cpp.o"
+  "CMakeFiles/bench_ext_leakage.dir/bench/bench_ext_leakage.cpp.o.d"
+  "bench_ext_leakage"
+  "bench_ext_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

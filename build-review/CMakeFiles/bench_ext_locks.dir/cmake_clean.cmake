@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_locks.dir/bench/bench_ext_locks.cpp.o"
+  "CMakeFiles/bench_ext_locks.dir/bench/bench_ext_locks.cpp.o.d"
+  "bench_ext_locks"
+  "bench_ext_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_predictor.dir/bench/bench_ext_predictor.cpp.o"
+  "CMakeFiles/bench_ext_predictor.dir/bench/bench_ext_predictor.cpp.o.d"
+  "bench_ext_predictor"
+  "bench_ext_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

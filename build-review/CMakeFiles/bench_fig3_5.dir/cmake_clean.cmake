@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_5.dir/bench/bench_fig3_5.cpp.o"
+  "CMakeFiles/bench_fig3_5.dir/bench/bench_fig3_5.cpp.o.d"
+  "bench_fig3_5"
+  "bench_fig3_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3_5.
+# This may be replaced when dependencies are built.

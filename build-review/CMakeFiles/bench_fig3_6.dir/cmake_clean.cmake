@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_6.dir/bench/bench_fig3_6.cpp.o"
+  "CMakeFiles/bench_fig3_6.dir/bench/bench_fig3_6.cpp.o.d"
+  "bench_fig3_6"
+  "bench_fig3_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_10.dir/bench/bench_fig5_10.cpp.o"
+  "CMakeFiles/bench_fig5_10.dir/bench/bench_fig5_10.cpp.o.d"
+  "bench_fig5_10"
+  "bench_fig5_10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

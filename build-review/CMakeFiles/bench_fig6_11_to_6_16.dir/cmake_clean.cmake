@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_11_to_6_16.dir/bench/bench_fig6_11_to_6_16.cpp.o"
+  "CMakeFiles/bench_fig6_11_to_6_16.dir/bench/bench_fig6_11_to_6_16.cpp.o.d"
+  "bench_fig6_11_to_6_16"
+  "bench_fig6_11_to_6_16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_11_to_6_16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_11_to_6_16.
+# This may be replaced when dependencies are built.

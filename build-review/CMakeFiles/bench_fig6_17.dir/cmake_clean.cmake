@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_17.dir/bench/bench_fig6_17.cpp.o"
+  "CMakeFiles/bench_fig6_17.dir/bench/bench_fig6_17.cpp.o.d"
+  "bench_fig6_17"
+  "bench_fig6_17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

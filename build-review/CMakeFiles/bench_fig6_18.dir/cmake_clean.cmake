@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_18.dir/bench/bench_fig6_18.cpp.o"
+  "CMakeFiles/bench_fig6_18.dir/bench/bench_fig6_18.cpp.o.d"
+  "bench_fig6_18"
+  "bench_fig6_18.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_18.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpgpu_synts.dir/bench/bench_gpgpu_synts.cpp.o"
+  "CMakeFiles/bench_gpgpu_synts.dir/bench/bench_gpgpu_synts.cpp.o.d"
+  "bench_gpgpu_synts"
+  "bench_gpgpu_synts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpgpu_synts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gpgpu_synts.
+# This may be replaced when dependencies are built.

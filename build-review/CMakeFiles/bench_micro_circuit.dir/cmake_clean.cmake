@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_circuit.dir/bench/bench_micro_circuit.cpp.o"
+  "CMakeFiles/bench_micro_circuit.dir/bench/bench_micro_circuit.cpp.o.d"
+  "bench_micro_circuit"
+  "bench_micro_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_estimator.dir/bench/bench_micro_estimator.cpp.o"
+  "CMakeFiles/bench_micro_estimator.dir/bench/bench_micro_estimator.cpp.o.d"
+  "bench_micro_estimator"
+  "bench_micro_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_solver.dir/bench/bench_micro_solver.cpp.o"
+  "CMakeFiles/bench_micro_solver.dir/bench/bench_micro_solver.cpp.o.d"
+  "bench_micro_solver"
+  "bench_micro_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

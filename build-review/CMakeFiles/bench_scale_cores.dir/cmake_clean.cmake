@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_cores.dir/bench/bench_scale_cores.cpp.o"
+  "CMakeFiles/bench_scale_cores.dir/bench/bench_scale_cores.cpp.o.d"
+  "bench_scale_cores"
+  "bench_scale_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_scale_cores.
+# This may be replaced when dependencies are built.

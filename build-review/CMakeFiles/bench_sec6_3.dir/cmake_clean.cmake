@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_3.dir/bench/bench_sec6_3.cpp.o"
+  "CMakeFiles/bench_sec6_3.dir/bench/bench_sec6_3.cpp.o.d"
+  "bench_sec6_3"
+  "bench_sec6_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

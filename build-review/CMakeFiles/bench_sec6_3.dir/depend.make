@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec6_3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage.dir/bench/bench_storage.cpp.o"
+  "CMakeFiles/bench_storage.dir/bench/bench_storage.cpp.o.d"
+  "bench_storage"
+  "bench_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

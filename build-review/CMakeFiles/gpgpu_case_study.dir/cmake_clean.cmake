@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpgpu_case_study.dir/examples/gpgpu_case_study.cpp.o"
+  "CMakeFiles/gpgpu_case_study.dir/examples/gpgpu_case_study.cpp.o.d"
+  "gpgpu_case_study"
+  "gpgpu_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpgpu_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

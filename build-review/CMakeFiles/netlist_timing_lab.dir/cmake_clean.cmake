@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_timing_lab.dir/examples/netlist_timing_lab.cpp.o"
+  "CMakeFiles/netlist_timing_lab.dir/examples/netlist_timing_lab.cpp.o.d"
+  "netlist_timing_lab"
+  "netlist_timing_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_timing_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for netlist_timing_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_adaptive.dir/examples/online_adaptive.cpp.o"
+  "CMakeFiles/online_adaptive.dir/examples/online_adaptive.cpp.o.d"
+  "online_adaptive"
+  "online_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for online_adaptive.
+# This may be replaced when dependencies are built.

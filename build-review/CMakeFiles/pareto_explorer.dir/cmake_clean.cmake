@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_explorer.dir/examples/pareto_explorer.cpp.o"
+  "CMakeFiles/pareto_explorer.dir/examples/pareto_explorer.cpp.o.d"
+  "pareto_explorer"
+  "pareto_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/branch_predictor.cpp" "CMakeFiles/synts.dir/src/arch/branch_predictor.cpp.o" "gcc" "CMakeFiles/synts.dir/src/arch/branch_predictor.cpp.o.d"
+  "/root/repo/src/arch/cache.cpp" "CMakeFiles/synts.dir/src/arch/cache.cpp.o" "gcc" "CMakeFiles/synts.dir/src/arch/cache.cpp.o.d"
+  "/root/repo/src/arch/multicore.cpp" "CMakeFiles/synts.dir/src/arch/multicore.cpp.o" "gcc" "CMakeFiles/synts.dir/src/arch/multicore.cpp.o.d"
+  "/root/repo/src/arch/pipeline.cpp" "CMakeFiles/synts.dir/src/arch/pipeline.cpp.o" "gcc" "CMakeFiles/synts.dir/src/arch/pipeline.cpp.o.d"
+  "/root/repo/src/arch/razor.cpp" "CMakeFiles/synts.dir/src/arch/razor.cpp.o" "gcc" "CMakeFiles/synts.dir/src/arch/razor.cpp.o.d"
+  "/root/repo/src/arch/stage_taps.cpp" "CMakeFiles/synts.dir/src/arch/stage_taps.cpp.o" "gcc" "CMakeFiles/synts.dir/src/arch/stage_taps.cpp.o.d"
+  "/root/repo/src/circuit/cell_library.cpp" "CMakeFiles/synts.dir/src/circuit/cell_library.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/cell_library.cpp.o.d"
+  "/root/repo/src/circuit/dynamic_timing.cpp" "CMakeFiles/synts.dir/src/circuit/dynamic_timing.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/dynamic_timing.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "CMakeFiles/synts.dir/src/circuit/netlist.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/netlist_builder.cpp" "CMakeFiles/synts.dir/src/circuit/netlist_builder.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/netlist_builder.cpp.o.d"
+  "/root/repo/src/circuit/ring_oscillator.cpp" "CMakeFiles/synts.dir/src/circuit/ring_oscillator.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/ring_oscillator.cpp.o.d"
+  "/root/repo/src/circuit/sta.cpp" "CMakeFiles/synts.dir/src/circuit/sta.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/sta.cpp.o.d"
+  "/root/repo/src/circuit/voltage_model.cpp" "CMakeFiles/synts.dir/src/circuit/voltage_model.cpp.o" "gcc" "CMakeFiles/synts.dir/src/circuit/voltage_model.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "CMakeFiles/synts.dir/src/core/characterization.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/characterization.cpp.o.d"
+  "/root/repo/src/core/config_space.cpp" "CMakeFiles/synts.dir/src/core/config_space.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/config_space.cpp.o.d"
+  "/root/repo/src/core/critical_sections.cpp" "CMakeFiles/synts.dir/src/core/critical_sections.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/critical_sections.cpp.o.d"
+  "/root/repo/src/core/error_model.cpp" "CMakeFiles/synts.dir/src/core/error_model.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/error_model.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "CMakeFiles/synts.dir/src/core/experiment.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/experiment.cpp.o.d"
+  "/root/repo/src/core/milp.cpp" "CMakeFiles/synts.dir/src/core/milp.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/milp.cpp.o.d"
+  "/root/repo/src/core/online_estimator.cpp" "CMakeFiles/synts.dir/src/core/online_estimator.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/online_estimator.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "CMakeFiles/synts.dir/src/core/policies.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/policies.cpp.o.d"
+  "/root/repo/src/core/program_artifacts.cpp" "CMakeFiles/synts.dir/src/core/program_artifacts.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/program_artifacts.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "CMakeFiles/synts.dir/src/core/solver.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/solver.cpp.o.d"
+  "/root/repo/src/core/system_model.cpp" "CMakeFiles/synts.dir/src/core/system_model.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/system_model.cpp.o.d"
+  "/root/repo/src/core/workload_predictor.cpp" "CMakeFiles/synts.dir/src/core/workload_predictor.cpp.o" "gcc" "CMakeFiles/synts.dir/src/core/workload_predictor.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "CMakeFiles/synts.dir/src/energy/energy_model.cpp.o" "gcc" "CMakeFiles/synts.dir/src/energy/energy_model.cpp.o.d"
+  "/root/repo/src/energy/synthesis_report.cpp" "CMakeFiles/synts.dir/src/energy/synthesis_report.cpp.o" "gcc" "CMakeFiles/synts.dir/src/energy/synthesis_report.cpp.o.d"
+  "/root/repo/src/gpgpu/hamming.cpp" "CMakeFiles/synts.dir/src/gpgpu/hamming.cpp.o" "gcc" "CMakeFiles/synts.dir/src/gpgpu/hamming.cpp.o.d"
+  "/root/repo/src/gpgpu/kernels.cpp" "CMakeFiles/synts.dir/src/gpgpu/kernels.cpp.o" "gcc" "CMakeFiles/synts.dir/src/gpgpu/kernels.cpp.o.d"
+  "/root/repo/src/gpgpu/simd.cpp" "CMakeFiles/synts.dir/src/gpgpu/simd.cpp.o" "gcc" "CMakeFiles/synts.dir/src/gpgpu/simd.cpp.o.d"
+  "/root/repo/src/runtime/experiment_cache.cpp" "CMakeFiles/synts.dir/src/runtime/experiment_cache.cpp.o" "gcc" "CMakeFiles/synts.dir/src/runtime/experiment_cache.cpp.o.d"
+  "/root/repo/src/runtime/sweep.cpp" "CMakeFiles/synts.dir/src/runtime/sweep.cpp.o" "gcc" "CMakeFiles/synts.dir/src/runtime/sweep.cpp.o.d"
+  "/root/repo/src/runtime/sweep_io.cpp" "CMakeFiles/synts.dir/src/runtime/sweep_io.cpp.o" "gcc" "CMakeFiles/synts.dir/src/runtime/sweep_io.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "CMakeFiles/synts.dir/src/runtime/thread_pool.cpp.o" "gcc" "CMakeFiles/synts.dir/src/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/storage/artifact_store.cpp" "CMakeFiles/synts.dir/src/storage/artifact_store.cpp.o" "gcc" "CMakeFiles/synts.dir/src/storage/artifact_store.cpp.o.d"
+  "/root/repo/src/storage/serialize.cpp" "CMakeFiles/synts.dir/src/storage/serialize.cpp.o" "gcc" "CMakeFiles/synts.dir/src/storage/serialize.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/synts.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/synts.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "CMakeFiles/synts.dir/src/util/histogram.cpp.o" "gcc" "CMakeFiles/synts.dir/src/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/synts.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/synts.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/synts.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/synts.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "CMakeFiles/synts.dir/src/util/statistics.cpp.o" "gcc" "CMakeFiles/synts.dir/src/util/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/synts.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/synts.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/workload/splash2.cpp" "CMakeFiles/synts.dir/src/workload/splash2.cpp.o" "gcc" "CMakeFiles/synts.dir/src/workload/splash2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synts_runner.dir/tools/synts_runner.cpp.o"
+  "CMakeFiles/synts_runner.dir/tools/synts_runner.cpp.o.d"
+  "synts_runner"
+  "synts_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synts_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

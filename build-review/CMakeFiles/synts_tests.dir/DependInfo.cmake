@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch_branch.cpp" "CMakeFiles/synts_tests.dir/tests/test_arch_branch.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_arch_branch.cpp.o.d"
+  "/root/repo/tests/test_arch_cache.cpp" "CMakeFiles/synts_tests.dir/tests/test_arch_cache.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_arch_cache.cpp.o.d"
+  "/root/repo/tests/test_arch_multicore.cpp" "CMakeFiles/synts_tests.dir/tests/test_arch_multicore.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_arch_multicore.cpp.o.d"
+  "/root/repo/tests/test_arch_pipeline.cpp" "CMakeFiles/synts_tests.dir/tests/test_arch_pipeline.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_arch_pipeline.cpp.o.d"
+  "/root/repo/tests/test_arch_razor.cpp" "CMakeFiles/synts_tests.dir/tests/test_arch_razor.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_arch_razor.cpp.o.d"
+  "/root/repo/tests/test_arch_stage_taps.cpp" "CMakeFiles/synts_tests.dir/tests/test_arch_stage_taps.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_arch_stage_taps.cpp.o.d"
+  "/root/repo/tests/test_circuit_builders.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_builders.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_builders.cpp.o.d"
+  "/root/repo/tests/test_circuit_cells.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_cells.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_cells.cpp.o.d"
+  "/root/repo/tests/test_circuit_dynamic_timing.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_dynamic_timing.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_dynamic_timing.cpp.o.d"
+  "/root/repo/tests/test_circuit_netlist.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_netlist.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_netlist.cpp.o.d"
+  "/root/repo/tests/test_circuit_random_netlists.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_random_netlists.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_random_netlists.cpp.o.d"
+  "/root/repo/tests/test_circuit_sta.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_sta.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_sta.cpp.o.d"
+  "/root/repo/tests/test_circuit_voltage.cpp" "CMakeFiles/synts_tests.dir/tests/test_circuit_voltage.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_circuit_voltage.cpp.o.d"
+  "/root/repo/tests/test_core_characterization_pipeline.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_characterization_pipeline.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_characterization_pipeline.cpp.o.d"
+  "/root/repo/tests/test_core_config_space.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_config_space.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_config_space.cpp.o.d"
+  "/root/repo/tests/test_core_error_model.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_error_model.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_error_model.cpp.o.d"
+  "/root/repo/tests/test_core_experiment_api.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_experiment_api.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_experiment_api.cpp.o.d"
+  "/root/repo/tests/test_core_extensions.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_extensions.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_extensions.cpp.o.d"
+  "/root/repo/tests/test_core_milp.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_milp.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_milp.cpp.o.d"
+  "/root/repo/tests/test_core_online.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_online.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_online.cpp.o.d"
+  "/root/repo/tests/test_core_policies.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_policies.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_policies.cpp.o.d"
+  "/root/repo/tests/test_core_solvers.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_solvers.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_solvers.cpp.o.d"
+  "/root/repo/tests/test_core_system_model.cpp" "CMakeFiles/synts_tests.dir/tests/test_core_system_model.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_core_system_model.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "CMakeFiles/synts_tests.dir/tests/test_energy.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_energy.cpp.o.d"
+  "/root/repo/tests/test_gpgpu.cpp" "CMakeFiles/synts_tests.dir/tests/test_gpgpu.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_gpgpu.cpp.o.d"
+  "/root/repo/tests/test_integration_experiment.cpp" "CMakeFiles/synts_tests.dir/tests/test_integration_experiment.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_integration_experiment.cpp.o.d"
+  "/root/repo/tests/test_integration_razor_validation.cpp" "CMakeFiles/synts_tests.dir/tests/test_integration_razor_validation.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_integration_razor_validation.cpp.o.d"
+  "/root/repo/tests/test_runtime_cache.cpp" "CMakeFiles/synts_tests.dir/tests/test_runtime_cache.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_runtime_cache.cpp.o.d"
+  "/root/repo/tests/test_runtime_pool.cpp" "CMakeFiles/synts_tests.dir/tests/test_runtime_pool.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_runtime_pool.cpp.o.d"
+  "/root/repo/tests/test_runtime_program_cache.cpp" "CMakeFiles/synts_tests.dir/tests/test_runtime_program_cache.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_runtime_program_cache.cpp.o.d"
+  "/root/repo/tests/test_runtime_sweep.cpp" "CMakeFiles/synts_tests.dir/tests/test_runtime_sweep.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_runtime_sweep.cpp.o.d"
+  "/root/repo/tests/test_storage_serialize.cpp" "CMakeFiles/synts_tests.dir/tests/test_storage_serialize.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_storage_serialize.cpp.o.d"
+  "/root/repo/tests/test_storage_store.cpp" "CMakeFiles/synts_tests.dir/tests/test_storage_store.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_storage_store.cpp.o.d"
+  "/root/repo/tests/test_util_histogram.cpp" "CMakeFiles/synts_tests.dir/tests/test_util_histogram.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_util_histogram.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "CMakeFiles/synts_tests.dir/tests/test_util_rng.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_statistics.cpp" "CMakeFiles/synts_tests.dir/tests/test_util_statistics.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_util_statistics.cpp.o.d"
+  "/root/repo/tests/test_util_table_csv.cpp" "CMakeFiles/synts_tests.dir/tests/test_util_table_csv.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_util_table_csv.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "CMakeFiles/synts_tests.dir/tests/test_workload.cpp.o" "gcc" "CMakeFiles/synts_tests.dir/tests/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/synts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
