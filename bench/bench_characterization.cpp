@@ -153,7 +153,7 @@ int main()
     // Phase 3: per-stage timing simulation, serial vs (thread, interval)
     // fan-out, on shared artifacts.
     core::program_artifacts artifacts;
-    artifacts.benchmark = kBenchmark;
+    artifacts.workload = kBenchmark;
     artifacts.thread_count = config.thread_count;
     artifacts.seed = kSeed;
     artifacts.trace = std::move(trace_serial);

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# CLI contract tests for synts_runner, invoked from CTest as
+#   test_runner_cli.sh <path-to-synts_runner>
+#
+# Pins the argument-parsing hardening (each bad invocation must produce a
+# one-line usage error on stderr and exit 2 -- never a crash or a silent
+# default) and the registry surface: --list-benchmarks enumerates the ten
+# SPLASH-2 profiles plus the scenario families, scenario sweeps run through
+# the full three-tier cache, and a warm re-run is byte-identical with zero
+# program-tier computes.
+set -u
+
+RUNNER=${1:?usage: test_runner_cli.sh <synts_runner>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+failures=0
+
+# expect_usage_error <name> <args...>: exit code 2 + a usage error naming
+# the problem on stderr's first line.
+expect_usage_error() {
+    local name=$1
+    shift
+    local stderr_file="$WORK/$name.err"
+    "$RUNNER" "$@" >/dev/null 2>"$stderr_file"
+    local rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "FAIL $name: expected exit 2, got $rc" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    if ! head -n1 "$stderr_file" | grep -q '^synts_runner: '; then
+        echo "FAIL $name: no one-line error on stderr:" >&2
+        head -n3 "$stderr_file" >&2
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok $name"
+}
+
+# Unknown benchmark name (both spellings, both flag forms).
+expect_usage_error unknown_benchmark --benchmarks=nonesuch
+expect_usage_error unknown_benchmark_space --benchmark nonesuch
+# --jobs 0 / --workers=0: a zero-width pool is a typo, not "default".
+expect_usage_error jobs_zero_eq --jobs=0
+expect_usage_error jobs_zero_space --jobs 0
+expect_usage_error workers_zero --workers=0
+# Non-numeric and partially-numeric counts are rejected, not truncated.
+expect_usage_error jobs_garbage --jobs=abc
+expect_usage_error jobs_trailing --jobs=4x
+expect_usage_error cores_zero --cores=0
+# Negative and whitespace-prefixed tokens must not wrap through stoull
+# (--workers=-1 would otherwise try to spawn 2^64 threads).
+expect_usage_error workers_negative --workers=-1
+expect_usage_error seed_negative --seed=-1
+expect_usage_error cores_whitespace --cores=' 2'
+# A value flag at the end of the line must not read past argv.
+expect_usage_error missing_value --benchmarks
+# --resume without --store has no checkpoint source.
+expect_usage_error resume_without_store --resume
+# Unknown flags still fail loudly.
+expect_usage_error unknown_flag --frobnicate
+
+# --list-benchmarks: the ten SPLASH-2 names plus the scenario families.
+LIST="$WORK/list.txt"
+if "$RUNNER" --list-benchmarks >"$LIST" 2>&1; then
+    ok=1
+    for name in FMM Radix Lu-Contig Lu-nContig FFT Water-sp Barnes Raytrace \
+                Cholesky Ocean lock_ladder pipeline graph_walk; do
+        if ! grep -qx "$name" "$LIST"; then
+            echo "FAIL list_benchmarks: missing $name" >&2
+            ok=0
+        fi
+    done
+    if [ "$(wc -l <"$LIST")" -lt 13 ]; then
+        echo "FAIL list_benchmarks: fewer than 13 workloads listed" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok list_benchmarks"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL list_benchmarks: non-zero exit" >&2
+    failures=$((failures + 1))
+fi
+
+# A scenario-family sweep runs end to end through the three-tier cache:
+# cold run populates the store, the warm re-run must do zero program-tier
+# computes and emit byte-identical JSON.
+STORE="$WORK/store"
+COLD="$WORK/cold.json"
+WARM="$WORK/warm.json"
+STATS="$WORK/stats.json"
+if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal,synts_offline \
+        --store="$STORE" --quiet --json="$COLD" >/dev/null 2>&1 &&
+   "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal,synts_offline \
+        --store="$STORE" --quiet --json="$WARM" --cache-stats=json >"$STATS" 2>&1; then
+    ok=1
+    if ! cmp -s "$COLD" "$WARM"; then
+        echo "FAIL scenario_sweep: warm JSON differs from cold" >&2
+        ok=0
+    fi
+    if ! grep -q '"program_computes": 0' "$STATS"; then
+        echo "FAIL scenario_sweep: warm run recomputed program artifacts:" >&2
+        cat "$STATS" >&2
+        ok=0
+    fi
+    if ! grep -q '"benchmark": "lock_ladder"' "$COLD"; then
+        echo "FAIL scenario_sweep: JSON does not carry the workload name" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok scenario_sweep_warm_store"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL scenario_sweep: runner exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures CLI contract failure(s)" >&2
+    exit 1
+fi
+echo "all CLI contract tests passed"

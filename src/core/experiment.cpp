@@ -30,12 +30,13 @@ std::uint64_t experiment_config::digest() const noexcept
 }
 
 std::shared_ptr<const program_artifacts>
-make_program_artifacts(workload::benchmark_id benchmark, const experiment_config& config,
+make_program_artifacts(const workload::workload_key& workload,
+                       const experiment_config& config,
                        const util::parallel_for_fn& parallel)
 {
     const program_characterizer characterizer(config.characterization.core);
     return std::make_shared<const program_artifacts>(characterizer.characterize(
-        benchmark, config.thread_count, config.seed, parallel));
+        workload, config.thread_count, config.seed, parallel));
 }
 
 namespace {
@@ -51,17 +52,17 @@ checked_artifacts(const std::shared_ptr<const program_artifacts>& artifacts)
 
 } // namespace
 
-benchmark_experiment::benchmark_experiment(workload::benchmark_id benchmark,
+benchmark_experiment::benchmark_experiment(const workload::workload_key& workload,
                                            circuit::pipe_stage stage,
                                            const experiment_config& config)
-    : benchmark_experiment(make_program_artifacts(benchmark, config), stage, config)
+    : benchmark_experiment(make_program_artifacts(workload, config), stage, config)
 {
 }
 
 benchmark_experiment::benchmark_experiment(
     std::shared_ptr<const program_artifacts> artifacts, circuit::pipe_stage stage,
     const experiment_config& config, const util::parallel_for_fn& parallel)
-    : benchmark_(checked_artifacts(artifacts).benchmark), stage_(stage), config_(config),
+    : workload_(checked_artifacts(artifacts).workload), stage_(stage), config_(config),
       artifacts_(std::move(artifacts)), lib_(circuit::cell_library::standard_22nm()),
       vm_(config.voltage_class_spread), engine_(config.sampling)
 {

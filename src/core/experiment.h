@@ -62,8 +62,12 @@ public:
     /// stage. Heavyweight: run once and reuse. Prefer the artifact
     /// constructor below when several stages (or configs differing only in
     /// evaluation knobs) share one workload -- this overload rebuilds the
-    /// stage-independent artifacts every time.
-    benchmark_experiment(workload::benchmark_id benchmark, circuit::pipe_stage stage,
+    /// stage-independent artifacts every time. The workload is resolved
+    /// through workload_registry::global(); benchmark_id call sites convert
+    /// implicitly (the built-in ten are always registered), and an
+    /// unregistered key throws std::out_of_range.
+    benchmark_experiment(const workload::workload_key& workload,
+                         circuit::pipe_stage stage,
                          const experiment_config& config = {});
 
     /// Staged-pipeline constructor: consumes pre-built stage-independent
@@ -85,8 +89,11 @@ public:
         return artifacts_;
     }
 
-    /// The benchmark id.
-    [[nodiscard]] workload::benchmark_id benchmark() const noexcept { return benchmark_; }
+    /// The workload's registry identity.
+    [[nodiscard]] const workload::workload_key& workload() const noexcept
+    {
+        return workload_;
+    }
     /// The analyzed stage.
     [[nodiscard]] circuit::pipe_stage stage() const noexcept { return stage_; }
     /// Number of barrier intervals.
@@ -152,7 +159,7 @@ public:
                                                         double smoothing = 0.6) const;
 
 private:
-    workload::benchmark_id benchmark_;
+    workload::workload_key workload_;
     circuit::pipe_stage stage_;
     experiment_config config_;
     std::shared_ptr<const program_artifacts> artifacts_;
@@ -164,11 +171,12 @@ private:
     policy_engine engine_;
 };
 
-/// Builds the stage-independent program artifacts of (benchmark, config):
+/// Builds the stage-independent program artifacts of (workload, config):
 /// phase one of the staged pipeline. Only config.thread_count, config.seed
-/// and config.characterization.core participate (== workload_digest()).
+/// and config.characterization.core participate (== workload_digest());
+/// the workload key selects WHICH registered program is generated.
 [[nodiscard]] std::shared_ptr<const program_artifacts>
-make_program_artifacts(workload::benchmark_id benchmark,
+make_program_artifacts(const workload::workload_key& workload,
                        const experiment_config& config = {},
                        const util::parallel_for_fn& parallel = {});
 

@@ -38,10 +38,10 @@ void program_artifacts::validate() const
 }
 
 bool program_artifacts::provenance_matches(
-    workload::benchmark_id expected_benchmark, std::size_t expected_thread_count,
+    const workload::workload_key& expected_workload, std::size_t expected_thread_count,
     std::uint64_t expected_workload_digest) const noexcept
 {
-    return benchmark == expected_benchmark && thread_count == expected_thread_count &&
+    return workload == expected_workload && thread_count == expected_thread_count &&
            workload_digest == expected_workload_digest &&
            trace.thread_count() == expected_thread_count;
 }
@@ -49,14 +49,14 @@ bool program_artifacts::provenance_matches(
 program_characterizer::program_characterizer(arch::core_config core) : core_(core) {}
 
 program_artifacts program_characterizer::characterize(
-    workload::benchmark_id benchmark, std::size_t thread_count, std::uint64_t seed,
+    const workload::workload_key& key, std::size_t thread_count, std::uint64_t seed,
     const util::parallel_for_fn& parallel) const
 {
     const workload::benchmark_profile profile =
-        workload::make_profile(benchmark, thread_count);
+        workload::workload_registry::global().make_profile(key, thread_count);
 
     program_artifacts artifacts;
-    artifacts.benchmark = benchmark;
+    artifacts.workload = key;
     artifacts.thread_count = thread_count;
     artifacts.seed = seed;
     artifacts.workload_digest = core::workload_digest(thread_count, seed, core_);

@@ -25,7 +25,7 @@
 #include "arch/multicore.h"
 #include "arch/trace.h"
 #include "util/parallel.h"
-#include "workload/splash2.h"
+#include "workload/registry.h"
 
 namespace synts::core {
 
@@ -40,7 +40,10 @@ namespace synts::core {
 /// trace plus the per-thread architectural profiles, with the workload knobs
 /// they were produced from as provenance.
 struct program_artifacts {
-    workload::benchmark_id benchmark = workload::benchmark_id::fmm;
+    /// Registry identity of the producing workload (see workload/registry.h);
+    /// the key's 64-bit id -- not an enum ordinal -- is what every cache
+    /// tier and store frame keys on.
+    workload::workload_key workload;
     std::size_t thread_count = 0;
     std::uint64_t seed = 0;
     /// workload_digest(thread_count, seed, core) of the producing run; 0
@@ -68,15 +71,16 @@ struct program_artifacts {
     /// Provenance check for artifacts of EXTERNAL origin (deserialized from
     /// an artifact store, handed across an API boundary): true only when
     /// the stamped provenance says these artifacts were produced for
-    /// exactly `benchmark` with `thread_count` threads under
+    /// exactly the workload of `expected_workload` (name and identity
+    /// digest) with `thread_count` threads under
     /// `expected_workload_digest` (seed + core model, see
     /// core::workload_digest), and the trace agrees with the stamp. A
     /// digest mismatch means "not the artifacts you asked for" -- loaders
     /// must treat it as a cache miss and rebuild, never serve the data.
-    [[nodiscard]] bool provenance_matches(workload::benchmark_id expected_benchmark,
-                                          std::size_t expected_thread_count,
-                                          std::uint64_t expected_workload_digest)
-        const noexcept;
+    [[nodiscard]] bool
+    provenance_matches(const workload::workload_key& expected_workload,
+                       std::size_t expected_thread_count,
+                       std::uint64_t expected_workload_digest) const noexcept;
 };
 
 /// Produces program_artifacts: workload generation plus architectural
@@ -87,11 +91,14 @@ public:
     /// The core model used for profiling (N_i, CPI_base_i).
     explicit program_characterizer(arch::core_config core = {});
 
-    /// Generates the benchmark's trace for `thread_count` threads at `seed`
-    /// and profiles it. Deterministic in (benchmark, thread_count, seed,
+    /// Generates the workload's trace for `thread_count` threads at `seed`
+    /// and profiles it. The profile is resolved through
+    /// workload_registry::global() -- an unregistered key throws
+    /// std::out_of_range. Deterministic in (workload, thread_count, seed,
     /// core config); `parallel` fans per-thread work out without changing
-    /// the result.
-    [[nodiscard]] program_artifacts characterize(workload::benchmark_id benchmark,
+    /// the result. benchmark_id call sites convert implicitly (the built-in
+    /// ten are always registered).
+    [[nodiscard]] program_artifacts characterize(const workload::workload_key& workload,
                                                  std::size_t thread_count,
                                                  std::uint64_t seed,
                                                  const util::parallel_for_fn& parallel = {}) const;

@@ -21,7 +21,7 @@ util::parallel_for_fn pool_executor(thread_pool* pool)
 /// stale or foreign data is never served.
 experiment_cache::program_ptr try_load_program(const storage::artifact_store& store,
                                                std::uint64_t key_digest,
-                                               workload::benchmark_id benchmark,
+                                               const workload::workload_key& workload,
                                                const core::experiment_config& config)
 {
     const std::optional<std::string> frame =
@@ -32,7 +32,7 @@ experiment_cache::program_ptr try_load_program(const storage::artifact_store& st
     try {
         auto loaded = std::make_shared<core::program_artifacts>(
             storage::decode_program_artifacts(*frame));
-        if (!loaded->provenance_matches(benchmark, config.thread_count,
+        if (!loaded->provenance_matches(workload, config.thread_count,
                                         config.workload_digest())) {
             return nullptr;
         }
@@ -51,41 +51,41 @@ experiment_cache::experiment_cache(std::size_t shard_count)
 }
 
 experiment_cache::experiment_ptr
-experiment_cache::get_or_create(workload::benchmark_id benchmark,
+experiment_cache::get_or_create(const workload::workload_key& workload,
                                 circuit::pipe_stage stage,
                                 const core::experiment_config& config, thread_pool* pool)
 {
-    const experiment_key key{benchmark, stage, config.digest()};
+    const experiment_key key{workload, stage, config.digest()};
     return stage_tier_.get_or_create(key, [&]() -> experiment_ptr {
-        const program_ptr program = get_or_create_program(benchmark, config, pool);
+        const program_ptr program = get_or_create_program(workload, config, pool);
         return std::make_shared<const core::benchmark_experiment>(
             program, stage, config, pool_executor(pool));
     });
 }
 
 experiment_cache::program_ptr
-experiment_cache::get_or_create_program(workload::benchmark_id benchmark,
+experiment_cache::get_or_create_program(const workload::workload_key& workload,
                                         const core::experiment_config& config,
                                         thread_pool* pool)
 {
-    const program_key key{benchmark, config.workload_digest()};
+    const program_key key{workload, config.workload_digest()};
     return program_tier_.get_or_create(key, [&]() -> program_ptr {
         if (store_ != nullptr) {
             if (program_ptr loaded =
-                    try_load_program(*store_, key.digest(), benchmark, config)) {
+                    try_load_program(*store_, key.digest(), workload, config)) {
                 disk_hits_.fetch_add(1, std::memory_order_relaxed);
                 return loaded;
             }
             disk_misses_.fetch_add(1, std::memory_order_relaxed);
             program_ptr built =
-                core::make_program_artifacts(benchmark, config, pool_executor(pool));
+                core::make_program_artifacts(workload, config, pool_executor(pool));
             // Best-effort write-back: a failed publish (read-only store,
             // disk full) degrades persistence, never the result.
             (void)store_->store(storage::program_bucket, key.digest(),
                                 storage::encode(*built));
             return built;
         }
-        return core::make_program_artifacts(benchmark, config, pool_executor(pool));
+        return core::make_program_artifacts(workload, config, pool_executor(pool));
     });
 }
 

@@ -77,8 +77,11 @@ class artifact_store;
 namespace synts::runtime {
 
 /// Stage-tier key: what uniquely determines a characterized experiment.
+/// The workload axis is the registry key (workload/registry.h), not an enum
+/// ordinal, so any registered workload -- built-in SPLASH-2 profile or
+/// parametric scenario instance -- gets its own entries.
 struct experiment_key {
-    workload::benchmark_id benchmark = workload::benchmark_id::fmm;
+    workload::workload_key workload;
     circuit::pipe_stage stage = circuit::pipe_stage::decode;
     std::uint64_t config_digest = 0;
 
@@ -87,7 +90,8 @@ struct experiment_key {
     [[nodiscard]] std::uint64_t digest() const noexcept
     {
         util::digest_builder h;
-        h.value(benchmark);
+        h.u64(workload.id);
+        h.text(workload.name);
         h.value(stage);
         h.value(config_digest);
         return h.digest();
@@ -95,9 +99,11 @@ struct experiment_key {
 };
 
 /// Program-tier key: what uniquely determines the stage-independent
-/// artifacts (see experiment_config::workload_digest()).
+/// artifacts (see experiment_config::workload_digest()). Its digest() is
+/// also the persistent store key of the artifact frame, so it must stay
+/// stable across processes (both fields already are).
 struct program_key {
-    workload::benchmark_id benchmark = workload::benchmark_id::fmm;
+    workload::workload_key workload;
     std::uint64_t workload_digest = 0;
 
     friend bool operator==(const program_key&, const program_key&) = default;
@@ -105,7 +111,8 @@ struct program_key {
     [[nodiscard]] std::uint64_t digest() const noexcept
     {
         util::digest_builder h;
-        h.value(benchmark);
+        h.u64(workload.id);
+        h.text(workload.name);
         h.value(workload_digest);
         return h.digest();
     }
@@ -234,24 +241,26 @@ public:
     experiment_cache(const experiment_cache&) = delete;
     experiment_cache& operator=(const experiment_cache&) = delete;
 
-    /// Returns the cached experiment for (benchmark, stage, config),
+    /// Returns the cached experiment for (workload, stage, config),
     /// constructing it on this thread if absent -- sourcing the
     /// stage-independent artifacts from the program tier, so a stage miss
     /// only pays for the per-stage work when the workload is already
-    /// resident. `pool`, when given, parallelizes a miss's construction
-    /// (bit-identical results either way) and must outlive the call.
-    [[nodiscard]] experiment_ptr get_or_create(workload::benchmark_id benchmark,
+    /// resident. benchmark_id call sites convert implicitly. `pool`, when
+    /// given, parallelizes a miss's construction (bit-identical results
+    /// either way) and must outlive the call.
+    [[nodiscard]] experiment_ptr get_or_create(const workload::workload_key& workload,
                                                circuit::pipe_stage stage,
                                                const core::experiment_config& config = {},
                                                thread_pool* pool = nullptr);
 
     /// Returns the cached stage-independent artifacts for
-    /// (benchmark, config.workload_digest()), constructing them on this
+    /// (workload, config.workload_digest()), constructing them on this
     /// thread if absent. With a store attached, a memory miss probes the
     /// disk tier before computing (see file comment).
-    [[nodiscard]] program_ptr get_or_create_program(workload::benchmark_id benchmark,
-                                                    const core::experiment_config& config = {},
-                                                    thread_pool* pool = nullptr);
+    [[nodiscard]] program_ptr
+    get_or_create_program(const workload::workload_key& workload,
+                          const core::experiment_config& config = {},
+                          thread_pool* pool = nullptr);
 
     /// Attaches (or, with nullptr, detaches) the persistent disk tier.
     /// Not synchronized against in-flight lookups: attach before handing

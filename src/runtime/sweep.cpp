@@ -19,9 +19,9 @@ std::vector<benchmark_stage> sweep_spec::expanded_pairs() const
     }
     std::vector<benchmark_stage> expanded;
     expanded.reserve(benchmarks.size() * stages.size());
-    for (const workload::benchmark_id benchmark : benchmarks) {
+    for (const workload::workload_key& workload : benchmarks) {
         for (const circuit::pipe_stage stage : stages) {
-            expanded.emplace_back(benchmark, stage);
+            expanded.emplace_back(workload, stage);
         }
     }
     return expanded;
@@ -38,8 +38,9 @@ std::uint64_t sweep_spec::digest() const
     h.value(config.digest());
     const std::vector<benchmark_stage> expanded = expanded_pairs();
     h.u64(expanded.size());
-    for (const auto& [benchmark, stage] : expanded) {
-        h.value(benchmark);
+    for (const auto& [workload, stage] : expanded) {
+        h.u64(workload.id);
+        h.text(workload.name);
         h.value(stage);
     }
     h.u64(policies.size());
@@ -55,12 +56,12 @@ std::uint64_t sweep_cell_digest(std::uint64_t spec_digest, std::size_t index) no
     return util::hash_mix(spec_digest, index);
 }
 
-const sweep_cell* sweep_result::find(workload::benchmark_id benchmark,
+const sweep_cell* sweep_result::find(const workload::workload_key& workload,
                                      circuit::pipe_stage stage,
                                      core::policy_kind policy) const noexcept
 {
     for (const sweep_cell& cell : cells) {
-        if (cell.benchmark == benchmark && cell.stage == stage &&
+        if (cell.workload == workload && cell.stage == stage &&
             cell.policy == policy) {
             return &cell;
         }
@@ -75,7 +76,7 @@ namespace {
 /// -- on any failure; a corrupt or foreign checkpoint is never adopted.
 std::optional<sweep_cell> try_load_cell(const storage::artifact_store& store,
                                         std::uint64_t cell_key,
-                                        workload::benchmark_id benchmark,
+                                        const workload::workload_key& workload,
                                         circuit::pipe_stage stage,
                                         core::policy_kind policy)
 {
@@ -85,7 +86,7 @@ std::optional<sweep_cell> try_load_cell(const storage::artifact_store& store,
     }
     try {
         sweep_cell cell = storage::decode_sweep_cell(*frame);
-        if (cell.benchmark != benchmark || cell.stage != stage ||
+        if (cell.workload != workload || cell.stage != stage ||
             cell.policy != policy) {
             return std::nullopt;
         }
@@ -132,7 +133,7 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
     for (std::size_t p = 0; p < pairs.size(); ++p) {
         tasks.push_back(pool_->submit([this, &spec, &options, &result, &pairs, store,
                                        spec_digest, &cells_loaded, &cells_stored, p] {
-            const auto [benchmark, stage] = pairs[p];
+            const auto& [workload, stage] = pairs[p];
             const std::size_t policy_count = spec.policies.size();
 
             // Resume pass: adopt every decodable checkpoint of this pair
@@ -145,7 +146,7 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
                     const std::size_t index = p * policy_count + q;
                     restored[q] = try_load_cell(
                         *store, sweep_cell_digest(spec_digest, index),
-                        benchmark, stage, spec.policies[q]);
+                        workload, stage, spec.policies[q]);
                     complete = complete && restored[q].has_value();
                 }
             } else {
@@ -156,7 +157,7 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
             double theta_eq = 0.0;
             core::benchmark_experiment::policy_run nominal_baseline;
             if (!complete) {
-                experiment = cache_->get_or_create(benchmark, stage, spec.config, pool_);
+                experiment = cache_->get_or_create(workload, stage, spec.config, pool_);
                 theta_eq = experiment->equal_weight_theta();
                 if (!spec.theta_multipliers.empty()) {
                     nominal_baseline =
@@ -172,7 +173,7 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
                     cells_loaded.fetch_add(1, std::memory_order_relaxed);
                     continue;
                 }
-                cell.benchmark = benchmark;
+                cell.workload = workload;
                 cell.stage = stage;
                 cell.policy = spec.policies[q];
                 cell.task_seed = util::hash_mix(spec.config.seed, index);

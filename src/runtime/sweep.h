@@ -36,13 +36,16 @@ class artifact_store;
 
 namespace synts::runtime {
 
-/// One (benchmark, stage) evaluation target.
-using benchmark_stage = std::pair<workload::benchmark_id, circuit::pipe_stage>;
+/// One (workload, stage) evaluation target. Workloads are registry keys
+/// (workload/registry.h); benchmark_id literals convert implicitly.
+using benchmark_stage = std::pair<workload::workload_key, circuit::pipe_stage>;
 
 /// Declarative description of a batched sweep.
 struct sweep_spec {
-    /// Cross-product axes (used when `pairs` is empty).
-    std::vector<workload::benchmark_id> benchmarks;
+    /// Cross-product axes (used when `pairs` is empty). Any registered
+    /// workload key -- built-in SPLASH-2 profile or parametric scenario
+    /// instance -- is a valid axis value.
+    std::vector<workload::workload_key> benchmarks;
     std::vector<circuit::pipe_stage> stages;
     /// Explicit pair list; when non-empty it replaces the cross product
     /// (the figure benches plot hand-picked pairs, not a full grid).
@@ -77,9 +80,9 @@ struct sweep_spec {
 [[nodiscard]] std::uint64_t sweep_cell_digest(std::uint64_t spec_digest,
                                               std::size_t index) noexcept;
 
-/// Fully evaluated (benchmark, stage, policy) cell.
+/// Fully evaluated (workload, stage, policy) cell.
 struct sweep_cell {
-    workload::benchmark_id benchmark = workload::benchmark_id::fmm;
+    workload::workload_key workload;
     circuit::pipe_stage stage = circuit::pipe_stage::decode;
     core::policy_kind policy = core::policy_kind::nominal;
 
@@ -130,8 +133,8 @@ struct sweep_result {
         return checkpointing ? cells.size() - cells_loaded : 0;
     }
 
-    /// The cell of (benchmark, stage, policy), or nullptr.
-    [[nodiscard]] const sweep_cell* find(workload::benchmark_id benchmark,
+    /// The cell of (workload, stage, policy), or nullptr.
+    [[nodiscard]] const sweep_cell* find(const workload::workload_key& workload,
                                          circuit::pipe_stage stage,
                                          core::policy_kind policy) const noexcept;
 };

@@ -6,6 +6,7 @@
 
 #include "util/csv.h"
 #include "util/table.h"
+#include "workload/registry.h"
 
 namespace synts::runtime {
 
@@ -89,7 +90,7 @@ void write_pareto_csv(const sweep_result& result, std::ostream& out)
     for (const sweep_cell& cell : result.cells) {
         for (std::size_t i = 0; i < cell.pareto.size(); ++i) {
             csv.begin_row();
-            csv.field(std::string(workload::benchmark_name(cell.benchmark)));
+            csv.field(cell.workload.name);
             csv.field(std::string(circuit::pipe_stage_name(cell.stage)));
             csv.field(std::string(policy_token(cell.policy)));
             csv.field(result.spec.theta_multipliers[i]);
@@ -106,7 +107,7 @@ void write_summary_csv(const sweep_result& result, std::ostream& out)
     csv.header({"benchmark", "stage", "policy", "theta_eq", "energy", "time_ps", "edp"});
     for (const sweep_cell& cell : result.cells) {
         csv.begin_row();
-        csv.field(std::string(workload::benchmark_name(cell.benchmark)));
+        csv.field(cell.workload.name);
         csv.field(std::string(circuit::pipe_stage_name(cell.stage)));
         csv.field(std::string(policy_token(cell.policy)));
         csv.field(cell.theta_eq);
@@ -136,7 +137,7 @@ void write_sweep_json(const sweep_result& result, std::ostream& out)
     for (std::size_t c = 0; c < result.cells.size(); ++c) {
         const sweep_cell& cell = result.cells[c];
         body << "    {\"benchmark\": \""
-             << json_escape(workload::benchmark_name(cell.benchmark)) << "\", \"stage\": \""
+             << json_escape(cell.workload.name) << "\", \"stage\": \""
              << json_escape(circuit::pipe_stage_name(cell.stage)) << "\", \"policy\": \""
              << policy_token(cell.policy) << "\", \"theta_eq\": " << cell.theta_eq
              << ", \"task_seed\": " << cell.task_seed
@@ -171,7 +172,7 @@ std::string render_sweep_table(const sweep_result& result)
             table.cell(cell->equal_weight.sum.time_ps, 1);
             table.cell(cell->equal_weight.sum.edp(), 4);
         }
-        rendered += std::string(workload::benchmark_name(pair.first)) + " / " +
+        rendered += pair.first.name + " / " +
                     circuit::pipe_stage_name(pair.second) + "\n" + table.render() + "\n";
     }
     return rendered;
@@ -277,6 +278,45 @@ std::optional<core::policy_kind> parse_policy(std::string_view token)
         }
     }
     return std::nullopt;
+}
+
+std::optional<workload::workload_key>
+parse_workload(const workload::workload_registry& registry, std::string_view token)
+{
+    const std::string wanted = normalize(token);
+    for (const workload::workload_key& key : registry.keys()) {
+        if (normalize(key.name) == wanted) {
+            return key;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<workload::workload_key>
+parse_workload_list(const workload::workload_registry& registry, std::string_view csv)
+{
+    const std::string keyword = normalize(csv);
+    if (keyword == "all") {
+        return registry.keys();
+    }
+    if (keyword == "splash2") {
+        const auto span = workload::all_benchmarks();
+        return {span.begin(), span.end()};
+    }
+    if (keyword == "reported") {
+        const auto span = workload::reported_benchmarks();
+        return {span.begin(), span.end()};
+    }
+    std::vector<workload::workload_key> keys;
+    for (const std::string_view token : split_csv(csv)) {
+        const auto key = parse_workload(registry, token);
+        if (!key) {
+            throw std::invalid_argument("unknown workload: \"" + std::string(token) +
+                                        "\" (see --list-benchmarks)");
+        }
+        keys.push_back(*key);
+    }
+    return keys;
 }
 
 std::vector<workload::benchmark_id> parse_benchmark_list(std::string_view csv)

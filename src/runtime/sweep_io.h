@@ -66,11 +66,25 @@ parse_cache_stats_format(std::string_view token);
 [[nodiscard]] std::optional<circuit::pipe_stage> parse_stage(std::string_view token);
 [[nodiscard]] std::optional<core::policy_kind> parse_policy(std::string_view token);
 
+/// Registry-name parsing (same forgiving matching): resolves `token`
+/// against `registry`'s registered workload names. std::nullopt when no
+/// registered name matches.
+[[nodiscard]] std::optional<workload::workload_key>
+parse_workload(const workload::workload_registry& registry, std::string_view token);
+
 /// List parsing for CLI flags: comma-separated tokens, or the keywords
 /// "all" (every value) and -- for benchmarks -- "reported" (the paper's
 /// seven). Throws std::invalid_argument naming the offending token.
 [[nodiscard]] std::vector<workload::benchmark_id> parse_benchmark_list(std::string_view csv);
 [[nodiscard]] std::vector<circuit::pipe_stage> parse_stage_list(std::string_view csv);
 [[nodiscard]] std::vector<core::policy_kind> parse_policy_list(std::string_view csv);
+
+/// Workload-list parsing over a registry (what the runner CLI uses):
+/// comma-separated registered names, or the keywords "all" (every
+/// registered workload, registration order), "splash2" (the built-in ten)
+/// and "reported" (the paper's seven). Throws std::invalid_argument naming
+/// the offending token.
+[[nodiscard]] std::vector<workload::workload_key>
+parse_workload_list(const workload::workload_registry& registry, std::string_view csv);
 
 } // namespace synts::runtime

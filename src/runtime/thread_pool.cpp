@@ -27,8 +27,23 @@ thread_pool::thread_pool(std::size_t worker_count)
         queues_.push_back(std::make_unique<worker_queue>());
     }
     workers_.reserve(worker_count);
-    for (std::size_t i = 0; i < worker_count; ++i) {
-        workers_.emplace_back([this, i] { worker_loop(i); });
+    try {
+        for (std::size_t i = 0; i < worker_count; ++i) {
+            workers_.emplace_back([this, i] { worker_loop(i); });
+        }
+    } catch (...) {
+        // Thread creation can fail (resource exhaustion). Already-started
+        // workers MUST be stopped and joined before the exception leaves,
+        // or their std::thread destructors call std::terminate.
+        {
+            std::lock_guard lock(sleep_mutex_);
+            stopping_.store(true, std::memory_order_release);
+        }
+        wake_.notify_all();
+        for (std::thread& worker : workers_) {
+            worker.join();
+        }
+        throw;
     }
 }
 

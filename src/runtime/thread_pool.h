@@ -72,9 +72,23 @@ private:
 class thread_pool {
 public:
     /// `worker_count` 0 picks std::thread::hardware_concurrency() (min 1).
+    /// Exception-safe: if spawning the i-th worker thread fails, the
+    /// already-started workers are stopped and joined before the exception
+    /// propagates (no std::terminate from unjoined std::threads).
     explicit thread_pool(std::size_t worker_count = 0);
 
     /// Drains every queued task, then joins the workers.
+    ///
+    /// Shutdown contract (pinned by tests/test_runtime_pool.cpp, TSan-run
+    /// in CI):
+    ///   * every task queued before destruction begins is executed, and a
+    ///     task that submit()s a follow-up while the destructor drains is
+    ///     fine -- the follow-up lands on the submitting worker's own queue
+    ///     and workers only exit once no task is pending, so it too runs
+    ///     before join. Chains of such submissions all drain.
+    ///   * submitting from any NON-worker thread concurrently with (or
+    ///     after) destruction is a caller lifetime bug, as for any object:
+    ///     external submitters must be made to finish first.
     ~thread_pool();
 
     thread_pool(const thread_pool&) = delete;

@@ -59,6 +59,12 @@ void binary_writer::f64(double v)
     u64(std::bit_cast<std::uint64_t>(v));
 }
 
+void binary_writer::str(std::string_view s)
+{
+    size(s.size());
+    buffer_.append(s);
+}
+
 std::uint8_t binary_reader::u8()
 {
     if (offset_ >= data_.size()) {
@@ -106,6 +112,42 @@ bool binary_reader::boolean()
         fail("boolean field is neither 0 nor 1");
     }
     return v == 1;
+}
+
+std::string binary_reader::str()
+{
+    const std::size_t length = size();
+    if (length > remaining()) {
+        fail("string length exceeds frame size");
+    }
+    std::string s(data_.substr(offset_, length));
+    offset_ += length;
+    return s;
+}
+
+// -- workload identity ------------------------------------------------------
+
+void write(binary_writer& out, const workload::workload_key& key)
+{
+    out.u64(key.id);
+    out.str(key.name);
+}
+
+workload::workload_key read_workload_key(binary_reader& in, std::uint32_t version)
+{
+    if (version < 2) {
+        // v1 frames predate the registry: the identity is a benchmark_id
+        // ordinal, which maps 1:1 onto the built-in key.
+        return workload::builtin_key(checked_enum<workload::benchmark_id>(
+            in.u8(), workload::benchmark_count, "benchmark_id out of range"));
+    }
+    workload::workload_key key;
+    key.id = in.u64();
+    key.name = in.str();
+    if (key.name.empty()) {
+        fail("empty workload name");
+    }
+    return key;
 }
 
 // -- arch types -------------------------------------------------------------
@@ -215,7 +257,7 @@ arch::interval_profile read_interval_profile(binary_reader& in)
 
 void write(binary_writer& out, const core::program_artifacts& artifacts)
 {
-    out.u8(static_cast<std::uint8_t>(artifacts.benchmark));
+    write(out, artifacts.workload);
     out.size(artifacts.thread_count);
     out.u64(artifacts.seed);
     out.u64(artifacts.workload_digest);
@@ -229,11 +271,10 @@ void write(binary_writer& out, const core::program_artifacts& artifacts)
     }
 }
 
-core::program_artifacts read_program_artifacts(binary_reader& in)
+core::program_artifacts read_program_artifacts(binary_reader& in, std::uint32_t version)
 {
     core::program_artifacts artifacts;
-    artifacts.benchmark = checked_enum<workload::benchmark_id>(
-        in.u8(), workload::benchmark_count, "benchmark_id out of range");
+    artifacts.workload = read_workload_key(in, version);
     artifacts.thread_count = in.size();
     artifacts.seed = in.u64();
     artifacts.workload_digest = in.u64();
@@ -372,7 +413,7 @@ core::benchmark_experiment::policy_run read_policy_run(binary_reader& in)
 
 void write(binary_writer& out, const runtime::sweep_cell& cell)
 {
-    out.u8(static_cast<std::uint8_t>(cell.benchmark));
+    write(out, cell.workload);
     out.u8(static_cast<std::uint8_t>(cell.stage));
     out.u8(static_cast<std::uint8_t>(cell.policy));
     out.f64(cell.theta_eq);
@@ -384,11 +425,10 @@ void write(binary_writer& out, const runtime::sweep_cell& cell)
     }
 }
 
-runtime::sweep_cell read_sweep_cell(binary_reader& in)
+runtime::sweep_cell read_sweep_cell(binary_reader& in, std::uint32_t version)
 {
     runtime::sweep_cell cell;
-    cell.benchmark = checked_enum<workload::benchmark_id>(
-        in.u8(), workload::benchmark_count, "benchmark_id out of range");
+    cell.workload = read_workload_key(in, version);
     cell.stage = checked_enum<circuit::pipe_stage>(in.u8(), circuit::pipe_stage_count,
                                                    "pipe_stage out of range");
     cell.policy = checked_enum<core::policy_kind>(in.u8(), core::policy_count,
@@ -428,10 +468,18 @@ std::string encode_frame(payload_kind kind, const Payload& payload)
     return frame;
 }
 
-/// Verifies framing and returns a reader positioned at the payload. The
-/// checksum is verified FIRST: a frame that fails it is corrupt, and no
-/// other field of it can be trusted (including the version word).
-binary_reader open_frame(std::string_view frame, payload_kind expected)
+/// Verifies framing and returns a reader positioned at the payload, plus
+/// the frame's own format version (decoders accept every version in
+/// [min_format_version, format_version] and parse the payload under the
+/// frame's version). The checksum is verified FIRST: a frame that fails it
+/// is corrupt, and no other field of it can be trusted (including the
+/// version word).
+struct opened_frame {
+    binary_reader in;
+    std::uint32_t version;
+};
+
+opened_frame open_frame(std::string_view frame, payload_kind expected)
 {
     constexpr std::size_t header_size = 8 + 4 + 4;
     constexpr std::size_t checksum_size = 8;
@@ -449,21 +497,22 @@ binary_reader open_frame(std::string_view frame, payload_kind expected)
             fail("bad magic");
         }
     }
-    if (in.u32() != format_version) {
+    const std::uint32_t version = in.u32();
+    if (version < min_format_version || version > format_version) {
         fail("format version mismatch");
     }
     if (in.u32() != static_cast<std::uint32_t>(expected)) {
         fail("payload kind mismatch");
     }
-    return in;
+    return {in, version};
 }
 
 template <typename Payload, typename Read>
 Payload decode_frame(std::string_view frame, payload_kind kind, Read&& read)
 {
-    binary_reader in = open_frame(frame, kind);
-    Payload payload = read(in);
-    if (!in.at_end()) {
+    opened_frame opened = open_frame(frame, kind);
+    Payload payload = read(opened.in, opened.version);
+    if (!opened.in.at_end()) {
         fail("trailing bytes after payload");
     }
     return payload;
@@ -480,7 +529,9 @@ core::program_artifacts decode_program_artifacts(std::string_view frame)
 {
     return decode_frame<core::program_artifacts>(
         frame, payload_kind::program_artifacts,
-        [](binary_reader& in) { return read_program_artifacts(in); });
+        [](binary_reader& in, std::uint32_t version) {
+            return read_program_artifacts(in, version);
+        });
 }
 
 std::string encode(const runtime::sweep_cell& cell)
@@ -492,7 +543,9 @@ runtime::sweep_cell decode_sweep_cell(std::string_view frame)
 {
     return decode_frame<runtime::sweep_cell>(
         frame, payload_kind::sweep_cell,
-        [](binary_reader& in) { return read_sweep_cell(in); });
+        [](binary_reader& in, std::uint32_t version) {
+            return read_sweep_cell(in, version);
+        });
 }
 
 } // namespace synts::storage

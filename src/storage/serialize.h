@@ -27,8 +27,21 @@
 // than misread. (CI additionally keys its persistent store on a hash of
 // src/, catching a forgotten bump before it can taint a green build.)
 // tests/test_storage_serialize.cpp perturbs every serialized field (encoded
-// bytes must change) and pins the v1 frame bytes of a golden artifact, so
-// silent drift fails the suite.
+// bytes must change) and pins the current frame bytes of a golden artifact,
+// so silent drift fails the suite.
+//
+// Version history:
+//   v1  workload identity = benchmark_id ordinal (u8) -- the closed ten.
+//   v2  workload identity = workload_key (u64 registry digest + name), so
+//       frames can carry any registered workload, including parametric
+//       scenario instances. Encoders always write the current version;
+//       decoders still accept v1 FRAMES (the ordinal maps onto the
+//       built-in key). Note the scope: this is frame-level compatibility
+//       for anything holding v1 bytes (exports, fixtures, external
+//       tooling). The artifact_store itself does NOT serve v1 entries --
+//       its paths embed the version, and the registry rekeyed the cache
+//       digests anyway, so a v2 store deliberately starts cold rather
+//       than probe old directories.
 
 #pragma once
 
@@ -43,7 +56,10 @@
 namespace synts::storage {
 
 /// Bumped on ANY change to the framing or a serialized struct layout.
-inline constexpr std::uint32_t format_version = 1;
+inline constexpr std::uint32_t format_version = 2;
+
+/// Oldest frame version decoders still accept (see version history above).
+inline constexpr std::uint32_t min_format_version = 1;
 
 /// First 8 bytes of every frame.
 inline constexpr std::string_view frame_magic = "SYNTSTOR";
@@ -73,6 +89,8 @@ public:
     /// IEEE-754 bit pattern (bit-exact round trip, including -0.0 / NaN).
     void f64(double v);
     void boolean(bool v) { u8(v ? 1 : 0); }
+    /// Length-prefixed byte string (u64 length + raw bytes).
+    void str(std::string_view s);
 
     [[nodiscard]] const std::string& bytes() const noexcept { return buffer_; }
     [[nodiscard]] std::string take() noexcept { return std::move(buffer_); }
@@ -94,6 +112,10 @@ public:
     [[nodiscard]] std::size_t size();
     [[nodiscard]] double f64();
     [[nodiscard]] bool boolean();
+    /// Length-prefixed byte string; the length is bounds-checked against
+    /// the remaining bytes, so a hostile length cannot force an allocation
+    /// larger than the frame itself.
+    [[nodiscard]] std::string str();
 
     [[nodiscard]] std::size_t remaining() const noexcept
     {
@@ -111,6 +133,12 @@ private:
 // every field. Readers range-check enums and validate invariants cheap
 // enough to check inline (deep structural validation is the caller's call).
 
+void write(binary_writer& out, const workload::workload_key& key);
+/// `version` selects the layout: v1 frames stored a benchmark_id ordinal
+/// (mapped onto the built-in key), v2+ the full key.
+[[nodiscard]] workload::workload_key read_workload_key(binary_reader& in,
+                                                       std::uint32_t version);
+
 void write(binary_writer& out, const arch::micro_op& op);
 [[nodiscard]] arch::micro_op read_micro_op(binary_reader& in);
 
@@ -124,7 +152,8 @@ void write(binary_writer& out, const arch::interval_profile& profile);
 [[nodiscard]] arch::interval_profile read_interval_profile(binary_reader& in);
 
 void write(binary_writer& out, const core::program_artifacts& artifacts);
-[[nodiscard]] core::program_artifacts read_program_artifacts(binary_reader& in);
+[[nodiscard]] core::program_artifacts
+read_program_artifacts(binary_reader& in, std::uint32_t version = format_version);
 
 void write(binary_writer& out, const core::pareto_point& point);
 [[nodiscard]] core::pareto_point read_pareto_point(binary_reader& in);
@@ -137,14 +166,18 @@ void write(binary_writer& out, const core::benchmark_experiment::policy_run& run
 read_policy_run(binary_reader& in);
 
 void write(binary_writer& out, const runtime::sweep_cell& cell);
-[[nodiscard]] runtime::sweep_cell read_sweep_cell(binary_reader& in);
+[[nodiscard]] runtime::sweep_cell read_sweep_cell(binary_reader& in,
+                                                  std::uint32_t version = format_version);
 
 // -- framed envelopes -------------------------------------------------------
-// encode_* produce a complete self-verifying frame:
+// encode_* produce a complete self-verifying frame (always the current
+// format_version):
 //   magic(8) | format_version(u32) | payload_kind(u32) | payload |
 //   checksum(u64, FNV-1a over everything before it)
-// decode_* verify magic, version, kind and checksum, parse the payload, and
-// require the frame to end exactly at the checksum (no trailing bytes).
+// decode_* verify magic, version (any in [min_format_version,
+// format_version]), kind and checksum, parse the payload under the frame's
+// own version, and require the frame to end exactly at the checksum (no
+// trailing bytes).
 
 [[nodiscard]] std::string encode(const core::program_artifacts& artifacts);
 [[nodiscard]] core::program_artifacts decode_program_artifacts(std::string_view frame);

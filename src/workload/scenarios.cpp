@@ -1,0 +1,362 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/hashing.h"
+#include "util/rng.h"
+#include "workload/registry.h"
+
+namespace synts::workload {
+
+namespace {
+
+using arch::op_class;
+
+/// Identity digest of a (family, params) pair: the family tag keeps two
+/// families with coincidentally equal param digests apart. Doubles as the
+/// profile's trace-generation stream salt, so two parameterizations draw
+/// distinct operand streams even at equal experiment seeds.
+[[nodiscard]] std::uint64_t identity(std::string_view family,
+                                     std::uint64_t params_digest) noexcept
+{
+    util::digest_builder h;
+    h.text(family);
+    h.u64(params_digest);
+    return h.digest();
+}
+
+/// Mix array in op_class order:
+/// {int_add, int_sub, int_logic, int_mul, load, store, branch, fp, nop}.
+[[nodiscard]] std::array<double, arch::op_class_count>
+mix_of(double add, double sub, double logic, double mul, double load, double store,
+       double branch, double fp, double nop)
+{
+    return {add, sub, logic, mul, load, store, branch, fp, nop};
+}
+
+void require(bool ok, const char* what)
+{
+    if (!ok) {
+        throw std::invalid_argument(what);
+    }
+}
+
+/// Registers `factory` under `key`, stamping the registered name into the
+/// produced profile so diagnostics show the registry spelling.
+template <typename Factory>
+void add_named(workload_registry& registry, workload_key key, Factory factory)
+{
+    const std::string name = key.name;
+    registry.add(std::move(key), [name, factory](std::size_t thread_count) {
+        benchmark_profile profile = factory(thread_count);
+        profile.name = name;
+        return profile;
+    });
+}
+
+} // namespace
+
+// -- lock-contention ladder --------------------------------------------------
+
+std::uint64_t lock_ladder_params::digest() const noexcept
+{
+    util::digest_builder h;
+    h.value(rungs);
+    h.value(base_contention);
+    h.value(contention_step);
+    h.value(hold_scale);
+    h.value(hot_locks);
+    return h.digest();
+}
+
+workload_key lock_ladder_key(std::string name, const lock_ladder_params& params)
+{
+    return {std::move(name), identity("lock_ladder", params.digest())};
+}
+
+benchmark_profile make_lock_ladder_profile(const lock_ladder_params& params,
+                                           std::size_t thread_count)
+{
+    require(thread_count >= 1, "lock_ladder: thread_count must be >= 1");
+    require(params.rungs >= 1, "lock_ladder: rungs must be >= 1");
+    require(params.hot_locks >= 1, "lock_ladder: hot_locks must be >= 1");
+    require(params.base_contention >= 0.0 && params.base_contention < 1.0,
+            "lock_ladder: base_contention must be in [0, 1)");
+    require(params.contention_step >= 0.0, "lock_ladder: contention_step must be >= 0");
+    require(params.hold_scale > 0.0, "lock_ladder: hold_scale must be > 0");
+
+    benchmark_profile profile;
+    profile.name = "lock_ladder";
+    profile.stream_salt = identity("lock_ladder", params.digest());
+    profile.thread_count = thread_count;
+    profile.interval_count = 3;
+    profile.instructions_per_interval = 16000;
+    profile.threads.reserve(thread_count);
+    profile.work_imbalance.assign(thread_count, 1.0);
+
+    // Per-thread serialization: rung r's share of work under the hot locks.
+    // With L locks the convoy spreads, so the per-lock pressure drops.
+    const auto serialization = [&](std::size_t t) {
+        const std::size_t rung = t % params.rungs;
+        const double contention =
+            std::min(0.9, params.base_contention +
+                              params.contention_step * static_cast<double>(rung));
+        return contention / static_cast<double>(params.hot_locks);
+    };
+    double s_max = 0.0;
+    for (std::size_t t = 0; t < thread_count; ++t) {
+        s_max = std::max(s_max, serialization(t));
+    }
+
+    for (std::size_t t = 0; t < thread_count; ++t) {
+        const double s = serialization(t);
+        thread_character c;
+        // Lock-heavy integer code: shared-counter updates, flag tests, the
+        // odd fp bookkeeping; spin waits add branch and load traffic as the
+        // thread's rung (and thus its wait time behind the convoy) rises.
+        c.mix = mix_of(0.22, 0.08, 0.14, 0.02, 0.26 + 0.04 * s, 0.12,
+                       0.14 + 0.10 * s, 0.00, 0.02);
+        // Critical sections hammer shared counters: each increment of a
+        // nearly-saturated counter ripples the full carry chain, so carry
+        // sensitization climbs the ladder with contention and hold time.
+        c.long_carry_fraction = 0.02 + 0.25 * s * params.hold_scale;
+        c.carry_len_min = 12;
+        c.carry_len_max = 32;
+        c.mul_sensitize_fraction = 0.01;
+        c.mul_magnitude_min_bits = 4;
+        c.mul_magnitude_max_bits = 12;
+        c.opcode_variety = 12;
+        // The lock word and its guard registers are re-read constantly.
+        c.register_collision_fraction = 0.01 + 0.08 * s;
+        c.collision_low_register_bias = 1.0 + 2.5 * s;
+        c.working_set_bytes = 1ull << 20;
+        c.sequential_access_fraction = std::max(0.2, 0.6 - 0.3 * s);
+        c.branch_taken_bias = 0.55;
+        c.branch_repeat_fraction = std::min(0.98, 0.80 + 0.15 * s);
+        profile.threads.push_back(c);
+
+        // Convoy head (highest rung) carries the most work; hold_scale
+        // widens the spread. s_max == 0 means no contention: balanced.
+        const double spread = std::clamp(0.45 * params.hold_scale, 0.0, 0.6);
+        profile.work_imbalance[t] =
+            s_max > 0.0 ? 1.0 - spread * (1.0 - s / s_max) : 1.0;
+    }
+    return profile;
+}
+
+void register_lock_ladder(workload_registry& registry, std::string name,
+                          const lock_ladder_params& params)
+{
+    add_named(registry, lock_ladder_key(std::move(name), params),
+              [params](std::size_t thread_count) {
+                  return make_lock_ladder_profile(params, thread_count);
+              });
+}
+
+// -- producer-consumer pipeline ---------------------------------------------
+
+std::uint64_t pipeline_params::digest() const noexcept
+{
+    util::digest_builder h;
+    h.values(stage_weights);
+    h.value(queue_pressure);
+    h.value(item_bytes);
+    return h.digest();
+}
+
+workload_key pipeline_key(std::string name, const pipeline_params& params)
+{
+    return {std::move(name), identity("pipeline", params.digest())};
+}
+
+benchmark_profile make_pipeline_profile(const pipeline_params& params,
+                                        std::size_t thread_count)
+{
+    require(thread_count >= 1, "pipeline: thread_count must be >= 1");
+    require(!params.stage_weights.empty(), "pipeline: stage_weights must be non-empty");
+    for (const double w : params.stage_weights) {
+        require(w > 0.0, "pipeline: stage weights must be > 0");
+    }
+    require(params.queue_pressure >= 0.0 && params.queue_pressure <= 1.0,
+            "pipeline: queue_pressure must be in [0, 1]");
+    require(params.item_bytes > 0, "pipeline: item_bytes must be > 0");
+
+    const std::size_t stages = params.stage_weights.size();
+    const double w_max =
+        *std::max_element(params.stage_weights.begin(), params.stage_weights.end());
+
+    benchmark_profile profile;
+    profile.name = "pipeline";
+    profile.stream_salt = identity("pipeline", params.digest());
+    profile.thread_count = thread_count;
+    profile.interval_count = 3;
+    profile.instructions_per_interval = 16000;
+    profile.threads.reserve(thread_count);
+    profile.work_imbalance.assign(thread_count, 1.0);
+
+    for (std::size_t t = 0; t < thread_count; ++t) {
+        const std::size_t stage = t % stages;
+        const double weight = params.stage_weights[stage] / w_max;
+        // Light stages spend the deficit spinning on queue full/empty
+        // checks, scaled by the configured backpressure.
+        const double spin = params.queue_pressure * (1.0 - weight);
+
+        thread_character c;
+        if (stage == 0) {
+            // Producer: streaming reads, payload writes, index arithmetic
+            // whose wrap-around checks exercise long carries.
+            c.mix = mix_of(0.18, 0.04, 0.08, 0.02, 0.32, 0.16, 0.12, 0.06, 0.02);
+            c.long_carry_fraction = 0.10;
+            c.sequential_access_fraction = 0.90;
+            c.opcode_variety = 14;
+        } else if (stage == stages - 1) {
+            // Consumer: drains the last queue, store/branch bound.
+            c.mix = mix_of(0.14, 0.06, 0.10, 0.02, 0.22, 0.24, 0.16, 0.04, 0.02);
+            c.long_carry_fraction = 0.04;
+            c.sequential_access_fraction = 0.75;
+            c.opcode_variety = 10;
+        } else {
+            // Transform: the compute stage -- multiplier-heavy payload work.
+            c.mix = mix_of(0.20, 0.08, 0.12, 0.14, 0.18, 0.08, 0.08, 0.10, 0.02);
+            c.long_carry_fraction = 0.07;
+            c.mul_sensitize_fraction = 0.05;
+            c.mul_magnitude_min_bits = 6;
+            c.mul_magnitude_max_bits = 16;
+            c.sequential_access_fraction = 0.60;
+            c.opcode_variety = 24;
+        }
+        c.carry_len_min = 12;
+        c.carry_len_max = 32;
+        c.working_set_bytes = params.item_bytes;
+        // Spinning stages hammer the queue head/tail registers and their
+        // full/empty branch, which is taken over and over until state flips.
+        c.register_collision_fraction = std::min(0.4, 0.02 + 0.10 * spin);
+        c.collision_low_register_bias = 1.0 + 2.0 * spin;
+        c.branch_taken_bias = 0.55;
+        c.branch_repeat_fraction = std::min(0.98, 0.82 + 0.14 * spin);
+        profile.threads.push_back(c);
+        profile.work_imbalance[t] = weight;
+    }
+    return profile;
+}
+
+void register_pipeline(workload_registry& registry, std::string name,
+                       const pipeline_params& params)
+{
+    add_named(registry, pipeline_key(std::move(name), params),
+              [params](std::size_t thread_count) {
+                  return make_pipeline_profile(params, thread_count);
+              });
+}
+
+// -- irregular graph walk ----------------------------------------------------
+
+std::uint64_t graph_walk_params::digest() const noexcept
+{
+    util::digest_builder h;
+    h.value(tail_alpha);
+    h.value(hub_fraction);
+    h.value(working_set_bytes);
+    h.value(mix_seed);
+    return h.digest();
+}
+
+workload_key graph_walk_key(std::string name, const graph_walk_params& params)
+{
+    return {std::move(name), identity("graph_walk", params.digest())};
+}
+
+benchmark_profile make_graph_walk_profile(const graph_walk_params& params,
+                                          std::size_t thread_count)
+{
+    require(thread_count >= 1, "graph_walk: thread_count must be >= 1");
+    require(params.tail_alpha > 0.0, "graph_walk: tail_alpha must be > 0");
+    require(params.hub_fraction >= 0.0 && params.hub_fraction <= 1.0,
+            "graph_walk: hub_fraction must be in [0, 1]");
+    require(params.working_set_bytes > 0, "graph_walk: working_set_bytes must be > 0");
+
+    benchmark_profile profile;
+    profile.name = "graph_walk";
+    profile.stream_salt = identity("graph_walk", params.digest());
+    profile.thread_count = thread_count;
+    profile.interval_count = 3;
+    profile.instructions_per_interval = 16000;
+    profile.threads.reserve(thread_count);
+    profile.work_imbalance.assign(thread_count, 1.0);
+
+    // Per-thread frontier shares from a Pareto(alpha) tail, drawn serially
+    // from mix_seed so the profile depends only on (params, thread_count).
+    util::xoshiro256 rng(params.mix_seed ^ 0x5851F42D4C957F2Dull);
+    std::vector<double> shares(thread_count);
+    double share_max = 0.0;
+    for (std::size_t t = 0; t < thread_count; ++t) {
+        // Inverse-CDF Pareto sample in [1, inf); clamp u away from 1 so a
+        // single draw cannot produce an astronomically heavy hub.
+        const double u = std::min(rng.uniform(), 0.999);
+        shares[t] = std::pow(1.0 - u, -1.0 / params.tail_alpha);
+        share_max = std::max(share_max, shares[t]);
+    }
+
+    for (std::size_t t = 0; t < thread_count; ++t) {
+        const double load = shares[t] / share_max; // (0, 1], 1 = heaviest hub
+        thread_character c;
+        // Pointer chasing: load-dominated, branchy, with offset arithmetic
+        // whose base+index additions carry deep on hub-sized frontiers.
+        c.mix = mix_of(0.20, 0.06, 0.12, 0.03, 0.30, 0.08, 0.14, 0.05, 0.02);
+        c.long_carry_fraction = 0.015 + 0.16 * std::pow(load, 1.5);
+        c.carry_len_min = 14;
+        c.carry_len_max = 32;
+        c.mul_sensitize_fraction = 0.008;
+        c.mul_magnitude_min_bits = 4;
+        c.mul_magnitude_max_bits = 14;
+        c.opcode_variety =
+            static_cast<std::uint32_t>(10 + std::llround(30.0 * load));
+        c.register_collision_fraction = 0.01 + 0.10 * params.hub_fraction * load;
+        c.collision_low_register_bias = 1.0 + 3.0 * params.hub_fraction;
+        c.working_set_bytes = params.working_set_bytes;
+        c.sequential_access_fraction = 0.15; // edges land anywhere
+        c.branch_taken_bias = 0.50;          // visited? checks are coin flips
+        c.branch_repeat_fraction = 0.55;
+        profile.threads.push_back(c);
+        profile.work_imbalance[t] = load;
+    }
+    return profile;
+}
+
+void register_graph_walk(workload_registry& registry, std::string name,
+                         const graph_walk_params& params)
+{
+    add_named(registry, graph_walk_key(std::move(name), params),
+              [params](std::size_t thread_count) {
+                  return make_graph_walk_profile(params, thread_count);
+              });
+}
+
+// -- default instances -------------------------------------------------------
+
+void register_default_scenarios(workload_registry& registry)
+{
+    register_lock_ladder(registry, "lock_ladder", lock_ladder_params{});
+    register_lock_ladder(registry, "lock_ladder_heavy",
+                         lock_ladder_params{.rungs = 4,
+                                            .base_contention = 0.30,
+                                            .contention_step = 0.20,
+                                            .hold_scale = 2.0,
+                                            .hot_locks = 1});
+    register_pipeline(registry, "pipeline", pipeline_params{});
+    register_pipeline(registry, "pipeline_skewed",
+                      pipeline_params{.stage_weights = {1.0, 0.30, 0.12},
+                                      .queue_pressure = 0.85,
+                                      .item_bytes = 8ull << 20});
+    register_graph_walk(registry, "graph_walk", graph_walk_params{});
+    register_graph_walk(registry, "graph_walk_hubby",
+                        graph_walk_params{.tail_alpha = 0.9,
+                                          .hub_fraction = 0.25,
+                                          .working_set_bytes = 64ull << 20,
+                                          .mix_seed = 7});
+}
+
+} // namespace synts::workload

@@ -1,0 +1,143 @@
+// scenarios.h -- parametric scenario families for the workload registry.
+//
+// The paper's SynTS advantage lives exactly where per-thread timing-error
+// behavior is heterogeneous (Radix/FMM vs. the homogeneous FFT trio), and
+// the related speculative-multithreading literature (Prophet; Durbhakula's
+// multithreaded branch-prediction study) stresses program shapes the ten
+// SPLASH-2 profiles cannot express: lock convoys, skewed pipelines,
+// irregular pointer-chasing with heavy-tailed work distributions. Each
+// family here is a pure function
+//
+//   params -> benchmark_profile (per-thread characters + imbalance)
+//
+// so ONE family yields arbitrarily many concrete registry workloads -- the
+// parameter struct, not an enum ordinal, is the identity. Every family:
+//
+//   * digests its full parameter set (params.digest()); the workload_key id
+//     folds the family tag + that digest, so distinct (family, params)
+//     pairs never collide in any cache tier or store frame;
+//   * salts trace generation with that same identity digest, so two
+//     parameterizations produce distinct operand streams even at equal
+//     experiment seeds;
+//   * is deterministic: equal (params, thread_count, seed) reproduce the
+//     profile and the generated trace bit for bit.
+//
+// register_default_scenarios() installs two calibrated instances of each
+// family (a default and a stressed variant); tests and downstream users
+// register their own instances with the register_* helpers.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/splash2.h"
+
+namespace synts::workload {
+
+class workload_registry;
+struct workload_key;
+
+// -- lock-contention ladder --------------------------------------------------
+// Generalizes core/critical_sections' lock-aware evaluation to the workload
+// layer: threads climb a contention ladder -- thread t's share of
+// critical-section work rises with its rung -- producing a lock convoy
+// whose head (the highest rung) is both the slowest arrival and, through
+// shared-counter updates deep in the carry chain, the most error-prone
+// thread. That coupling is precisely the slack SynTS harvests.
+
+struct lock_ladder_params {
+    /// Number of distinct contention rungs; threads cycle through them
+    /// (thread t sits on rung t % rungs, rung rungs-1 is the convoy head).
+    std::size_t rungs = 4;
+    /// Fraction of a rung-0 thread's work executed under the hot lock.
+    double base_contention = 0.10;
+    /// Additive contention increase per rung (clamped so contention <= 0.9).
+    double contention_step = 0.15;
+    /// Critical-section length multiplier: scales how much extra work (and
+    /// how much deeper a carry-chain profile) lock holders accumulate.
+    double hold_scale = 1.0;
+    /// Modeled hot locks; more locks spread the convoy (lower imbalance).
+    std::size_t hot_locks = 1;
+
+    /// Digest over every field (the family identity with the tag).
+    [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+/// Key of a lock-ladder instance registered under `name`.
+[[nodiscard]] workload_key lock_ladder_key(std::string name,
+                                           const lock_ladder_params& params);
+/// The concrete profile (pure, deterministic).
+[[nodiscard]] benchmark_profile make_lock_ladder_profile(const lock_ladder_params& params,
+                                                         std::size_t thread_count);
+/// Registers the instance; throws on duplicate name/identity (registry rules).
+void register_lock_ladder(workload_registry& registry, std::string name,
+                          const lock_ladder_params& params);
+
+// -- producer-consumer pipeline ---------------------------------------------
+// A software pipeline with imbalanced stage weights: thread t runs stage
+// t % stages. Producers are memory-streaming, transforms are ALU/multiplier
+// heavy, consumers are store/branch bound; the stage weights set the
+// per-thread work imbalance, and queue pressure converts the imbalance into
+// spin-like branchy waiting on the light stages.
+
+struct pipeline_params {
+    /// Relative work per stage, front = producer, back = consumer. Must be
+    /// non-empty with positive entries; normalized so the heaviest stage
+    /// carries weight 1.
+    std::vector<double> stage_weights = {1.0, 0.55, 0.30};
+    /// Backpressure in [0, 1]: how hard light stages hammer full/empty
+    /// queue checks (raises branch traffic and hazard collisions).
+    double queue_pressure = 0.5;
+    /// Per-stage payload bytes flowing through the queues (working set).
+    std::uint64_t item_bytes = 2ull << 20;
+
+    [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+[[nodiscard]] workload_key pipeline_key(std::string name, const pipeline_params& params);
+[[nodiscard]] benchmark_profile make_pipeline_profile(const pipeline_params& params,
+                                                      std::size_t thread_count);
+void register_pipeline(workload_registry& registry, std::string name,
+                       const pipeline_params& params);
+
+// -- irregular graph walk ----------------------------------------------------
+// Frontier-parallel graph traversal with a heavy-tailed degree
+// distribution: each thread's frontier share is drawn (deterministically,
+// from mix_seed) from a Pareto tail, so a few threads chase hubs -- huge
+// working sets, unpredictable branches, deep address-arithmetic carry
+// chains -- while the rest idle at the barrier.
+
+struct graph_walk_params {
+    /// Pareto tail exponent of per-thread frontier shares; smaller = heavier
+    /// tail = starker imbalance. Must be > 0.
+    double tail_alpha = 1.3;
+    /// Fraction of accesses hitting hub vertices (register-collision and
+    /// branch-misprediction pressure).
+    double hub_fraction = 0.08;
+    /// Traversal working set in bytes.
+    std::uint64_t working_set_bytes = 16ull << 20;
+    /// Seed of the deterministic per-thread tail draw (part of identity:
+    /// two seeds are two different graphs).
+    std::uint64_t mix_seed = 1;
+
+    [[nodiscard]] std::uint64_t digest() const noexcept;
+};
+
+[[nodiscard]] workload_key graph_walk_key(std::string name,
+                                          const graph_walk_params& params);
+[[nodiscard]] benchmark_profile make_graph_walk_profile(const graph_walk_params& params,
+                                                        std::size_t thread_count);
+void register_graph_walk(workload_registry& registry, std::string name,
+                         const graph_walk_params& params);
+
+// -- default instances -------------------------------------------------------
+
+/// Registers the calibrated default + stressed instance of each family:
+/// lock_ladder, lock_ladder_heavy, pipeline, pipeline_skewed, graph_walk,
+/// graph_walk_hubby. Called by workload_registry::with_builtins().
+void register_default_scenarios(workload_registry& registry);
+
+} // namespace synts::workload

@@ -119,6 +119,7 @@ benchmark_profile make_profile(benchmark_id id, std::size_t thread_count)
     benchmark_profile profile;
     profile.id = id;
     profile.name = benchmark_name(id);
+    profile.stream_salt = static_cast<std::uint64_t>(id) << 32;
     profile.thread_count = thread_count;
     profile.interval_count = 3;
     profile.instructions_per_interval = 24000;
@@ -503,7 +504,7 @@ arch::program_trace generate_program_trace(const benchmark_profile& profile,
     // derived serially, in thread order, before any generation runs. The
     // per-thread work below then depends only on (profile, its seed) and may
     // execute in any order.
-    util::xoshiro256 root(seed ^ (static_cast<std::uint64_t>(profile.id) << 32));
+    util::xoshiro256 root(seed ^ profile.stream_salt);
     std::vector<std::uint64_t> stream_seeds(profile.thread_count);
     for (std::size_t t = 0; t < profile.thread_count; ++t) {
         util::xoshiro256 thread_rng = root.split(t);

@@ -89,7 +89,7 @@ TEST(characterization_pipeline, program_characterizer_produces_valid_artifacts)
     const core::program_artifacts artifacts =
         characterizer.characterize(kBenchmark, kThreads, kSeed);
     EXPECT_NO_THROW(artifacts.validate());
-    EXPECT_EQ(artifacts.benchmark, kBenchmark);
+    EXPECT_EQ(artifacts.workload, workload::workload_key(kBenchmark));
     EXPECT_EQ(artifacts.thread_count, kThreads);
     EXPECT_EQ(artifacts.seed, kSeed);
     EXPECT_EQ(artifacts.workload_digest, core::workload_digest(kThreads, kSeed, {}));
@@ -184,7 +184,7 @@ TEST(characterization_pipeline, artifact_experiment_matches_direct_construction)
     const core::benchmark_experiment direct(kBenchmark, kStage, config);
 
     EXPECT_EQ(staged.artifacts().get(), artifacts.get());
-    EXPECT_EQ(staged.benchmark(), direct.benchmark());
+    EXPECT_EQ(staged.workload(), direct.workload());
     const double theta = direct.equal_weight_theta();
     EXPECT_EQ(staged.equal_weight_theta(), theta);
     for (const core::policy_kind kind : core::all_policies()) {

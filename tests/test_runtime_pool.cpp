@@ -182,4 +182,48 @@ TEST(runtime_pool, destructor_drains_queued_tasks)
     EXPECT_EQ(done.load(), 50);
 }
 
+TEST(runtime_pool, tasks_submitted_during_destructor_drain_still_run)
+{
+    // Shutdown contract: a running task may submit() follow-ups while the
+    // destructor drains; they land on the submitting worker's own queue and
+    // workers only exit once nothing is pending, so every link of the chain
+    // executes before join. Regression-pins the drain ordering (this suite
+    // runs under TSan in CI, so it also pins the absence of a rebuilt
+    // submit/stop race).
+    std::atomic<int> chain{0};
+    {
+        thread_pool pool(2);
+        for (int i = 0; i < 8; ++i) {
+            (void)pool.submit([&pool, &chain] {
+                (void)pool.submit([&pool, &chain] {
+                    (void)pool.submit([&chain] { chain.fetch_add(1); });
+                    chain.fetch_add(1);
+                });
+                chain.fetch_add(1);
+            });
+        }
+    } // destructor begins while the chains are mid-flight
+    EXPECT_EQ(chain.load(), 3 * 8);
+}
+
+TEST(runtime_pool, destruction_with_mixed_pending_and_running_work_loses_nothing)
+{
+    // Queued-but-never-started tasks and in-flight tasks drain alike: the
+    // executed count at join time equals every submission ever made, so no
+    // pending task is destroyed unexecuted (futures would otherwise report
+    // broken_promise to their holders).
+    constexpr int n = 200;
+    std::atomic<int> done{0};
+    std::uint64_t executed = 0;
+    {
+        thread_pool pool(3);
+        for (int i = 0; i < n; ++i) {
+            (void)pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+        }
+        // Destructor runs with most of the 200 still queued.
+    }
+    executed = done.load();
+    EXPECT_EQ(executed, static_cast<std::uint64_t>(n));
+}
+
 } // namespace

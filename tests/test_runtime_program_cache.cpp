@@ -91,7 +91,7 @@ TEST(runtime_program_cache, get_or_create_program_is_directly_usable)
     const auto artifacts = cache.get_or_create_program(kBenchmark);
     ASSERT_NE(artifacts, nullptr);
     EXPECT_NO_THROW(artifacts->validate());
-    EXPECT_EQ(artifacts->benchmark, kBenchmark);
+    EXPECT_EQ(artifacts->workload, workload::workload_key(kBenchmark));
     EXPECT_EQ(cache.program_miss_count(), 1u);
 
     // The stage tier reuses a pre-seeded program entry.

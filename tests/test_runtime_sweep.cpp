@@ -96,7 +96,7 @@ TEST(runtime_sweep, results_independent_of_worker_count)
     for (std::size_t c = 0; c < results[0].cells.size(); ++c) {
         const auto& a = results[0].cells[c];
         const auto& b = results[1].cells[c];
-        EXPECT_EQ(a.benchmark, b.benchmark); // cell order is schedule-independent
+        EXPECT_EQ(a.workload, b.workload); // cell order is schedule-independent
         EXPECT_EQ(a.policy, b.policy);
         EXPECT_EQ(a.theta_eq, b.theta_eq);
         EXPECT_EQ(a.task_seed, b.task_seed);
@@ -248,6 +248,27 @@ TEST(runtime_sweep, name_parsers_are_forgiving)
     EXPECT_EQ(runtime::parse_policy_list("nominal,no_ts").size(), 2u);
     EXPECT_THROW((void)runtime::parse_benchmark_list("fmm,bogus"),
                  std::invalid_argument);
+}
+
+TEST(runtime_sweep, workload_parsers_resolve_registry_names)
+{
+    const workload::workload_registry& registry = workload::workload_registry::global();
+    EXPECT_EQ(runtime::parse_workload(registry, "radix")->name, "Radix");
+    EXPECT_EQ(runtime::parse_workload(registry, "Lock-Ladder")->name, "lock_ladder");
+    EXPECT_EQ(runtime::parse_workload(registry, "nonesuch"), std::nullopt);
+    EXPECT_EQ(runtime::parse_workload_list(registry, "reported").size(), 7u);
+    EXPECT_EQ(runtime::parse_workload_list(registry, "splash2").size(),
+              workload::benchmark_count);
+    // "all" now means every registered workload: the ten plus the default
+    // scenario instances at minimum.
+    EXPECT_GE(runtime::parse_workload_list(registry, "all").size(),
+              workload::benchmark_count + 6);
+    EXPECT_THROW((void)runtime::parse_workload_list(registry, "fmm,bogus"),
+                 std::invalid_argument);
+    // The resolved key is the registry identity, so sweeps over parsed
+    // names and sweeps over constructed keys cache-share.
+    EXPECT_EQ(*runtime::parse_workload(registry, "fmm"),
+              workload::builtin_key(workload::benchmark_id::fmm));
 }
 
 } // namespace

@@ -29,7 +29,7 @@ using namespace synts;
 core::program_artifacts tiny_artifacts()
 {
     core::program_artifacts artifacts;
-    artifacts.benchmark = workload::benchmark_id::radix;
+    artifacts.workload = workload::benchmark_id::radix;
     artifacts.thread_count = 2;
     artifacts.seed = 42;
     artifacts.workload_digest = 0x0123456789ABCDEFull;
@@ -53,7 +53,7 @@ core::program_artifacts tiny_artifacts()
 runtime::sweep_cell tiny_cell()
 {
     runtime::sweep_cell cell;
-    cell.benchmark = workload::benchmark_id::fmm;
+    cell.workload = workload::benchmark_id::fmm;
     cell.stage = circuit::pipe_stage::simple_alu;
     cell.policy = core::policy_kind::synts_offline;
     cell.theta_eq = 1.5;
@@ -82,7 +82,7 @@ runtime::sweep_cell tiny_cell()
 
 bool same_artifacts(const core::program_artifacts& a, const core::program_artifacts& b)
 {
-    if (a.benchmark != b.benchmark || a.thread_count != b.thread_count ||
+    if (a.workload != b.workload || a.thread_count != b.thread_count ||
         a.seed != b.seed || a.workload_digest != b.workload_digest ||
         a.trace.thread_count() != b.trace.thread_count() ||
         a.arch_profiles.size() != b.arch_profiles.size()) {
@@ -124,7 +124,7 @@ bool same_artifacts(const core::program_artifacts& a, const core::program_artifa
 
 bool same_cells(const runtime::sweep_cell& a, const runtime::sweep_cell& b)
 {
-    if (a.benchmark != b.benchmark || a.stage != b.stage || a.policy != b.policy ||
+    if (a.workload != b.workload || a.stage != b.stage || a.policy != b.policy ||
         a.theta_eq != b.theta_eq || a.task_seed != b.task_seed ||
         a.equal_weight.kind != b.equal_weight.kind ||
         a.equal_weight.sum.energy != b.equal_weight.sum.energy ||
@@ -218,6 +218,9 @@ TEST(storage_serialize, real_pipeline_artifacts_round_trip_bit_exact)
     EXPECT_TRUE(decoded.provenance_matches(workload::benchmark_id::radix,
                                            original->thread_count,
                                            original->workload_digest));
+    EXPECT_FALSE(decoded.provenance_matches(workload::benchmark_id::fmm,
+                                            original->thread_count,
+                                            original->workload_digest));
 }
 
 TEST(storage_serialize, tiny_cell_round_trip_bit_exact)
@@ -259,7 +262,8 @@ TEST(storage_serialize, every_artifact_field_reaches_the_encoding)
     const std::vector<
         std::pair<const char*, std::function<void(core::program_artifacts&)>>>
         perturbations = {
-            {"benchmark", [](auto& a) { a.benchmark = workload::benchmark_id::fmm; }},
+            {"workload.name", [](auto& a) { a.workload.name += "x"; }},
+            {"workload.id", [](auto& a) { a.workload.id ^= 1; }},
             {"thread_count", [](auto& a) { a.thread_count = 3; }},
             {"seed", [](auto& a) { a.seed = 43; }},
             {"workload_digest", [](auto& a) { a.workload_digest ^= 1; }},
@@ -301,7 +305,8 @@ TEST(storage_serialize, every_cell_field_reaches_the_encoding)
 
     const std::vector<std::pair<const char*, std::function<void(runtime::sweep_cell&)>>>
         perturbations = {
-            {"benchmark", [](auto& c) { c.benchmark = workload::benchmark_id::radix; }},
+            {"workload.name", [](auto& c) { c.workload.name += "x"; }},
+            {"workload.id", [](auto& c) { c.workload.id ^= 1; }},
             {"stage", [](auto& c) { c.stage = circuit::pipe_stage::decode; }},
             {"policy", [](auto& c) { c.policy = core::policy_kind::no_ts; }},
             {"theta_eq", [](auto& c) { c.theta_eq = 2.0; }},
@@ -367,10 +372,41 @@ TEST(storage_serialize, every_cell_field_reaches_the_encoding)
 
 // -- golden bytes -----------------------------------------------------------
 
+/// Re-encodes tiny_artifacts() as a v1 frame: the pre-registry layout with
+/// a benchmark_id ordinal (u8) where v2 stores the workload key. Used to
+/// prove v1 store frames of the built-in ten still decode after the bump.
+std::string encode_v1_artifacts(const core::program_artifacts& artifacts,
+                                std::uint8_t benchmark_ordinal)
+{
+    storage::binary_writer out;
+    for (const char c : storage::frame_magic) {
+        out.u8(static_cast<std::uint8_t>(c));
+    }
+    out.u32(1); // v1
+    out.u32(static_cast<std::uint32_t>(storage::payload_kind::program_artifacts));
+    out.u8(benchmark_ordinal);
+    out.size(artifacts.thread_count);
+    out.u64(artifacts.seed);
+    out.u64(artifacts.workload_digest);
+    storage::write(out, artifacts.trace);
+    out.size(artifacts.arch_profiles.size());
+    for (const auto& thread : artifacts.arch_profiles) {
+        out.size(thread.size());
+        for (const auto& interval : thread) {
+            storage::write(out, interval);
+        }
+    }
+    std::string frame = out.take();
+    frame.append(8, '\0');
+    return with_fixed_checksum(std::move(frame));
+}
+
 /// The exact 269-byte v1 frame of tiny_artifacts(), as hex: header
 /// ("SYNTSTOR", version 1, kind 1), the payload field by field in little
-/// endian, and the trailing FNV-1a checksum.
-constexpr std::string_view kGoldenFrameHex =
+/// endian (benchmark as a u8 ordinal), and the trailing FNV-1a checksum.
+/// These bytes were produced by the PR-3 v1 encoder and are frozen here:
+/// they are what a pre-registry store actually contains.
+constexpr std::string_view kGoldenV1FrameHex =
     "53594e5453544f520100000001000000"
     "0102000000000000002a000000000000"
     "00efcdab896745230102000000000000"
@@ -389,21 +425,95 @@ constexpr std::string_view kGoldenFrameHex =
     "0000000440000000000000e03f000000"
     "000000b03f3dea736deece9031";
 
-TEST(storage_serialize, golden_frame_pins_v1_format)
+/// The exact v2 frame of tiny_artifacts(): as v1, but the benchmark
+/// ordinal is replaced by the workload key (u64 registry digest + length-
+/// prefixed name "Radix") and the header says version 2.
+constexpr std::string_view kGoldenV2FrameHex =
+    "53594e5453544f520200000001000000"
+    "d04842bc646e0c42050000000000000052616469780200000000000000"
+    "2a00000000000000efcdab8967452301"
+    "0200000000000000010000000000000000efbeadde0100000000000000"
+    "02000000000000000300000000000000"
+    "00010000000000000001000000000000"
+    "00010000000000000006785634120400"
+    "00000000000005000000000000000600"
+    "00000000000001010000000000000001"
+    "00000000000000020000000000000001"
+    "000000000000000a0000000000000014"
+    "00000000000000000000000000004000"
+    "0000000000d03f000000000000c03f01"
+    "000000000000000b0000000000000016"
+    "00000000000000000000000000044000"
+    "0000000000e03f000000000000b03f"
+    "9c4c2e8fdb345eca";
+
+std::string from_hex(std::string_view hex)
 {
-    // The exact v1 frame of tiny_artifacts(). If this test fails, the
+    const auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') {
+            return c - '0';
+        }
+        return 10 + (c - 'a');
+    };
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+        out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+    }
+    return out;
+}
+
+TEST(storage_serialize, golden_v1_frame_still_decodes_after_version_bump)
+{
+    // The frozen PR-3 bytes: a v1 store frame of tiny_artifacts() with
+    // benchmark_id::radix as a u8 ordinal. The v2 decoder must keep
+    // accepting it, mapping the ordinal onto the built-in registry key.
+    const core::program_artifacts decoded =
+        storage::decode_program_artifacts(from_hex(kGoldenV1FrameHex));
+    EXPECT_TRUE(same_artifacts(decoded, tiny_artifacts()));
+    EXPECT_EQ(decoded.workload, workload::builtin_key(workload::benchmark_id::radix));
+}
+
+TEST(storage_serialize, v1_frames_of_every_builtin_benchmark_decode)
+{
+    for (const workload::benchmark_id id : workload::all_benchmarks()) {
+        const std::string frame =
+            encode_v1_artifacts(tiny_artifacts(), static_cast<std::uint8_t>(id));
+        const core::program_artifacts decoded = storage::decode_program_artifacts(frame);
+        EXPECT_EQ(decoded.workload, workload::builtin_key(id));
+        EXPECT_EQ(decoded.seed, tiny_artifacts().seed);
+    }
+    // The golden hex and the re-encoder agree byte for byte (so the
+    // re-encoder really is the v1 layout, not an approximation).
+    EXPECT_EQ(to_hex(encode_v1_artifacts(
+                  tiny_artifacts(),
+                  static_cast<std::uint8_t>(workload::benchmark_id::radix))),
+              std::string(kGoldenV1FrameHex));
+}
+
+TEST(storage_serialize, v1_out_of_range_benchmark_ordinal_is_rejected)
+{
+    const std::string frame = encode_v1_artifacts(
+        tiny_artifacts(), static_cast<std::uint8_t>(workload::benchmark_count));
+    EXPECT_THROW((void)storage::decode_program_artifacts(frame),
+                 storage::serialize_error);
+}
+
+TEST(storage_serialize, golden_frame_pins_v2_format)
+{
+    // The exact v2 frame of tiny_artifacts(). If this test fails, the
     // on-disk format changed: bump storage::format_version (old store
     // files become invisible, not misread) and re-pin these bytes.
-    ASSERT_EQ(storage::format_version, 1u);
+    ASSERT_EQ(storage::format_version, 2u);
     const std::string frame = storage::encode(tiny_artifacts());
 
     // Header: magic + version + payload kind, all fixed.
     ASSERT_GE(frame.size(), 16u);
     EXPECT_EQ(frame.substr(0, 8), "SYNTSTOR");
-    EXPECT_EQ(to_hex(frame.substr(8, 4)), "01000000");  // version 1, LE
+    EXPECT_EQ(to_hex(frame.substr(8, 4)), "02000000");  // version 2, LE
     EXPECT_EQ(to_hex(frame.substr(12, 4)), "01000000"); // kind: program_artifacts
 
-    EXPECT_EQ(to_hex(frame), std::string(kGoldenFrameHex));
+    EXPECT_EQ(to_hex(frame), std::string(kGoldenV2FrameHex));
 }
 
 // -- corruption rejection ---------------------------------------------------
@@ -433,9 +543,15 @@ TEST(storage_serialize, any_single_bit_flip_is_rejected)
 
 TEST(storage_serialize, wrong_version_is_rejected_even_with_valid_checksum)
 {
-    std::string frame = storage::encode(tiny_artifacts());
-    frame[8] = 2; // format_version -> 2 (little-endian low byte)
-    EXPECT_THROW((void)storage::decode_program_artifacts(with_fixed_checksum(frame)),
+    // Future versions are rejected...
+    std::string future = storage::encode(tiny_artifacts());
+    future[8] = static_cast<char>(storage::format_version + 1); // LE low byte
+    EXPECT_THROW((void)storage::decode_program_artifacts(with_fixed_checksum(future)),
+                 storage::serialize_error);
+    // ...and so is anything below min_format_version (0 was never valid).
+    std::string ancient = storage::encode(tiny_artifacts());
+    ancient[8] = 0;
+    EXPECT_THROW((void)storage::decode_program_artifacts(with_fixed_checksum(ancient)),
                  storage::serialize_error);
 }
 
@@ -464,31 +580,39 @@ TEST(storage_serialize, trailing_bytes_are_rejected)
                  storage::serialize_error);
 }
 
-TEST(storage_serialize, out_of_range_enums_are_rejected)
-{
-    // Patch the benchmark ordinal (first payload byte, offset 16) to an
-    // invalid value and fix the checksum: the range check must fire.
-    std::string frame = storage::encode(tiny_artifacts());
-    frame[16] = static_cast<char>(workload::benchmark_count);
-    EXPECT_THROW((void)storage::decode_program_artifacts(with_fixed_checksum(frame)),
-                 storage::serialize_error);
-}
-
 TEST(storage_serialize, hostile_length_fields_cannot_force_huge_allocations)
 {
-    // Claim 2^60 ops in a 100-byte frame; the decoder must reject from the
-    // length bound, not die attempting the allocation.
+    // Claim 2^60 ops in a 100-byte v1 frame; the decoder must reject from
+    // the length bound, not die attempting the allocation.
     storage::binary_writer out;
     for (const char c : storage::frame_magic) {
         out.u8(static_cast<std::uint8_t>(c));
     }
-    out.u32(storage::format_version);
+    out.u32(1); // v1 framing (u8 benchmark ordinal below)
     out.u32(static_cast<std::uint32_t>(storage::payload_kind::program_artifacts));
     out.u8(0);          // benchmark
     out.size(2);        // thread_count
     out.u64(42);        // seed
     out.u64(0);         // workload digest
     out.size(1ull << 60); // thread count of the trace: hostile
+    std::string frame = out.take();
+    frame.append(8, '\0');
+    EXPECT_THROW((void)storage::decode_program_artifacts(with_fixed_checksum(frame)),
+                 storage::serialize_error);
+}
+
+TEST(storage_serialize, hostile_workload_name_length_is_rejected)
+{
+    // A v2 frame whose workload-name length claims 2^60 bytes: the string
+    // read must reject against the remaining frame size, never allocate.
+    storage::binary_writer out;
+    for (const char c : storage::frame_magic) {
+        out.u8(static_cast<std::uint8_t>(c));
+    }
+    out.u32(storage::format_version);
+    out.u32(static_cast<std::uint32_t>(storage::payload_kind::program_artifacts));
+    out.u64(0x1234);      // workload id
+    out.size(1ull << 60); // workload name length: hostile
     std::string frame = out.take();
     frame.append(8, '\0');
     EXPECT_THROW((void)storage::decode_program_artifacts(with_fixed_checksum(frame)),

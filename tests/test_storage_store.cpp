@@ -76,7 +76,7 @@ void truncate_file(const fs::path& path, std::size_t keep_bytes)
 
 bool same_artifacts(const core::program_artifacts& a, const core::program_artifacts& b)
 {
-    if (a.benchmark != b.benchmark || a.thread_count != b.thread_count ||
+    if (a.workload != b.workload || a.thread_count != b.thread_count ||
         a.seed != b.seed || a.workload_digest != b.workload_digest) {
         return false;
     }
@@ -109,8 +109,9 @@ TEST(storage_store, blob_round_trip_layout_and_counters)
     EXPECT_EQ(store.load_hit_count(), 1u);
     EXPECT_EQ(store.store_count(), 1u);
 
-    // Sharded, versioned layout: v1/<bucket>/<top byte>/<hex16>.bin.
-    const fs::path expected = dir.path / "v1" / "program" / "ab" /
+    // Sharded, versioned layout: v<format_version>/<bucket>/<top byte>/<hex16>.bin.
+    const fs::path version_dir = "v" + std::to_string(storage::format_version);
+    const fs::path expected = dir.path / version_dir / "program" / "ab" /
                               "abcdef0011223344.bin";
     EXPECT_EQ(store.entry_path(storage::program_bucket, key), expected);
     EXPECT_TRUE(fs::is_regular_file(expected));
@@ -118,7 +119,7 @@ TEST(storage_store, blob_round_trip_layout_and_counters)
     // Overwrite is a whole-file replace; no tmp files linger.
     ASSERT_TRUE(store.store(storage::program_bucket, key, "updated"));
     EXPECT_EQ(store.load(storage::program_bucket, key), "updated");
-    EXPECT_TRUE(fs::is_empty(dir.path / "v1" / "tmp"));
+    EXPECT_TRUE(fs::is_empty(dir.path / version_dir / "tmp"));
 
     store.erase(storage::program_bucket, key);
     EXPECT_FALSE(store.contains(storage::program_bucket, key));
@@ -135,7 +136,7 @@ TEST(storage_store, orphaned_tmp_files_are_reaped_on_open)
     {
         storage::artifact_store seed(dir.path); // create the layout
     }
-    const fs::path tmp = dir.path / "v1" / "tmp";
+    const fs::path tmp = dir.path / ("v" + std::to_string(storage::format_version)) / "tmp";
     // A staging file of a writer that can no longer exist (pid far above
     // any Linux pid_max), one with an unparseable name, and one of OURS.
     std::ofstream(tmp / "aaaa.999999999.0.tmp").put('x');

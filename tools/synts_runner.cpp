@@ -1,13 +1,16 @@
 // synts_runner -- batched sweep CLI over the experiment runtime.
 //
-// Expands a declarative sweep spec (benchmark set x stage set x theta
+// Expands a declarative sweep spec (workload set x stage set x theta
 // ladder x policy set) onto the work-stealing thread pool, memoizing
 // characterizations in the process-wide experiment cache, and emits the
-// aggregate as a console table plus optional CSV / JSON files.
+// aggregate as a console table plus optional CSV / JSON files. Workloads
+// are resolved through the workload registry, so the sweep axis covers the
+// ten built-in SPLASH-2 profiles AND every registered scenario-family
+// instance (--list-benchmarks enumerates them).
 //
 // Examples:
 //   synts_runner --benchmarks=reported --stages=all --policies=all
-//   synts_runner --benchmarks=fmm,cholesky --stages=simple_alu
+//   synts_runner --benchmarks=lock_ladder,graph_walk --stages=simple_alu
 //                --ladder=default --workers=4 --pareto-csv=fronts.csv
 //                --summary-csv=summary.csv --json=sweep.json
 //   (one line; wrapped here for width)
@@ -24,6 +27,7 @@
 #include "runtime/sweep.h"
 #include "runtime/sweep_io.h"
 #include "storage/artifact_store.h"
+#include "workload/registry.h"
 
 namespace {
 
@@ -31,16 +35,20 @@ using namespace synts;
 
 constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment sweeps
 
-  --benchmarks=LIST   comma list, "all", or "reported" (default: reported)
+  --benchmarks=LIST   comma list of registered workload names, "all" (every
+                      registered workload), "splash2" (the built-in ten), or
+                      "reported" (the paper's seven; default). --benchmark
+                      is an alias; --list-benchmarks enumerates the names.
   --stages=LIST       comma list of decode,simple_alu,complex_alu or "all"
                       (default: all)
   --policies=LIST     comma list of nominal,no_ts,per_core_ts,synts_offline,
                       synts_online or "all" (default: all)
   --ladder=SPEC       theta multipliers: "default" (2^-6..2^6), "none", or a
                       comma list of numbers (default: none)
-  --workers=N         thread-pool width (default: hardware concurrency)
+  --workers=N         thread-pool width, N >= 1 (default: hardware
+                      concurrency)
   --jobs=N            alias for --workers (last one given wins)
-  --cores=M           modeled CMP cores per experiment (default: 4)
+  --cores=M           modeled CMP cores per experiment, M >= 1 (default: 4)
   --seed=N            workload seed (default: 42)
   --pareto-csv=PATH   write per-multiplier Pareto fronts as CSV
   --summary-csv=PATH  write equal-weight operating points as CSV
@@ -57,8 +65,15 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
                       artifacts, stage experiments, disk store, cell
                       checkpoints) plus the compute count; FMT: table
                       (default), csv, json
+  --list-benchmarks   print every registered workload name (one per line:
+                      the SPLASH-2 profiles, then the scenario-family
+                      instances) and exit
   --quiet             suppress the console table
   --help              this text
+
+  Value flags accept both --flag=VALUE and --flag VALUE, except --store and
+  --cache-stats, whose bare spellings select their defaults (use = to pass
+  a value).
 )";
 
 std::optional<std::string_view> flag_value(std::string_view arg, std::string_view name)
@@ -96,6 +111,40 @@ std::vector<double> parse_ladder(std::string_view spec)
     return ladder;
 }
 
+/// Strict unsigned parse: the whole token must be digits -- no silent
+/// truncation of "4x" to 4, and no leading sign/whitespace (std::stoull
+/// would happily wrap "-1" to 2^64-1, turning --workers=-1 into an attempt
+/// to spawn 2^64 threads instead of a usage error).
+std::uint64_t parse_u64(std::string_view flag, std::string_view token)
+{
+    std::uint64_t value = 0;
+    std::size_t consumed = 0;
+    const bool starts_with_digit = !token.empty() && token[0] >= '0' && token[0] <= '9';
+    if (starts_with_digit) {
+        try {
+            value = std::stoull(std::string(token), &consumed);
+        } catch (const std::exception&) {
+            consumed = 0;
+        }
+    }
+    if (!starts_with_digit || consumed != token.size()) {
+        throw std::invalid_argument(std::string(flag) + " expects an unsigned integer, got \"" +
+                                    std::string(token) + "\"");
+    }
+    return value;
+}
+
+/// Like parse_u64 but rejects 0 (worker pools and CMP core counts cannot
+/// be empty; 0 silently meaning "default" hid typos like --jobs 0).
+std::uint64_t parse_positive(std::string_view flag, std::string_view token)
+{
+    const std::uint64_t value = parse_u64(flag, token);
+    if (value == 0) {
+        throw std::invalid_argument(std::string(flag) + " must be >= 1");
+    }
+    return value;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -108,7 +157,7 @@ int main(int argc, char** argv)
         const auto all = core::all_policies();
         spec.policies.assign(all.begin(), all.end());
     }
-    std::size_t workers = 0; // 0 = hardware concurrency
+    std::size_t workers = 0; // 0 = hardware concurrency (only via default)
     std::string pareto_csv_path;
     std::string summary_csv_path;
     std::string json_path;
@@ -116,12 +165,29 @@ int main(int argc, char** argv)
     bool resume = false;
     bool quiet = false;
     std::optional<runtime::cache_stats_format> cache_stats;
+    const workload::workload_registry& registry = workload::workload_registry::global();
 
     try {
-        for (int i = 1; i < argc; ++i) {
+        // Value flags accept --flag=VALUE and --flag VALUE; `take` consumes
+        // the next argv word in the latter form and usage-errors when the
+        // value is missing instead of silently reading past argc.
+        int i = 1;
+        const auto take = [&](std::string_view flag) -> std::string_view {
+            if (i + 1 >= argc) {
+                throw std::invalid_argument(std::string(flag) + " expects a value");
+            }
+            return argv[++i];
+        };
+        for (; i < argc; ++i) {
             const std::string_view arg = argv[i];
             if (arg == "--help" || arg == "-h") {
                 std::fputs(usage.data(), stdout);
+                return 0;
+            }
+            if (arg == "--list-benchmarks") {
+                for (const workload::workload_key& key : registry.keys()) {
+                    std::printf("%s\n", key.name.c_str());
+                }
                 return 0;
             }
             if (arg == "--quiet") {
@@ -140,26 +206,48 @@ int main(int argc, char** argv)
                     throw std::invalid_argument("bad --cache-stats format: \"" +
                                                 std::string(*v) + "\"");
                 }
+            } else if (arg == "--benchmarks" || arg == "--benchmark") {
+                spec.benchmarks = runtime::parse_workload_list(registry, take(arg));
             } else if (const auto v = flag_value(arg, "benchmarks")) {
-                spec.benchmarks = runtime::parse_benchmark_list(*v);
+                spec.benchmarks = runtime::parse_workload_list(registry, *v);
+            } else if (const auto v = flag_value(arg, "benchmark")) {
+                spec.benchmarks = runtime::parse_workload_list(registry, *v);
+            } else if (arg == "--stages") {
+                spec.stages = runtime::parse_stage_list(take(arg));
             } else if (const auto v = flag_value(arg, "stages")) {
                 spec.stages = runtime::parse_stage_list(*v);
+            } else if (arg == "--policies") {
+                spec.policies = runtime::parse_policy_list(take(arg));
             } else if (const auto v = flag_value(arg, "policies")) {
                 spec.policies = runtime::parse_policy_list(*v);
+            } else if (arg == "--ladder") {
+                spec.theta_multipliers = parse_ladder(take(arg));
             } else if (const auto v = flag_value(arg, "ladder")) {
                 spec.theta_multipliers = parse_ladder(*v);
+            } else if (arg == "--workers" || arg == "--jobs") {
+                workers = parse_positive(arg, take(arg));
             } else if (const auto v = flag_value(arg, "workers")) {
-                workers = std::stoul(std::string(*v));
+                workers = parse_positive("--workers", *v);
             } else if (const auto v = flag_value(arg, "jobs")) {
-                workers = std::stoul(std::string(*v));
+                workers = parse_positive("--jobs", *v);
+            } else if (arg == "--cores") {
+                spec.config.thread_count = parse_positive(arg, take(arg));
             } else if (const auto v = flag_value(arg, "cores")) {
-                spec.config.thread_count = std::stoul(std::string(*v));
+                spec.config.thread_count = parse_positive("--cores", *v);
+            } else if (arg == "--seed") {
+                spec.config.seed = parse_u64(arg, take(arg));
             } else if (const auto v = flag_value(arg, "seed")) {
-                spec.config.seed = std::stoull(std::string(*v));
+                spec.config.seed = parse_u64("--seed", *v);
+            } else if (arg == "--pareto-csv") {
+                pareto_csv_path = take(arg);
             } else if (const auto v = flag_value(arg, "pareto-csv")) {
                 pareto_csv_path = *v;
+            } else if (arg == "--summary-csv") {
+                summary_csv_path = take(arg);
             } else if (const auto v = flag_value(arg, "summary-csv")) {
                 summary_csv_path = *v;
+            } else if (arg == "--json") {
+                json_path = take(arg);
             } else if (const auto v = flag_value(arg, "json")) {
                 json_path = *v;
             } else {
