@@ -12,6 +12,7 @@
 // Output: one JSON document on stdout (scripts/run_benches.sh captures it
 // as BENCH_characterization.json). Human-readable progress goes to stderr.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -174,31 +175,79 @@ int main()
     });
     identity_ok = identity_ok && same_characterization(stage_serial, stage_parallel);
 
-    // Phase 4: end-to-end -- three naive constructions vs the two-tier
-    // cache sharing one artifact set across all three pipe stages.
-    timed("all_stages_naive", [&] {
+    // Phase 4: end-to-end -- three naive from-scratch constructions vs the
+    // two-tier cache sharing one artifact set across all three pipe
+    // stages. Measured as interleaved rounds with alternating order,
+    // comparing each path's BEST round: the work the staged path saves
+    // (one trace generation + profiling instead of three) is a few percent
+    // of a round, while single-shot timings on a shared CI box drift by
+    // more than that -- a one-shot comparison once recorded the staged
+    // path "losing" to the path it exists to beat purely from measurement
+    // ordering. Minima of alternating rounds compare the code, not the
+    // neighbor's load; the 1.05 bound then turns any real reintroduced
+    // per-miss overhead (artifact copies, redundant tnom/STA work) into a
+    // CI failure instead of a silently recorded artifact.
+    const auto run_naive = [&] {
         for (std::size_t s = 0; s < circuit::pipe_stage_count; ++s) {
             const core::benchmark_experiment experiment(
                 kBenchmark, static_cast<circuit::pipe_stage>(s), config);
             (void)experiment.interval_count();
         }
-    });
-    runtime::experiment_cache cache;
-    timed("all_stages_staged_cache", [&] {
+    };
+    bool cache_shared_ok = true;
+    const auto run_staged = [&] {
+        runtime::experiment_cache cache; // fresh per round: time the miss path
         for (std::size_t s = 0; s < circuit::pipe_stage_count; ++s) {
             const auto experiment = cache.get_or_create(
                 kBenchmark, static_cast<circuit::pipe_stage>(s), config, &pool);
             (void)experiment->interval_count();
         }
-    });
-    const bool cache_ok =
-        cache.program_miss_count() == 1 && cache.miss_count() == circuit::pipe_stage_count;
-    identity_ok = identity_ok && cache_ok;
-    if (!cache_ok) {
-        std::fprintf(stderr, "FAIL: program tier did not share artifacts "
-                             "(program misses %llu, stage misses %llu)\n",
-                     static_cast<unsigned long long>(cache.program_miss_count()),
-                     static_cast<unsigned long long>(cache.miss_count()));
+        cache_shared_ok = cache_shared_ok && cache.program_miss_count() == 1 &&
+                          cache.program_compute_count() == 1 &&
+                          cache.miss_count() == circuit::pipe_stage_count;
+    };
+    constexpr int kRounds = 2;
+    double naive_best = 0.0;
+    double staged_best = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+        const auto measure = [&](const auto& body) {
+            const auto t0 = std::chrono::steady_clock::now();
+            body();
+            return seconds_since(t0);
+        };
+        double naive_s = 0.0;
+        double staged_s = 0.0;
+        if (round % 2 == 0) {
+            naive_s = measure(run_naive);
+            staged_s = measure(run_staged);
+        } else {
+            staged_s = measure(run_staged);
+            naive_s = measure(run_naive);
+        }
+        std::fprintf(stderr, "round %d: all_stages_naive %.3f s, "
+                             "all_stages_staged_cache %.3f s\n",
+                     round, naive_s, staged_s);
+        naive_best = round == 0 ? naive_s : std::min(naive_best, naive_s);
+        staged_best = round == 0 ? staged_s : std::min(staged_best, staged_s);
+    }
+    phases.emplace_back("all_stages_naive", naive_best);
+    phases.emplace_back("all_stages_staged_cache", staged_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "all_stages_naive", naive_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "all_stages_staged_cache", staged_best);
+
+    identity_ok = identity_ok && cache_shared_ok;
+    if (!cache_shared_ok) {
+        std::fprintf(stderr,
+                     "FAIL: program tier did not share artifacts across stages\n");
+    }
+    // The regression gate: the staged path must never lose to the path it
+    // was built to beat (5% grace for residual timer noise).
+    const bool staged_ok = staged_best <= naive_best * 1.05;
+    if (!staged_ok) {
+        std::fprintf(stderr,
+                     "FAIL: staged cache slower than naive constructions "
+                     "(%.3f s vs %.3f s, bound %.3f s)\n",
+                     staged_best, naive_best, naive_best * 1.05);
     }
 
     std::printf("{\n  \"benchmark\": \"%s\",\n  \"workers\": %zu,\n  \"phases\": [\n",
@@ -209,11 +258,16 @@ int main()
                     phases[i].first.c_str(), phases[i].second,
                     i + 1 < phases.size() ? "," : "");
     }
-    std::printf("  ],\n  \"identity_ok\": %s\n}\n", identity_ok ? "true" : "false");
+    // identity_ok means bit-identity ONLY; the perf gate gets its own
+    // field so a timing regression is never triaged as a determinism bug.
+    std::printf("  ],\n  \"staged_over_naive\": %.4f,\n  \"staged_ok\": %s,\n"
+                "  \"identity_ok\": %s\n}\n",
+                naive_best > 0.0 ? staged_best / naive_best : 0.0,
+                staged_ok ? "true" : "false", identity_ok ? "true" : "false");
 
     if (!identity_ok) {
         std::fprintf(stderr, "FAIL: parallel characterization diverged from serial\n");
         return 1;
     }
-    return 0;
+    return staged_ok ? 0 : 1;
 }

@@ -59,6 +59,20 @@ expect_usage_error missing_value --benchmarks
 expect_usage_error resume_without_store --resume
 # Unknown flags still fail loudly.
 expect_usage_error unknown_flag --frobnicate
+# --define grammar errors are usage errors, not crashes.
+expect_usage_error define_unknown_family --define=nosuch:name=x
+expect_usage_error define_missing_name --define=lock_ladder:rungs=3
+expect_usage_error define_unknown_param --define=lock_ladder:name=x,frob=1
+expect_usage_error define_bad_value --define=lock_ladder:name=x,rungs=abc
+expect_usage_error define_family_validation --define=lock_ladder:name=x,base_contention=1.5
+# --shard hardening: needs a store, strict I/N with I < N, exclusive with
+# --merge.
+expect_usage_error shard_without_store --shard=0/2
+expect_usage_error shard_malformed --store=ignored --shard=zero/2
+expect_usage_error shard_out_of_range --store=ignored --shard=2/2
+expect_usage_error merge_without_store --merge
+expect_usage_error merge_with_shard --store=ignored --merge --shard=0/2
+expect_usage_error merge_with_resume --store=ignored --merge --resume
 
 # --list-benchmarks: the ten SPLASH-2 names plus the scenario families.
 LIST="$WORK/list.txt"
@@ -109,6 +123,52 @@ if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal,syn
     if [ "$ok" -eq 1 ]; then echo "ok scenario_sweep_warm_store"; else failures=$((failures + 1)); fi
 else
     echo "FAIL scenario_sweep: runner exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+
+# Sharded sweeps: a --define'd instance is sweepable without recompiling,
+# two shard processes share one store, --merge assembles JSON byte-identical
+# to the single-process run, and shard bookkeeping rejects misuse with
+# exit 2.
+DEFINE="--define=lock_ladder:name=ll_cli,base_contention=0.4,rungs=6"
+SHARD_SPEC="$DEFINE --benchmarks=lock_ladder,ll_cli --stages=simple_alu --policies=nominal"
+SHARD_STORE="$WORK/shard-store"
+SINGLE="$WORK/single.json"
+MERGED="$WORK/merged.json"
+if "$RUNNER" $SHARD_SPEC --quiet --json="$SINGLE" >/dev/null 2>&1 &&
+   "$RUNNER" $SHARD_SPEC --store="$SHARD_STORE" --shard=0/2 --quiet >/dev/null 2>&1 &&
+   "$RUNNER" $SHARD_SPEC --store="$SHARD_STORE" --shard=1/2 --quiet >/dev/null 2>&1 &&
+   "$RUNNER" $SHARD_SPEC --store="$SHARD_STORE" --merge --quiet --json="$MERGED" >/dev/null 2>&1; then
+    ok=1
+    if ! cmp -s "$SINGLE" "$MERGED"; then
+        echo "FAIL shard_merge: merged JSON differs from single-process run" >&2
+        ok=0
+    fi
+    if ! grep -q '"benchmark": "ll_cli"' "$MERGED"; then
+        echo "FAIL shard_merge: defined instance missing from merged JSON" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok shard_merge_byte_identical"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL shard_merge: a shard/merge invocation exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+# Overlapping partition of the recorded spec: refused, exit 2.
+"$RUNNER" $SHARD_SPEC --store="$SHARD_STORE" --shard=0/3 --quiet >/dev/null 2>"$WORK/overlap.err"
+rc=$?
+if [ "$rc" -eq 2 ] && grep -q 'layout conflict' "$WORK/overlap.err"; then
+    echo "ok shard_overlap_refused"
+else
+    echo "FAIL shard_overlap: expected exit 2 + layout conflict, got rc=$rc" >&2
+    failures=$((failures + 1))
+fi
+# Merging a spec the store never sharded (foreign spec): refused, exit 2.
+"$RUNNER" $SHARD_SPEC --policies=nominal,no_ts --store="$SHARD_STORE" --merge --quiet >/dev/null 2>&1
+rc=$?
+if [ "$rc" -eq 2 ]; then
+    echo "ok merge_foreign_spec_refused"
+else
+    echo "FAIL merge_foreign_spec: expected exit 2, got $rc" >&2
     failures=$((failures + 1))
 fi
 

@@ -89,7 +89,6 @@ stage_characterization characterizer::characterize(const program_artifacts& prog
     stage_characterization result;
     result.stage = stage;
     result.corner_vdd.assign(corners.begin(), corners.end());
-    result.arch_profiles = program.arch_profiles;
 
     // One STA pass for the whole stage: the corner tables (per-gate delays
     // and the nominal periods, which depend only on (netlist, corner), not

@@ -62,8 +62,13 @@ struct stage_characterization {
     std::vector<double> corner_vdd;
     /// [thread][interval].
     std::vector<std::vector<interval_characterization>> threads;
-    /// Architectural profiles aligned with `threads` ([thread][interval]).
-    std::vector<arch::thread_profile> arch_profiles;
+    // NOTE: the per-thread ARCHITECTURAL profiles are deliberately not
+    // duplicated here. They are stage-independent and live in the
+    // program_artifacts the characterization was built from; copying them
+    // into every per-stage product tripled their footprint across the
+    // cached stages of one workload. Consumers that need N_i / CPI_base_i
+    // read them from the experiment's shared artifacts
+    // (benchmark_experiment::artifacts()->arch_profiles).
 
     /// Builds the empirical error model of (thread, interval).
     [[nodiscard]] empirical_error_model make_error_model(std::size_t thread,

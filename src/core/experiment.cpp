@@ -114,7 +114,7 @@ solver_input benchmark_experiment::make_solver_input(std::size_t interval,
     input.params = config_.params;
     input.theta = theta;
     for (std::size_t t = 0; t < thread_count(); ++t) {
-        const arch::interval_profile& p = characterization_.arch_profiles[t][interval];
+        const arch::interval_profile& p = artifacts_->arch_profiles[t][interval];
         input.workloads.push_back(
             thread_workload{p.instruction_count, p.cpi_base});
         input.error_models.push_back(&error_models_[t][interval]);

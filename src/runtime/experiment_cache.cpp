@@ -53,40 +53,62 @@ experiment_cache::experiment_cache(std::size_t shard_count)
 experiment_cache::experiment_ptr
 experiment_cache::get_or_create(const workload::workload_key& workload,
                                 circuit::pipe_stage stage,
-                                const core::experiment_config& config, thread_pool* pool)
+                                const core::experiment_config& config, thread_pool* pool,
+                                cache_traffic* traffic)
 {
     const experiment_key key{workload, stage, config.digest()};
-    return stage_tier_.get_or_create(key, [&]() -> experiment_ptr {
-        const program_ptr program = get_or_create_program(workload, config, pool);
-        return std::make_shared<const core::benchmark_experiment>(
-            program, stage, config, pool_executor(pool));
-    });
+    return stage_tier_.get_or_create(
+        key,
+        [&]() -> experiment_ptr {
+            const program_ptr program =
+                get_or_create_program(workload, config, pool, traffic);
+            return std::make_shared<const core::benchmark_experiment>(
+                program, stage, config, pool_executor(pool));
+        },
+        traffic != nullptr ? &traffic->stage : nullptr);
 }
 
 experiment_cache::program_ptr
 experiment_cache::get_or_create_program(const workload::workload_key& workload,
                                         const core::experiment_config& config,
-                                        thread_pool* pool)
+                                        thread_pool* pool, cache_traffic* traffic)
 {
     const program_key key{workload, config.workload_digest()};
-    return program_tier_.get_or_create(key, [&]() -> program_ptr {
-        if (store_ != nullptr) {
-            if (program_ptr loaded =
-                    try_load_program(*store_, key.digest(), workload, config)) {
-                disk_hits_.fetch_add(1, std::memory_order_relaxed);
-                return loaded;
-            }
-            disk_misses_.fetch_add(1, std::memory_order_relaxed);
-            program_ptr built =
-                core::make_program_artifacts(workload, config, pool_executor(pool));
-            // Best-effort write-back: a failed publish (read-only store,
-            // disk full) degrades persistence, never the result.
-            (void)store_->store(storage::program_bucket, key.digest(),
-                                storage::encode(*built));
-            return built;
+    // Attribution note: the factory below runs on the thread that OWNS the
+    // miss, so its disk probes and computes are charged to that caller's
+    // sink; concurrent callers of the same key block on the shared future
+    // and record only a hit.
+    const auto count = [traffic](std::atomic<std::uint64_t>& global,
+                                 std::atomic<std::uint64_t> cache_traffic::* local) {
+        global.fetch_add(1, std::memory_order_relaxed);
+        if (traffic != nullptr) {
+            (traffic->*local).fetch_add(1, std::memory_order_relaxed);
         }
+    };
+    const auto compute = [&]() -> program_ptr {
+        count(program_computes_, &cache_traffic::program_computes);
         return core::make_program_artifacts(workload, config, pool_executor(pool));
-    });
+    };
+    return program_tier_.get_or_create(
+        key,
+        [&]() -> program_ptr {
+            if (store_ != nullptr) {
+                if (program_ptr loaded =
+                        try_load_program(*store_, key.digest(), workload, config)) {
+                    count(disk_hits_, &cache_traffic::disk_hits);
+                    return loaded;
+                }
+                count(disk_misses_, &cache_traffic::disk_misses);
+                program_ptr built = compute();
+                // Best-effort write-back: a failed publish (read-only store,
+                // disk full) degrades persistence, never the result.
+                (void)store_->store(storage::program_bucket, key.digest(),
+                                    storage::encode(*built));
+                return built;
+            }
+            return compute();
+        },
+        traffic != nullptr ? &traffic->program : nullptr);
 }
 
 void experiment_cache::clear()

@@ -118,6 +118,35 @@ struct program_key {
     }
 };
 
+/// Hit/miss counters of one memo tier, attributable to one caller.
+struct tier_traffic {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+};
+
+/// Per-caller cache-traffic attribution sink. The cache's own counters are
+/// process-global: two sweeps sharing one cache (or a sweep running while
+/// another thread warms the cache) cannot untangle their traffic by
+/// differencing globals -- the windows overlap and every count lands in
+/// both. A caller that needs attribution-correct numbers passes its own
+/// sink through get_or_create; every lookup then increments BOTH the
+/// global counters and the caller's sink, and the sink sees exactly the
+/// traffic of the calls made with it. Waiting on another caller's
+/// in-flight construction counts as a hit here (this caller was served
+/// without doing the work); the constructing caller owns the miss and any
+/// disk traffic / compute it triggers.
+struct cache_traffic {
+    tier_traffic stage;
+    tier_traffic program;
+    std::atomic<std::uint64_t> disk_hits{0};
+    std::atomic<std::uint64_t> disk_misses{0};
+    /// Times the expensive pipeline (trace generation + architectural
+    /// profiling) ran on behalf of this caller. Counted directly at the
+    /// compute site -- never derived by subtracting counters, so it cannot
+    /// wrap however the windows overlap.
+    std::atomic<std::uint64_t> program_computes{0};
+};
+
 /// One sharded, mutex-striped shared-future memo level. Key must provide
 /// digest() and operator==; Ptr is the shared_ptr the factory produces.
 template <typename Key, typename Ptr>
@@ -137,9 +166,12 @@ public:
     /// Returns the entry of `key`, invoking `factory()` on this thread if
     /// absent. Blocks when another thread is mid-construction of the same
     /// key; a factory exception is rethrown to every waiter and the entry
-    /// dropped so a later call can retry.
+    /// dropped so a later call can retry. `sink`, when given, receives the
+    /// call's hit/miss in addition to the tier's global counters (see
+    /// cache_traffic).
     template <typename Factory>
-    [[nodiscard]] Ptr get_or_create(const Key& key, Factory&& factory)
+    [[nodiscard]] Ptr get_or_create(const Key& key, Factory&& factory,
+                                    tier_traffic* sink = nullptr)
     {
         shard& home = shard_for(key);
 
@@ -160,10 +192,16 @@ public:
 
         if (!owner) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            if (sink != nullptr) {
+                sink->hits.fetch_add(1, std::memory_order_relaxed);
+            }
             return entry.get(); // blocks while the owner constructs; rethrows
         }
 
         misses_.fetch_add(1, std::memory_order_relaxed);
+        if (sink != nullptr) {
+            sink->misses.fetch_add(1, std::memory_order_relaxed);
+        }
         try {
             construction.set_value(factory());
         } catch (...) {
@@ -247,20 +285,25 @@ public:
     /// only pays for the per-stage work when the workload is already
     /// resident. benchmark_id call sites convert implicitly. `pool`, when
     /// given, parallelizes a miss's construction (bit-identical results
-    /// either way) and must outlive the call.
+    /// either way) and must outlive the call. `traffic`, when given,
+    /// receives this call's traffic on every tier it touches, so callers
+    /// sharing the cache can attribute hits/misses/computes to themselves
+    /// (see cache_traffic).
     [[nodiscard]] experiment_ptr get_or_create(const workload::workload_key& workload,
                                                circuit::pipe_stage stage,
                                                const core::experiment_config& config = {},
-                                               thread_pool* pool = nullptr);
+                                               thread_pool* pool = nullptr,
+                                               cache_traffic* traffic = nullptr);
 
     /// Returns the cached stage-independent artifacts for
     /// (workload, config.workload_digest()), constructing them on this
     /// thread if absent. With a store attached, a memory miss probes the
-    /// disk tier before computing (see file comment).
+    /// disk tier before computing (see file comment). `traffic` as above.
     [[nodiscard]] program_ptr
     get_or_create_program(const workload::workload_key& workload,
                           const core::experiment_config& config = {},
-                          thread_pool* pool = nullptr);
+                          thread_pool* pool = nullptr,
+                          cache_traffic* traffic = nullptr);
 
     /// Attaches (or, with nullptr, detaches) the persistent disk tier.
     /// Not synchronized against in-flight lookups: attach before handing
@@ -310,10 +353,11 @@ public:
         return disk_misses_.load(std::memory_order_relaxed);
     }
     /// Times the expensive pipeline actually ran (trace generated + profiler
-    /// run): program-tier misses minus the ones the disk tier absorbed.
+    /// run). Counted directly at the compute site, never derived by
+    /// subtraction, so it cannot wrap.
     [[nodiscard]] std::uint64_t program_compute_count() const noexcept
     {
-        return program_tier_.miss_count() - disk_hit_count();
+        return program_computes_.load(std::memory_order_relaxed);
     }
 
     /// Stage-tier entries currently resident (settled or under
@@ -335,6 +379,7 @@ private:
     std::shared_ptr<storage::artifact_store> store_;
     std::atomic<std::uint64_t> disk_hits_{0};
     std::atomic<std::uint64_t> disk_misses_{0};
+    std::atomic<std::uint64_t> program_computes_{0};
 };
 
 } // namespace synts::runtime

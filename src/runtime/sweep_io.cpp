@@ -127,8 +127,11 @@ void write_sweep_json(const sweep_result& result, std::ostream& out)
          // by double-based consumers (anything past 2^53), so emit strings.
          << ", \"digest\": \"" << result.spec.config.digest() << "\"},\n"
          // The checkpoint keying identity: the artifact store keys this
-         // sweep's cells on (spec_digest, cell index).
-         << "  \"spec_digest\": \"" << result.spec.digest() << "\",\n";
+         // sweep's cells on (spec_digest, cell index). Taken from the
+         // result, not recomputed from the spec echo -- a shard run's echo
+         // is reduced to its owned pairs, but its checkpoints (and this
+         // field) still carry the full sweep's digest.
+         << "  \"spec_digest\": \"" << result.spec_digest << "\",\n";
     body << "  \"theta_multipliers\": [";
     for (std::size_t i = 0; i < result.spec.theta_multipliers.size(); ++i) {
         body << (i ? ", " : "") << result.spec.theta_multipliers[i];

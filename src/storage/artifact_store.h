@@ -41,6 +41,9 @@ namespace synts::storage {
 /// agrees; the store accepts any bucket token).
 inline constexpr std::string_view program_bucket = "program";
 inline constexpr std::string_view cell_bucket = "cell";
+/// Shard-layout and per-shard completion manifests of sharded sweeps
+/// (runtime::shard_manifest frames).
+inline constexpr std::string_view manifest_bucket = "manifest";
 
 class artifact_store {
 public:

@@ -73,9 +73,13 @@ public:
 };
 
 /// What a frame contains (encoded in the header, checked on decode).
+/// Adding a kind does not change any existing frame's bytes, so it needs
+/// no format_version bump -- old frames stay valid, and an old binary
+/// rejects the new kind as a payload-kind mismatch.
 enum class payload_kind : std::uint32_t {
     program_artifacts = 1,
     sweep_cell = 2,
+    shard_manifest = 3,
 };
 
 /// Appends explicitly little-endian primitives to a byte buffer.
@@ -169,6 +173,9 @@ void write(binary_writer& out, const runtime::sweep_cell& cell);
 [[nodiscard]] runtime::sweep_cell read_sweep_cell(binary_reader& in,
                                                   std::uint32_t version = format_version);
 
+void write(binary_writer& out, const runtime::shard_manifest& manifest);
+[[nodiscard]] runtime::shard_manifest read_shard_manifest(binary_reader& in);
+
 // -- framed envelopes -------------------------------------------------------
 // encode_* produce a complete self-verifying frame (always the current
 // format_version):
@@ -184,5 +191,8 @@ void write(binary_writer& out, const runtime::sweep_cell& cell);
 
 [[nodiscard]] std::string encode(const runtime::sweep_cell& cell);
 [[nodiscard]] runtime::sweep_cell decode_sweep_cell(std::string_view frame);
+
+[[nodiscard]] std::string encode(const runtime::shard_manifest& manifest);
+[[nodiscard]] runtime::shard_manifest decode_shard_manifest(std::string_view frame);
 
 } // namespace synts::storage

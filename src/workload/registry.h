@@ -87,6 +87,15 @@ public:
     /// factory is null.
     void add(workload_key key, profile_factory factory);
 
+    /// Parses and registers a parametric scenario instance from its CLI
+    /// definition string, "family:name=NAME[,param=value]..." (grammar in
+    /// workload/scenarios.h), and returns the new key -- identical to the
+    /// key the family's programmatic register_* helper would produce for
+    /// equal params, so CLI-defined instances share cache/store identity
+    /// with compiled-in ones. Throws std::invalid_argument on grammar or
+    /// value errors and on duplicate name/identity.
+    workload_key register_defined(std::string_view definition);
+
     /// True when `name` is registered.
     [[nodiscard]] bool contains(std::string_view name) const;
 

@@ -335,6 +335,220 @@ void register_graph_walk(workload_registry& registry, std::string name,
               });
 }
 
+// -- CLI-defined instances ---------------------------------------------------
+
+namespace {
+
+[[noreturn]] void definition_error(std::string_view what, std::string_view detail)
+{
+    throw std::invalid_argument("scenario definition: " + std::string(what) +
+                                (detail.empty() ? std::string{}
+                                                : " \"" + std::string(detail) + "\""));
+}
+
+/// Strict full-token decimal parse ("0.9", "1e-2"); rejects partial
+/// consumption so "0.9x" cannot silently truncate.
+double parse_definition_double(std::string_view param, std::string_view token)
+{
+    const std::string text(token);
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &consumed);
+    } catch (const std::exception&) {
+        consumed = 0;
+    }
+    if (text.empty() || consumed != text.size()) {
+        definition_error(std::string(param) + " expects a decimal, got", token);
+    }
+    return value;
+}
+
+/// Strict full-token unsigned parse; rejects signs, whitespace and
+/// trailing garbage (mirrors the runner's CLI hardening).
+std::uint64_t parse_definition_u64(std::string_view param, std::string_view token)
+{
+    const bool starts_with_digit = !token.empty() && token[0] >= '0' && token[0] <= '9';
+    std::uint64_t value = 0;
+    std::size_t consumed = 0;
+    if (starts_with_digit) {
+        try {
+            value = std::stoull(std::string(token), &consumed);
+        } catch (const std::exception&) {
+            consumed = 0;
+        }
+    }
+    if (!starts_with_digit || consumed != token.size()) {
+        definition_error(std::string(param) + " expects an unsigned integer, got",
+                         token);
+    }
+    return value;
+}
+
+/// '+'-separated decimal list (stage_weights; ',' separates parameters).
+std::vector<double> parse_definition_weights(std::string_view param,
+                                             std::string_view token)
+{
+    std::vector<double> weights;
+    std::string_view rest = token;
+    for (;;) {
+        const std::size_t plus = rest.find('+');
+        weights.push_back(parse_definition_double(param, rest.substr(0, plus)));
+        if (plus == std::string_view::npos) {
+            return weights;
+        }
+        rest = rest.substr(plus + 1);
+    }
+}
+
+/// One key=value assignment of a definition's parameter list.
+struct definition_assignment {
+    std::string_view param;
+    std::string_view value;
+};
+
+/// Splits "name=x,a=1,b=2" into assignments; rejects empty or '='-less
+/// tokens and duplicate parameter names.
+std::vector<definition_assignment> split_assignments(std::string_view text)
+{
+    std::vector<definition_assignment> assignments;
+    std::string_view rest = text;
+    for (;;) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view token = rest.substr(0, comma);
+        const std::size_t equals = token.find('=');
+        if (token.empty() || equals == std::string_view::npos || equals == 0) {
+            definition_error("expected param=value, got", token);
+        }
+        const definition_assignment assignment{token.substr(0, equals),
+                                               token.substr(equals + 1)};
+        for (const definition_assignment& seen : assignments) {
+            if (seen.param == assignment.param) {
+                definition_error("duplicate parameter", assignment.param);
+            }
+        }
+        assignments.push_back(assignment);
+        if (comma == std::string_view::npos) {
+            return assignments;
+        }
+        rest = rest.substr(comma + 1);
+    }
+}
+
+/// Extracts the common `name` parameter and applies every other
+/// assignment to `params` through the family's `apply` hook (which
+/// returns false for an unknown parameter name).
+template <typename Params, typename Apply>
+std::pair<std::string, Params> parse_definition_params(std::string_view family,
+                                                       std::string_view rest,
+                                                       Params params, Apply&& apply)
+{
+    std::string name;
+    for (const definition_assignment& a : split_assignments(rest)) {
+        if (a.param == "name") {
+            if (a.value.empty()) {
+                definition_error("name must not be empty in", rest);
+            }
+            name = std::string(a.value);
+            continue;
+        }
+        if (!apply(params, a)) {
+            definition_error("unknown " + std::string(family) + " parameter", a.param);
+        }
+    }
+    if (name.empty()) {
+        definition_error("missing required parameter name= in", rest);
+    }
+    return {std::move(name), params};
+}
+
+} // namespace
+
+scenario_definition parse_scenario_definition(std::string_view text)
+{
+    const std::size_t colon = text.find(':');
+    if (colon == std::string_view::npos || colon == 0 || colon + 1 >= text.size()) {
+        definition_error("expected family:name=NAME[,param=value]..., got", text);
+    }
+    const std::string_view family = text.substr(0, colon);
+    const std::string_view rest = text.substr(colon + 1);
+
+    if (family == "lock_ladder") {
+        auto [name, params] = parse_definition_params(
+            family, rest, lock_ladder_params{},
+            [](lock_ladder_params& p, const definition_assignment& a) {
+                if (a.param == "rungs") {
+                    p.rungs = parse_definition_u64(a.param, a.value);
+                } else if (a.param == "base_contention") {
+                    p.base_contention = parse_definition_double(a.param, a.value);
+                } else if (a.param == "contention_step") {
+                    p.contention_step = parse_definition_double(a.param, a.value);
+                } else if (a.param == "hold_scale") {
+                    p.hold_scale = parse_definition_double(a.param, a.value);
+                } else if (a.param == "hot_locks") {
+                    p.hot_locks = parse_definition_u64(a.param, a.value);
+                } else {
+                    return false;
+                }
+                return true;
+            });
+        // Eager validation: every require() in the factory fires at
+        // definition time (a CLI usage error), not mid-sweep.
+        (void)make_lock_ladder_profile(params, 1);
+        return {std::string(family), name, lock_ladder_key(name, params),
+                [name, params](workload_registry& registry) {
+                    register_lock_ladder(registry, name, params);
+                }};
+    }
+    if (family == "pipeline") {
+        auto [name, params] = parse_definition_params(
+            family, rest, pipeline_params{},
+            [](pipeline_params& p, const definition_assignment& a) {
+                if (a.param == "stage_weights") {
+                    p.stage_weights = parse_definition_weights(a.param, a.value);
+                } else if (a.param == "queue_pressure") {
+                    p.queue_pressure = parse_definition_double(a.param, a.value);
+                } else if (a.param == "item_bytes") {
+                    p.item_bytes = parse_definition_u64(a.param, a.value);
+                } else {
+                    return false;
+                }
+                return true;
+            });
+        (void)make_pipeline_profile(params, 1);
+        return {std::string(family), name, pipeline_key(name, params),
+                [name, params](workload_registry& registry) {
+                    register_pipeline(registry, name, params);
+                }};
+    }
+    if (family == "graph_walk") {
+        auto [name, params] = parse_definition_params(
+            family, rest, graph_walk_params{},
+            [](graph_walk_params& p, const definition_assignment& a) {
+                if (a.param == "tail_alpha") {
+                    p.tail_alpha = parse_definition_double(a.param, a.value);
+                } else if (a.param == "hub_fraction") {
+                    p.hub_fraction = parse_definition_double(a.param, a.value);
+                } else if (a.param == "working_set_bytes") {
+                    p.working_set_bytes = parse_definition_u64(a.param, a.value);
+                } else if (a.param == "mix_seed") {
+                    p.mix_seed = parse_definition_u64(a.param, a.value);
+                } else {
+                    return false;
+                }
+                return true;
+            });
+        (void)make_graph_walk_profile(params, 1);
+        return {std::string(family), name, graph_walk_key(name, params),
+                [name, params](workload_registry& registry) {
+                    register_graph_walk(registry, name, params);
+                }};
+    }
+    definition_error("unknown scenario family (expected lock_ladder, pipeline, "
+                     "or graph_walk), got",
+                     family);
+}
+
 // -- default instances -------------------------------------------------------
 
 void register_default_scenarios(workload_registry& registry)

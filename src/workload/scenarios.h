@@ -30,15 +30,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "workload/registry.h"
 #include "workload/splash2.h"
 
 namespace synts::workload {
-
-class workload_registry;
-struct workload_key;
 
 // -- lock-contention ladder --------------------------------------------------
 // Generalizes core/critical_sections' lock-aware evaluation to the workload
@@ -132,6 +132,45 @@ struct graph_walk_params {
                                                         std::size_t thread_count);
 void register_graph_walk(workload_registry& registry, std::string name,
                          const graph_walk_params& params);
+
+// -- CLI-defined instances ---------------------------------------------------
+// The "--define" grammar: one string names a family, an instance name, and
+// any subset of the family's parameters (unnamed ones keep their defaults):
+//
+//   family:name=NAME[,param=value]...
+//
+//   lock_ladder:  rungs=U  base_contention=F  contention_step=F
+//                 hold_scale=F  hot_locks=U
+//   pipeline:     stage_weights=F+F+...  queue_pressure=F  item_bytes=U
+//   graph_walk:   tail_alpha=F  hub_fraction=F  working_set_bytes=U
+//                 mix_seed=U
+//
+// (U = unsigned integer, F = decimal; stage_weights is a '+'-separated
+// list because ',' separates parameters.) Example:
+//
+//   lock_ladder:name=ll9,base_contention=0.9,rungs=30
+//
+// Parsing is strict: an unknown family or parameter, a duplicate or
+// malformed assignment, a missing name, or a value the family's own
+// validation rejects all throw std::invalid_argument naming the offense --
+// the runner CLI surfaces these as usage errors.
+
+/// A parsed scenario definition: the family and instance name, the
+/// registry key its parameters derive to (same identity the programmatic
+/// register_* helpers produce -- equal params, equal key), and an
+/// `install` closure that performs the registration (delegating to the
+/// family's register_* helper, so CLI-defined and compiled-in instances
+/// are indistinguishable downstream).
+struct scenario_definition {
+    std::string family;
+    std::string name;
+    workload_key key;
+    std::function<void(workload_registry&)> install;
+};
+
+/// Parses the grammar above. Throws std::invalid_argument on any error;
+/// never touches a registry (install does that).
+[[nodiscard]] scenario_definition parse_scenario_definition(std::string_view text);
 
 // -- default instances -------------------------------------------------------
 

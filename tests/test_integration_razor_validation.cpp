@@ -26,19 +26,27 @@ protected:
         profile.interval_count = 1;
         profile.instructions_per_interval = 8000;
         const auto program = workload::generate_program_trace(profile, 19);
+        // The architectural profiles live with the artifacts, not the
+        // per-stage characterization; keep both for the SPI identity test.
+        const core::program_characterizer profiler(cfg.core);
+        artifacts = new core::program_artifacts(profiler.characterize_trace(program));
         characterization = new core::stage_characterization(
-            chars.characterize(program, circuit::pipe_stage::simple_alu));
+            chars.characterize(*artifacts, circuit::pipe_stage::simple_alu));
     }
 
     static void TearDownTestSuite()
     {
         delete characterization;
         characterization = nullptr;
+        delete artifacts;
+        artifacts = nullptr;
     }
 
+    static core::program_artifacts* artifacts;
     static core::stage_characterization* characterization;
 };
 
+core::program_artifacts* razor_validation::artifacts = nullptr;
 core::stage_characterization* razor_validation::characterization = nullptr;
 
 TEST_F(razor_validation, replay_matches_empirical_exceedance)
@@ -78,7 +86,7 @@ TEST_F(razor_validation, spi_identity_on_real_trace)
     const auto& sc = *characterization;
     const auto& data = sc.threads[0][0];
     const double tnom = sc.tnom_ps[0];
-    const double cpi_base = sc.arch_profiles[0][0].cpi_base;
+    const double cpi_base = artifacts->arch_profiles[0][0].cpi_base;
 
     std::vector<double> delays(data.sampling_delays_ps.begin(),
                                data.sampling_delays_ps.end());

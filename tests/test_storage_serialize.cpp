@@ -619,4 +619,51 @@ TEST(storage_serialize, hostile_workload_name_length_is_rejected)
                  storage::serialize_error);
 }
 
+// -- shard manifests ---------------------------------------------------------
+
+TEST(storage_serialize, shard_manifest_round_trips)
+{
+    const runtime::shard_manifest manifest{0x1234567890ABCDEFull, 4, 2, 42};
+    const runtime::shard_manifest decoded =
+        storage::decode_shard_manifest(storage::encode(manifest));
+    EXPECT_EQ(decoded, manifest);
+
+    // The layout-frame sentinel (shard_index == shard_count) is legal.
+    const runtime::shard_manifest layout{7, 3, 3, 12};
+    EXPECT_EQ(storage::decode_shard_manifest(storage::encode(layout)), layout);
+}
+
+TEST(storage_serialize, shard_manifest_rejects_malformed_and_corrupt_frames)
+{
+    // Field-domain violations are caught even in a checksum-valid frame.
+    EXPECT_THROW((void)storage::decode_shard_manifest(
+                     storage::encode(runtime::shard_manifest{1, 0, 0, 0})),
+                 storage::serialize_error);
+    EXPECT_THROW((void)storage::decode_shard_manifest(
+                     storage::encode(runtime::shard_manifest{1, 2, 4, 0})),
+                 storage::serialize_error);
+
+    const std::string frame =
+        storage::encode(runtime::shard_manifest{0xFEEDFACE, 8, 5, 64});
+    // Truncation at every length.
+    for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+        EXPECT_THROW((void)storage::decode_shard_manifest(frame.substr(0, keep)),
+                     storage::serialize_error)
+            << keep;
+    }
+    // Any single-bit flip breaks the checksum (or a checked field).
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string corrupt = frame;
+            corrupt[byte] = static_cast<char>(
+                static_cast<unsigned char>(corrupt[byte]) ^ (1u << bit));
+            EXPECT_THROW((void)storage::decode_shard_manifest(corrupt),
+                         storage::serialize_error)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+    // A manifest frame is not a sweep cell (payload-kind check).
+    EXPECT_THROW((void)storage::decode_sweep_cell(frame), storage::serialize_error);
+}
+
 } // namespace

@@ -249,6 +249,93 @@ TEST(workload_scenarios, distinct_params_generate_distinct_traces_at_equal_seed)
     EXPECT_TRUE(differs);
 }
 
+// -- CLI-defined instances ---------------------------------------------------
+
+TEST(workload_scenarios, parse_scenario_definition_matches_programmatic_identity)
+{
+    const scenario_definition ladder = parse_scenario_definition(
+        "lock_ladder:name=ll9,base_contention=0.55,rungs=9,hot_locks=2");
+    EXPECT_EQ(ladder.family, "lock_ladder");
+    EXPECT_EQ(ladder.name, "ll9");
+    lock_ladder_params ladder_params;
+    ladder_params.base_contention = 0.55;
+    ladder_params.rungs = 9;
+    ladder_params.hot_locks = 2;
+    // Same identity as the programmatic helper: CLI-defined and
+    // compiled-in instances share cache/store keys for equal params.
+    EXPECT_EQ(ladder.key, lock_ladder_key("ll9", ladder_params));
+
+    const scenario_definition pipe = parse_scenario_definition(
+        "pipeline:name=p3,stage_weights=1.0+0.5+0.25,queue_pressure=0.8");
+    pipeline_params pipe_params;
+    pipe_params.stage_weights = {1.0, 0.5, 0.25};
+    pipe_params.queue_pressure = 0.8;
+    EXPECT_EQ(pipe.key, pipeline_key("p3", pipe_params));
+
+    const scenario_definition walk = parse_scenario_definition(
+        "graph_walk:name=gw,tail_alpha=1.1,mix_seed=5");
+    graph_walk_params walk_params;
+    walk_params.tail_alpha = 1.1;
+    walk_params.mix_seed = 5;
+    EXPECT_EQ(walk.key, graph_walk_key("gw", walk_params));
+}
+
+TEST(workload_registry, register_defined_installs_a_working_factory)
+{
+    workload_registry registry;
+    const workload_key defined =
+        registry.register_defined("graph_walk:name=gw,tail_alpha=1.1,mix_seed=5");
+    ASSERT_TRUE(registry.contains("gw"));
+    EXPECT_EQ(registry.key("gw"), defined);
+
+    graph_walk_params params;
+    params.tail_alpha = 1.1;
+    params.mix_seed = 5;
+    const benchmark_profile via_registry = registry.make_profile(defined, 4);
+    const benchmark_profile programmatic = make_graph_walk_profile(params, 4);
+    // Registered-name stamping aside, the profiles are the same workload.
+    EXPECT_EQ(via_registry.name, "gw");
+    EXPECT_EQ(via_registry.stream_salt, programmatic.stream_salt);
+    EXPECT_EQ(via_registry.thread_count, programmatic.thread_count);
+    EXPECT_EQ(via_registry.work_imbalance, programmatic.work_imbalance);
+}
+
+TEST(workload_registry, register_defined_rejects_duplicates)
+{
+    workload_registry registry;
+    (void)registry.register_defined("lock_ladder:name=dup,rungs=3");
+    // Same name again.
+    EXPECT_THROW((void)registry.register_defined("lock_ladder:name=dup,rungs=4"),
+                 std::invalid_argument);
+    // Different name, identical (family, params): identity collision.
+    EXPECT_THROW((void)registry.register_defined("lock_ladder:name=dup2,rungs=3"),
+                 std::invalid_argument);
+}
+
+TEST(workload_scenarios, scenario_definition_grammar_errors_are_rejected)
+{
+    for (const char* bad : {
+             "",                                   // empty
+             "lock_ladder",                        // no colon
+             ":name=x",                            // empty family
+             "lock_ladder:",                       // empty body
+             "nosuch:name=x",                      // unknown family
+             "lock_ladder:rungs=3",                // missing name
+             "lock_ladder:name=",                  // empty name
+             "lock_ladder:name=x,frob=1",          // unknown parameter
+             "lock_ladder:name=x,rungs",           // '='-less token
+             "lock_ladder:name=x,rungs=abc",       // non-numeric unsigned
+             "lock_ladder:name=x,rungs=-1",        // signed unsigned
+             "lock_ladder:name=x,rungs=3,rungs=4", // duplicate parameter
+             "lock_ladder:name=x,base_contention=1.5", // family validation
+             "pipeline:name=x,stage_weights=1.0+oops", // bad weight entry
+             "graph_walk:name=x,tail_alpha=0",         // family validation
+         }) {
+        EXPECT_THROW((void)parse_scenario_definition(bad), std::invalid_argument)
+            << "\"" << bad << "\"";
+    }
+}
+
 // -- end to end --------------------------------------------------------------
 
 TEST(workload_scenarios, scenario_workload_characterizes_through_the_pipeline)

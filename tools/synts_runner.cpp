@@ -39,6 +39,14 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
                       registered workload), "splash2" (the built-in ten), or
                       "reported" (the paper's seven; default). --benchmark
                       is an alias; --list-benchmarks enumerates the names.
+  --define=SPEC       register a parametric scenario instance at runtime so
+                      it is sweepable without recompiling; repeatable.
+                      SPEC is family:name=NAME[,param=value]..., e.g.
+                      --define=lock_ladder:name=ll9,base_contention=0.9
+                      (families: lock_ladder, pipeline, graph_walk; pipeline
+                      stage_weights is '+'-separated: 1.0+0.5+0.25). Defines
+                      apply before --benchmarks is resolved, regardless of
+                      flag order.
   --stages=LIST       comma list of decode,simple_alu,complex_alu or "all"
                       (default: all)
   --policies=LIST     comma list of nominal,no_ts,per_core_ts,synts_offline,
@@ -61,6 +69,22 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
                       runners (atomic write-back).
   --resume            with --store: skip cells already materialized in the
                       store, so a killed sweep restarts where it died
+  --shard=I/N         with --store: run only shard I of an N-way
+                      pair-granular partition of the sweep, checkpointing
+                      its cells under their GLOBAL indices in the shared
+                      store -- N runner processes with --shard=0/N .. N-1/N
+                      and one store jointly cover the spec. Records the
+                      layout in the store and refuses a partition that
+                      conflicts with one already recorded for this spec
+                      (exit 2). Table/CSV/JSON outputs cover this shard's
+                      cells only; assemble the full document with --merge.
+  --merge             with --store: do not compute anything -- verify that
+                      every shard of this spec recorded completion in the
+                      store, assemble the full result from the checkpoints,
+                      and emit it (byte-identical JSON to a single-process
+                      run of the same spec). Missing, foreign or mismatched
+                      manifests exit 2. Mutually exclusive with --shard and
+                      --resume.
   --cache-stats[=FMT] print hit/miss counts of every cache tier (program
                       artifacts, stage experiments, disk store, cell
                       checkpoints) plus the compute count; FMT: table
@@ -145,14 +169,30 @@ std::uint64_t parse_positive(std::string_view flag, std::string_view token)
     return value;
 }
 
+/// "I/N" with I < N, N >= 1 (strict digits on both sides).
+runtime::sweep_shard parse_shard(std::string_view token)
+{
+    const std::size_t slash = token.find('/');
+    if (slash == std::string_view::npos) {
+        throw std::invalid_argument("--shard expects I/N (e.g. 0/4), got \"" +
+                                    std::string(token) + "\"");
+    }
+    const std::uint64_t index = parse_u64("--shard index", token.substr(0, slash));
+    const std::uint64_t count = parse_u64("--shard count", token.substr(slash + 1));
+    if (count == 0 || index >= count) {
+        throw std::invalid_argument("--shard: index must be < count and count >= 1, "
+                                    "got \"" + std::string(token) + "\"");
+    }
+    return runtime::sweep_shard{static_cast<std::size_t>(index),
+                                static_cast<std::size_t>(count)};
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
     runtime::sweep_spec spec;
     {
-        const auto reported = workload::reported_benchmarks();
-        spec.benchmarks.assign(reported.begin(), reported.end());
         spec.stages = runtime::parse_stage_list("all");
         const auto all = core::all_policies();
         spec.policies.assign(all.begin(), all.end());
@@ -162,10 +202,18 @@ int main(int argc, char** argv)
     std::string summary_csv_path;
     std::string json_path;
     std::string store_dir; // empty = no persistent store
+    // Benchmark resolution is deferred until after every --define has
+    // registered (flag order must not matter), so only the raw list text
+    // is captured in the flag loop.
+    std::string benchmarks_csv = "reported";
+    std::vector<std::string> defines;
+    bool list_benchmarks = false;
     bool resume = false;
+    bool merge = false;
+    std::optional<runtime::sweep_shard> shard;
     bool quiet = false;
     std::optional<runtime::cache_stats_format> cache_stats;
-    const workload::workload_registry& registry = workload::workload_registry::global();
+    workload::workload_registry& registry = workload::workload_registry::global();
 
     try {
         // Value flags accept --flag=VALUE and --flag VALUE; `take` consumes
@@ -185,12 +233,8 @@ int main(int argc, char** argv)
                 return 0;
             }
             if (arg == "--list-benchmarks") {
-                for (const workload::workload_key& key : registry.keys()) {
-                    std::printf("%s\n", key.name.c_str());
-                }
-                return 0;
-            }
-            if (arg == "--quiet") {
+                list_benchmarks = true;
+            } else if (arg == "--quiet") {
                 quiet = true;
             } else if (arg == "--store") {
                 store_dir = ".synts-store";
@@ -198,6 +242,16 @@ int main(int argc, char** argv)
                 store_dir = *v;
             } else if (arg == "--resume") {
                 resume = true;
+            } else if (arg == "--merge") {
+                merge = true;
+            } else if (arg == "--shard") {
+                shard = parse_shard(take(arg));
+            } else if (const auto v = flag_value(arg, "shard")) {
+                shard = parse_shard(*v);
+            } else if (arg == "--define") {
+                defines.emplace_back(take(arg));
+            } else if (const auto v = flag_value(arg, "define")) {
+                defines.emplace_back(*v);
             } else if (arg == "--cache-stats") {
                 cache_stats = runtime::cache_stats_format::table;
             } else if (const auto v = flag_value(arg, "cache-stats")) {
@@ -207,11 +261,11 @@ int main(int argc, char** argv)
                                                 std::string(*v) + "\"");
                 }
             } else if (arg == "--benchmarks" || arg == "--benchmark") {
-                spec.benchmarks = runtime::parse_workload_list(registry, take(arg));
+                benchmarks_csv = take(arg);
             } else if (const auto v = flag_value(arg, "benchmarks")) {
-                spec.benchmarks = runtime::parse_workload_list(registry, *v);
+                benchmarks_csv = *v;
             } else if (const auto v = flag_value(arg, "benchmark")) {
-                spec.benchmarks = runtime::parse_workload_list(registry, *v);
+                benchmarks_csv = *v;
             } else if (arg == "--stages") {
                 spec.stages = runtime::parse_stage_list(take(arg));
             } else if (const auto v = flag_value(arg, "stages")) {
@@ -257,6 +311,34 @@ int main(int argc, char** argv)
         if (resume && store_dir.empty()) {
             throw std::invalid_argument("--resume requires --store");
         }
+        if (shard.has_value() && store_dir.empty()) {
+            throw std::invalid_argument(
+                "--shard requires --store (the shared store is where a shard's "
+                "cells land)");
+        }
+        if (merge && store_dir.empty()) {
+            throw std::invalid_argument("--merge requires --store");
+        }
+        if (merge && shard.has_value()) {
+            throw std::invalid_argument("--merge and --shard are mutually exclusive "
+                                        "(merge assembles, it does not compute)");
+        }
+        if (merge && resume) {
+            throw std::invalid_argument("--merge and --resume are mutually exclusive");
+        }
+
+        // Register every --define, THEN resolve the benchmark list against
+        // the enlarged registry.
+        for (const std::string& define : defines) {
+            (void)registry.register_defined(define);
+        }
+        if (list_benchmarks) {
+            for (const workload::workload_key& key : registry.keys()) {
+                std::printf("%s\n", key.name.c_str());
+            }
+            return 0;
+        }
+        spec.benchmarks = runtime::parse_workload_list(registry, benchmarks_csv);
     } catch (const std::exception& error) {
         std::fprintf(stderr, "synts_runner: %s\n\n%s", error.what(), usage.data());
         return 2;
@@ -271,31 +353,46 @@ int main(int argc, char** argv)
             cache.attach_store(store);
             options.store = store.get();
             options.resume = resume;
+            options.shard = shard;
         }
 
-        runtime::thread_pool pool(workers);
-        runtime::sweep_scheduler scheduler(pool, cache);
-        const runtime::sweep_result result = scheduler.run(spec, options);
+        runtime::sweep_result result;
+        if (merge) {
+            result = runtime::merge_sweep_shards(spec, *store);
+            if (!quiet) {
+                std::fputs(runtime::render_sweep_table(result).c_str(), stdout);
+                std::printf("merged %zu cells from the store's checkpoints\n",
+                            result.cells.size());
+            }
+        } else {
+            runtime::thread_pool pool(workers);
+            runtime::sweep_scheduler scheduler(pool, cache);
+            result = scheduler.run(spec, options);
 
-        if (!quiet) {
-            std::fputs(runtime::render_sweep_table(result).c_str(), stdout);
-            std::printf("%zu cells in %.2f s on %zu workers "
-                        "(stage cache: %llu hits, %llu misses; program cache: "
-                        "%llu hits, %llu misses; %llu steals)\n",
-                        result.cells.size(), result.wall_seconds, pool.worker_count(),
-                        static_cast<unsigned long long>(result.cache_hits),
-                        static_cast<unsigned long long>(result.cache_misses),
-                        static_cast<unsigned long long>(result.program_cache_hits),
-                        static_cast<unsigned long long>(result.program_cache_misses),
-                        static_cast<unsigned long long>(pool.steal_count()));
-            if (store != nullptr) {
-                std::printf("store %s: %llu artifact disk hits, %llu computes, "
-                            "%llu cells restored, %llu cells persisted\n",
-                            store->root().c_str(),
-                            static_cast<unsigned long long>(result.disk_hits),
-                            static_cast<unsigned long long>(result.program_computes),
-                            static_cast<unsigned long long>(result.cells_loaded),
-                            static_cast<unsigned long long>(result.cells_stored));
+            if (!quiet) {
+                std::fputs(runtime::render_sweep_table(result).c_str(), stdout);
+                if (shard.has_value()) {
+                    std::printf("shard %zu/%zu: ", shard->index, shard->count);
+                }
+                std::printf("%zu cells in %.2f s on %zu workers "
+                            "(stage cache: %llu hits, %llu misses; program cache: "
+                            "%llu hits, %llu misses; %llu steals)\n",
+                            result.cells.size(), result.wall_seconds,
+                            pool.worker_count(),
+                            static_cast<unsigned long long>(result.cache_hits),
+                            static_cast<unsigned long long>(result.cache_misses),
+                            static_cast<unsigned long long>(result.program_cache_hits),
+                            static_cast<unsigned long long>(result.program_cache_misses),
+                            static_cast<unsigned long long>(pool.steal_count()));
+                if (store != nullptr) {
+                    std::printf("store %s: %llu artifact disk hits, %llu computes, "
+                                "%llu cells restored, %llu cells persisted\n",
+                                store->root().c_str(),
+                                static_cast<unsigned long long>(result.disk_hits),
+                                static_cast<unsigned long long>(result.program_computes),
+                                static_cast<unsigned long long>(result.cells_loaded),
+                                static_cast<unsigned long long>(result.cells_stored));
+                }
             }
         }
         if (cache_stats) {
@@ -323,6 +420,12 @@ int main(int argc, char** argv)
                        [&](std::ostream& out) { runtime::write_sweep_json(result, out); });
         }
         return 0;
+    } catch (const runtime::shard_error& error) {
+        // The store's shard bookkeeping and the request disagree (layout
+        // conflict, missing/foreign manifest): a usage-class refusal, not
+        // a runtime failure -- nothing was computed or overwritten.
+        std::fprintf(stderr, "synts_runner: %s\n", error.what());
+        return 2;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "synts_runner: %s\n", error.what());
         return 1;
