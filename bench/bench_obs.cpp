@@ -1,0 +1,146 @@
+// bench_obs -- the telemetry overhead gate.
+//
+// The obs contract is "zero overhead when disabled": an instrumented hot
+// path (always-on counter bump + enabled-gated scoped_timer + enabled-gated
+// trace_span with a lazily formatted name) must cost the same as the bare
+// body when telemetry is off. This bench measures a representative task
+// body three ways -- bare, instrumented-disabled, instrumented-enabled --
+// interleaved round-robin (so thermal / frequency drift hits every variant
+// equally) and GATES disabled-over-bare at <= 2%: a regression exits
+// non-zero and fails CI instead of landing silently. Enabled numbers are
+// reported for information only; recording is allowed to cost something.
+//
+// Output: one JSON document on stdout (scripts/run_benches.sh captures it
+// as BENCH_obs.json). Human-readable progress goes to stderr.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace synts;
+
+constexpr double disabled_overhead_gate = 1.02; // <= 2% over bare
+constexpr int rounds = 7;
+// Small enough that the enabled rounds' recorded spans stay a few tens of
+// MB; large enough that one round is milliseconds on a steady clock.
+constexpr std::uint64_t iterations = 50'000;
+
+/// The simulated work inside one "task": a short xorshift chain, roughly
+/// the cost of a cheap instrumented operation (a cache lookup or a small
+/// pool task), so the measured overhead ratio is a realistic worst case --
+/// real instrumented sites (cell computes, store I/O) are far heavier.
+inline std::uint64_t body(std::uint64_t x) noexcept
+{
+    for (int i = 0; i < 24; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    return x;
+}
+
+double bare_ns_per_iter(std::uint64_t& sink)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        x = body(x);
+    }
+    sink ^= x;
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                    t0)
+               .count() /
+           static_cast<double>(iterations);
+}
+
+double instrumented_ns_per_iter(std::uint64_t& sink, obs::counter& events,
+                                obs::latency_histogram& latency,
+                                obs::trace_recorder& recorder)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        const obs::trace_span span(recorder,
+                                   [&] { return "obs.bench:" + std::to_string(i & 7); });
+        const obs::scoped_timer timer(latency);
+        x = body(x);
+        events.add(1);
+    }
+    sink ^= x;
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                    t0)
+               .count() /
+           static_cast<double>(iterations);
+}
+
+} // namespace
+
+int main()
+{
+    obs::counter events;
+    obs::latency_histogram latency;
+    obs::trace_recorder recorder;
+    std::uint64_t sink = 0;
+
+    double bare = 1e300;
+    double disabled = 1e300;
+    double enabled = 1e300;
+
+    // Warmup round (not recorded), then best-of over interleaved rounds.
+    (void)bare_ns_per_iter(sink);
+    (void)instrumented_ns_per_iter(sink, events, latency, recorder);
+    for (int round = 0; round < rounds; ++round) {
+        obs::set_enabled(false);
+        recorder.set_enabled(false);
+        bare = std::min(bare, bare_ns_per_iter(sink));
+        disabled =
+            std::min(disabled, instrumented_ns_per_iter(sink, events, latency, recorder));
+        obs::set_enabled(true);
+        recorder.set_enabled(true);
+        enabled =
+            std::min(enabled, instrumented_ns_per_iter(sink, events, latency, recorder));
+        std::fprintf(stderr, "round %d/%d: bare %.2f ns, disabled %.2f ns, "
+                             "enabled %.2f ns\n",
+                     round + 1, rounds, bare, disabled, enabled);
+    }
+    obs::set_enabled(false);
+    recorder.set_enabled(false);
+
+    const double disabled_over_bare = disabled / bare;
+    const double enabled_over_bare = enabled / bare;
+    const bool pass = disabled_over_bare <= disabled_overhead_gate;
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"obs_overhead\",\n");
+    std::printf("  \"iterations\": %llu,\n",
+                static_cast<unsigned long long>(iterations));
+    std::printf("  \"rounds\": %d,\n", rounds);
+    std::printf("  \"bare_ns_per_iter\": %.4f,\n", bare);
+    std::printf("  \"disabled_ns_per_iter\": %.4f,\n", disabled);
+    std::printf("  \"enabled_ns_per_iter\": %.4f,\n", enabled);
+    std::printf("  \"disabled_over_bare\": %.4f,\n", disabled_over_bare);
+    std::printf("  \"enabled_over_bare\": %.4f,\n", enabled_over_bare);
+    std::printf("  \"gate\": %.2f,\n", disabled_overhead_gate);
+    std::printf("  \"pass\": %s,\n", pass ? "true" : "false");
+    // The sink defeats dead-code elimination; recorded so it is "used".
+    std::printf("  \"checksum\": %llu\n", static_cast<unsigned long long>(sink));
+    std::printf("}\n");
+
+    if (!pass) {
+        std::fprintf(stderr,
+                     "FAIL: disabled telemetry costs %.1f%% over bare (gate %.0f%%)\n",
+                     (disabled_over_bare - 1.0) * 100.0,
+                     (disabled_overhead_gate - 1.0) * 100.0);
+        return 1;
+    }
+    std::fprintf(stderr, "PASS: disabled telemetry %.2f%% over bare\n",
+                 (disabled_over_bare - 1.0) * 100.0);
+    return 0;
+}

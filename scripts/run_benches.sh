@@ -7,7 +7,10 @@
 # BENCH_characterization.json, then the persistent-store bench
 # (serialize/deserialize throughput plus cold vs warm vs resumed sweep
 # timings and the zero-compute / bit-identity verdicts) as
-# BENCH_storage.json.
+# BENCH_storage.json, then the telemetry overhead gate (disabled
+# instrumentation must cost <= 2% over bare) as BENCH_obs.json. Finally
+# every BENCH_*.json is stamped with a `meta` provenance block (UTC
+# timestamp, host, hardware threads, git describe).
 #
 # Usage: scripts/run_benches.sh [build-dir] (default: build)
 
@@ -101,6 +104,64 @@ if [[ -x "${storage_bench}" ]]; then
     cat "${storage_out}"
 else
     echo "skip bench_storage: not built" >&2
+fi
+
+# -- telemetry overhead gate -------------------------------------------------
+# bench_obs emits its own JSON (bare vs instrumented-disabled vs
+# instrumented-enabled ns/iter) on stdout and gates disabled-over-bare at
+# <= 2%, exiting non-zero on a regression.
+obs_bench="${build_dir}/bench_obs"
+obs_out="BENCH_obs.json"
+if [[ -x "${obs_bench}" ]]; then
+    echo "== bench_obs" >&2
+    if ! "${obs_bench}" > "${obs_out}"; then
+        echo "FAIL bench_obs" >&2
+        failures=$((failures + 1))
+    fi
+    echo "wrote ${obs_out}" >&2
+    cat "${obs_out}"
+else
+    echo "skip bench_obs: not built" >&2
+fi
+
+# -- provenance stamping -----------------------------------------------------
+# Every BENCH_*.json gets a `meta` block (schema_version, UTC timestamp,
+# host, hardware threads, git describe) so archived artifacts are
+# self-describing. Python is the only JSON rewriter the image guarantees;
+# stamping is best-effort and never fails the run.
+if command -v python3 > /dev/null 2>&1; then
+    meta_generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    meta_host="$(hostname)"
+    meta_threads="$(nproc)"
+    meta_describe="$(git describe --always --dirty 2> /dev/null || true)"
+    for artifact in BENCH_*.json; do
+        [[ -f "${artifact}" ]] || continue
+        python3 - "${artifact}" "${meta_generated}" "${meta_host}" \
+            "${meta_threads}" "${meta_describe}" <<'PYEOF' || \
+            echo "warn: could not stamp ${artifact}" >&2
+import json
+import sys
+
+path, generated, host, threads, describe = sys.argv[1:6]
+with open(path) as f:
+    doc = json.load(f)
+meta = {
+    "schema_version": 1,
+    "generated_utc": generated,
+    "hostname": host,
+    "hardware_concurrency": int(threads),
+}
+if describe:
+    meta["git_describe"] = describe
+doc["meta"] = meta
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
+    done
+    echo "stamped meta into BENCH_*.json" >&2
+else
+    echo "skip meta stamping: python3 not found" >&2
 fi
 
 # A failing bench (e.g. bench_runtime_scaling's bit-identity check) must

@@ -73,6 +73,9 @@ expect_usage_error shard_out_of_range --store=ignored --shard=2/2
 expect_usage_error merge_without_store --merge
 expect_usage_error merge_with_shard --store=ignored --merge --shard=0/2
 expect_usage_error merge_with_resume --store=ignored --merge --resume
+# Telemetry flag hardening: bad --metrics format, --trace without a value.
+expect_usage_error metrics_bad_format --metrics=xml
+expect_usage_error trace_missing_value --trace
 
 # --list-benchmarks: the ten SPLASH-2 names plus the scenario families.
 LIST="$WORK/list.txt"
@@ -107,8 +110,14 @@ if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal,syn
    "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal,synts_offline \
         --store="$STORE" --quiet --json="$WARM" --cache-stats=json >"$STATS" 2>&1; then
     ok=1
-    if ! cmp -s "$COLD" "$WARM"; then
+    # The volatile `meta` line (timestamp, host) is excluded from the
+    # byte-identity contract by design: it rides on its own line.
+    if ! cmp -s <(grep -v '"meta"' "$COLD") <(grep -v '"meta"' "$WARM"); then
         echo "FAIL scenario_sweep: warm JSON differs from cold" >&2
+        ok=0
+    fi
+    if ! grep -q '"meta": {"schema_version": 1, "generated_utc": "' "$COLD"; then
+        echo "FAIL scenario_sweep: cold JSON carries no meta stamp" >&2
         ok=0
     fi
     if ! grep -q '"program_computes": 0' "$STATS"; then
@@ -140,7 +149,7 @@ if "$RUNNER" $SHARD_SPEC --quiet --json="$SINGLE" >/dev/null 2>&1 &&
    "$RUNNER" $SHARD_SPEC --store="$SHARD_STORE" --shard=1/2 --quiet >/dev/null 2>&1 &&
    "$RUNNER" $SHARD_SPEC --store="$SHARD_STORE" --merge --quiet --json="$MERGED" >/dev/null 2>&1; then
     ok=1
-    if ! cmp -s "$SINGLE" "$MERGED"; then
+    if ! cmp -s <(grep -v '"meta"' "$SINGLE") <(grep -v '"meta"' "$MERGED"); then
         echo "FAIL shard_merge: merged JSON differs from single-process run" >&2
         ok=0
     fi
@@ -151,6 +160,58 @@ if "$RUNNER" $SHARD_SPEC --quiet --json="$SINGLE" >/dev/null 2>&1 &&
     if [ "$ok" -eq 1 ]; then echo "ok shard_merge_byte_identical"; else failures=$((failures + 1)); fi
 else
     echo "FAIL shard_merge: a shard/merge invocation exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+# --status over the completed two-shard store: both shards complete, 100%.
+STATUS="$WORK/status.txt"
+if "$RUNNER" --status="$SHARD_STORE" >"$STATUS" 2>&1; then
+    ok=1
+    if ! grep -q 'shard 0/2: .* complete' "$STATUS" ||
+       ! grep -q 'shard 1/2: .* complete' "$STATUS"; then
+        echo "FAIL status: shards not reported complete:" >&2
+        cat "$STATUS" >&2
+        ok=0
+    fi
+    if ! grep -q 'total: .*(100.0%)' "$STATUS"; then
+        echo "FAIL status: total is not 100.0%:" >&2
+        cat "$STATUS" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok status_fleet_view"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL status: runner exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+# --trace + --metrics on a tiny sweep: the trace file is Chrome trace-event
+# JSON with paired-up "X" spans, and the metrics JSON carries per-tier
+# latency percentiles.
+TRACE="$WORK/trace.json"
+METRICS="$WORK/metrics.json"
+if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal \
+        --quiet --trace="$TRACE" --metrics=json >"$METRICS" 2>&1; then
+    ok=1
+    if ! grep -q '"traceEvents": \[' "$TRACE"; then
+        echo "FAIL trace: no traceEvents array in $TRACE" >&2
+        ok=0
+    fi
+    if ! grep -q '"name": "sweep.run"' "$TRACE" ||
+       ! grep -q '"ph": "X"' "$TRACE"; then
+        echo "FAIL trace: sweep.run span missing:" >&2
+        head -n5 "$TRACE" >&2
+        ok=0
+    fi
+    if ! grep -q '"cache.tier2.compute_ns": {"type": "histogram"' "$METRICS"; then
+        echo "FAIL metrics: no tier2 compute latency histogram:" >&2
+        cat "$METRICS" >&2
+        ok=0
+    fi
+    if ! grep -q '"pool.tasks_executed"' "$METRICS"; then
+        echo "FAIL metrics: no pool counters" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok trace_and_metrics"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL trace_and_metrics: runner exited non-zero" >&2
     failures=$((failures + 1))
 fi
 # Overlapping partition of the recorded spec: refused, exit 2.

@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace synts::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream esc;
+                esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                    << static_cast<int>(static_cast<unsigned char>(c));
+                out += esc.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+int process_id()
+{
+#ifdef _WIN32
+    return _getpid();
+#else
+    return static_cast<int>(::getpid());
+#endif
+}
+
+std::atomic<std::uint64_t> next_recorder_id{1};
+
+/// TLS cache of (recorder id -> buffer) so the registration mutex is paid
+/// once per (thread, recorder). Keyed by the recorder's process-unique id,
+/// not its address: a recorder constructed at a destroyed one's address
+/// must not inherit the stale buffer pointer.
+struct tls_binding {
+    std::uint64_t recorder_id = 0;
+    void* buffer = nullptr;
+};
+constexpr std::size_t tls_binding_slots = 4;
+thread_local std::array<tls_binding, tls_binding_slots> tls_bindings{};
+
+} // namespace
+
+trace_recorder::thread_buffer::~thread_buffer()
+{
+    // Unlink the chunk chain head-first; each unique_ptr release is
+    // explicit so no destructor recurses through a long `next` chain.
+    std::unique_ptr<chunk> cursor = std::move(head);
+    while (cursor != nullptr) {
+        std::unique_ptr<chunk> next(cursor->next.load(std::memory_order_relaxed));
+        cursor->next.store(nullptr, std::memory_order_relaxed);
+        cursor = std::move(next);
+    }
+}
+
+trace_recorder::trace_recorder()
+    : epoch_ns_(now_ns()), id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+std::uint64_t trace_recorder::elapsed_ns() const noexcept
+{
+    return now_ns() - epoch_ns_;
+}
+
+trace_recorder::thread_buffer& trace_recorder::buffer_for_current_thread()
+{
+    for (const tls_binding& binding : tls_bindings) {
+        if (binding.recorder_id == id_) {
+            return *static_cast<thread_buffer*>(binding.buffer);
+        }
+    }
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    auto buffer = std::make_unique<thread_buffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffer->head = std::make_unique<chunk>();
+    buffer->tail = buffer->head.get();
+    thread_buffer& ref = *buffer;
+    buffers_.push_back(std::move(buffer));
+    // Evict round-robin; a thread alternating between more than
+    // tls_binding_slots live recorders re-pays the lookup, never
+    // re-registers (the recorder still holds one buffer per thread --
+    // found again by scanning under the lock).
+    for (tls_binding& binding : tls_bindings) {
+        if (binding.recorder_id == 0) {
+            binding = {id_, &ref};
+            return ref;
+        }
+    }
+    // All slots taken by other live recorders: reuse the buffer we just
+    // registered anyway after evicting slot 0.
+    tls_bindings[0] = {id_, &ref};
+    return ref;
+}
+
+void trace_recorder::append(std::string name, std::uint64_t ts_ns, std::uint64_t dur_ns,
+                            char phase)
+{
+    thread_buffer& buffer = buffer_for_current_thread();
+    const std::uint64_t index = buffer.committed.load(std::memory_order_relaxed);
+    if (index % chunk::capacity == 0 && index != 0) {
+        // Current tail is full; link a fresh chunk. Only this thread
+        // writes, so tail is safe to advance without the buffers mutex.
+        chunk* fresh = new chunk();
+        buffer.tail->next.store(fresh, std::memory_order_release);
+        buffer.tail = fresh;
+    }
+    event& slot = buffer.tail->events[index % chunk::capacity];
+    slot.name = std::move(name);
+    slot.tid = buffer.tid;
+    slot.ts_ns = ts_ns;
+    slot.dur_ns = dur_ns;
+    slot.phase = phase;
+    // Publish: readers acquire `committed`, which orders the slot (and any
+    // new chunk link) before it.
+    buffer.committed.store(index + 1, std::memory_order_release);
+}
+
+void trace_recorder::complete_event(std::string name, std::uint64_t ts_ns,
+                                    std::uint64_t dur_ns)
+{
+    append(std::move(name), ts_ns, dur_ns, 'X');
+}
+
+void trace_recorder::instant_event(std::string name)
+{
+    append(std::move(name), elapsed_ns(), 0, 'i');
+}
+
+void trace_recorder::instant_event(std::string name, std::uint64_t ts_ns)
+{
+    append(std::move(name), ts_ns, 0, 'i');
+}
+
+std::size_t trace_recorder::event_count() const
+{
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    std::size_t count = 0;
+    for (const std::unique_ptr<thread_buffer>& buffer : buffers_) {
+        count += static_cast<std::size_t>(buffer->committed.load(std::memory_order_acquire));
+    }
+    return count;
+}
+
+std::vector<trace_recorder::event> trace_recorder::events() const
+{
+    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    std::vector<event> out;
+    for (const std::unique_ptr<thread_buffer>& buffer : buffers_) {
+        const std::uint64_t committed = buffer->committed.load(std::memory_order_acquire);
+        out.reserve(out.size() + static_cast<std::size_t>(committed));
+        const chunk* cursor = buffer->head.get();
+        for (std::uint64_t i = 0; i < committed; ++i) {
+            if (i % chunk::capacity == 0 && i != 0) {
+                cursor = cursor->next.load(std::memory_order_acquire);
+            }
+            out.push_back(cursor->events[i % chunk::capacity]);
+        }
+    }
+    return out;
+}
+
+void trace_recorder::write_chrome_trace(std::ostream& out) const
+{
+    const std::vector<event> snapshot = events();
+    const int pid = process_id();
+    out << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const event& e : snapshot) {
+        if (!first) {
+            out << ",\n";
+        }
+        first = false;
+        // The trace-event format takes ts/dur in microseconds; fractional
+        // microseconds keep full nanosecond resolution.
+        out << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \"synts\", "
+            << "\"ph\": \"" << e.phase << "\", \"pid\": " << pid
+            << ", \"tid\": " << e.tid << ", \"ts\": " << std::fixed
+            << std::setprecision(3) << static_cast<double>(e.ts_ns) / 1000.0;
+        if (e.phase == 'X') {
+            out << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0;
+        } else if (e.phase == 'i') {
+            out << ", \"s\": \"t\"";
+        }
+        out << std::defaultfloat << "}";
+    }
+    out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+trace_recorder& trace_recorder::global()
+{
+    static trace_recorder recorder;
+    return recorder;
+}
+
+} // namespace synts::obs

@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "obs/trace.h"
 #include "storage/artifact_store.h"
 #include "storage/serialize.h"
 
@@ -46,7 +47,21 @@ experiment_cache::program_ptr try_load_program(const storage::artifact_store& st
 } // namespace
 
 experiment_cache::experiment_cache(std::size_t shard_count)
-    : stage_tier_(shard_count), program_tier_(shard_count)
+    : stage_tier_(shard_count,
+                  &obs::metrics_registry::global().counter_at("cache.tier1.hits"),
+                  &obs::metrics_registry::global().counter_at("cache.tier1.misses")),
+      program_tier_(shard_count,
+                    &obs::metrics_registry::global().counter_at("cache.tier2.hits"),
+                    &obs::metrics_registry::global().counter_at("cache.tier2.misses")),
+      obs_disk_hits_(&obs::metrics_registry::global().counter_at("cache.tier3.hits")),
+      obs_disk_misses_(&obs::metrics_registry::global().counter_at("cache.tier3.misses")),
+      obs_computes_(&obs::metrics_registry::global().counter_at("cache.tier2.computes")),
+      obs_stage_build_ns_(
+          &obs::metrics_registry::global().histogram_at("cache.tier1.build_ns")),
+      obs_compute_ns_(
+          &obs::metrics_registry::global().histogram_at("cache.tier2.compute_ns")),
+      obs_disk_load_ns_(
+          &obs::metrics_registry::global().histogram_at("cache.tier3.load_ns"))
 {
 }
 
@@ -62,6 +77,10 @@ experiment_cache::get_or_create(const workload::workload_key& workload,
         [&]() -> experiment_ptr {
             const program_ptr program =
                 get_or_create_program(workload, config, pool, traffic);
+            const obs::trace_span span(
+                obs::trace_recorder::global(),
+                [&] { return "cache.stage_build:" + workload.name; });
+            const obs::scoped_timer timer(*obs_stage_build_ns_);
             return std::make_shared<const core::benchmark_experiment>(
                 program, stage, config, pool_executor(pool));
         },
@@ -87,18 +106,27 @@ experiment_cache::get_or_create_program(const workload::workload_key& workload,
     };
     const auto compute = [&]() -> program_ptr {
         count(program_computes_, &cache_traffic::program_computes);
+        obs_computes_->add(1);
+        const obs::trace_span span(obs::trace_recorder::global(),
+                                   [&] { return "cache.compute:" + workload.name; });
+        const obs::scoped_timer timer(*obs_compute_ns_);
         return core::make_program_artifacts(workload, config, pool_executor(pool));
+    };
+    const auto probe_disk = [&]() -> program_ptr {
+        const obs::scoped_timer timer(*obs_disk_load_ns_);
+        return try_load_program(*store_, key.digest(), workload, config);
     };
     return program_tier_.get_or_create(
         key,
         [&]() -> program_ptr {
             if (store_ != nullptr) {
-                if (program_ptr loaded =
-                        try_load_program(*store_, key.digest(), workload, config)) {
+                if (program_ptr loaded = probe_disk()) {
                     count(disk_hits_, &cache_traffic::disk_hits);
+                    obs_disk_hits_->add(1);
                     return loaded;
                 }
                 count(disk_misses_, &cache_traffic::disk_misses);
+                obs_disk_misses_->add(1);
                 program_ptr built = compute();
                 // Best-effort write-back: a failed publish (read-only store,
                 // disk full) degrades persistence, never the result.

@@ -67,6 +67,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "util/hashing.h"
 
@@ -153,8 +154,13 @@ template <typename Key, typename Ptr>
 class memo_tier {
 public:
     /// `shard_count` is rounded up to a power of two (the shard mask
-    /// requires it), minimum 1.
-    explicit memo_tier(std::size_t shard_count)
+    /// requires it), minimum 1. `registry_hits`/`registry_misses`, when
+    /// given, are process-wide registry counters bumped alongside the
+    /// tier's own atomics (the instance counters stay authoritative for
+    /// hit_count()/miss_count(); the registry aggregates for --metrics).
+    explicit memo_tier(std::size_t shard_count, obs::counter* registry_hits = nullptr,
+                       obs::counter* registry_misses = nullptr)
+        : registry_hits_(registry_hits), registry_misses_(registry_misses)
     {
         shard_count = std::bit_ceil(shard_count == 0 ? std::size_t{1} : shard_count);
         shards_.reserve(shard_count);
@@ -192,6 +198,9 @@ public:
 
         if (!owner) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            if (registry_hits_ != nullptr) {
+                registry_hits_->add(1);
+            }
             if (sink != nullptr) {
                 sink->hits.fetch_add(1, std::memory_order_relaxed);
             }
@@ -199,6 +208,9 @@ public:
         }
 
         misses_.fetch_add(1, std::memory_order_relaxed);
+        if (registry_misses_ != nullptr) {
+            registry_misses_->add(1);
+        }
         if (sink != nullptr) {
             sink->misses.fetch_add(1, std::memory_order_relaxed);
         }
@@ -264,6 +276,8 @@ private:
     std::vector<std::unique_ptr<shard>> shards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    obs::counter* registry_hits_;
+    obs::counter* registry_misses_;
 };
 
 /// The two-tier experiment memo (see file comment).
@@ -380,6 +394,17 @@ private:
     std::atomic<std::uint64_t> disk_hits_{0};
     std::atomic<std::uint64_t> disk_misses_{0};
     std::atomic<std::uint64_t> program_computes_{0};
+
+    // Registry instruments (cache.tier<N>.* taxonomy: tier1 = stage memo,
+    // tier2 = program memo, tier3 = disk). The tiers' own counters feed
+    // hit/miss via memo_tier's registry hooks; these cover the disk tier,
+    // the compute count, and the gated latency histograms.
+    obs::counter* obs_disk_hits_;
+    obs::counter* obs_disk_misses_;
+    obs::counter* obs_computes_;
+    obs::latency_histogram* obs_stage_build_ns_;
+    obs::latency_histogram* obs_compute_ns_;
+    obs::latency_histogram* obs_disk_load_ns_;
 };
 
 } // namespace synts::runtime

@@ -7,6 +7,10 @@
 #include <optional>
 #include <string>
 
+#include "circuit/netlist_builder.h"
+#include "core/policies.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/artifact_store.h"
 #include "storage/serialize.h"
 #include "util/hashing.h"
@@ -89,6 +93,17 @@ std::uint64_t shard_manifest_digest(std::uint64_t spec_digest, std::size_t shard
     return h.digest();
 }
 
+std::uint64_t shard_progress_digest(std::uint64_t spec_digest, std::size_t shard_count,
+                                    std::size_t shard_index) noexcept
+{
+    util::digest_builder h;
+    h.text("shard_progress");
+    h.u64(spec_digest);
+    h.u64(shard_count);
+    h.u64(shard_index);
+    return h.digest();
+}
+
 const sweep_cell* sweep_result::find(const workload::workload_key& workload,
                                      circuit::pipe_stage stage,
                                      core::policy_kind policy) const noexcept
@@ -144,6 +159,68 @@ std::optional<shard_manifest> try_load_manifest(const storage::artifact_store& s
         return std::nullopt;
     }
 }
+
+/// Live-progress publisher of one store-backed run (sharded or not -- an
+/// unsharded run publishes as shard 0 of 1). Workers report each durable
+/// cell; the publisher republishes the shard_progress frame at most every
+/// `interval_ns` (atomic rename-over of one key, so concurrent republishes
+/// are benign), and run() calls publish_final() after the tasks join so the
+/// last frame is exact even when the throttle swallowed the closing bumps.
+class progress_publisher {
+public:
+    progress_publisher(const storage::artifact_store* store, std::uint64_t spec_digest,
+                       const sweep_shard& shard, std::uint64_t cells_owned)
+        : store_(store), key_(shard_progress_digest(spec_digest, shard.count,
+                                                    shard.index))
+    {
+        frame_.spec_digest = spec_digest;
+        frame_.shard_count = static_cast<std::uint32_t>(shard.count);
+        frame_.shard_index = static_cast<std::uint32_t>(shard.index);
+        frame_.cells_owned = cells_owned;
+    }
+
+    /// One more owned cell became durable (restored from or stored to the
+    /// checkpoint store).
+    void cell_done()
+    {
+        if (store_ == nullptr) {
+            return;
+        }
+        const std::uint64_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+        const std::uint64_t now = obs::now_ns();
+        std::uint64_t last = last_publish_ns_.load(std::memory_order_relaxed);
+        if (now - last < interval_ns ||
+            !last_publish_ns_.compare_exchange_strong(last, now,
+                                                      std::memory_order_relaxed)) {
+            return; // inside the throttle window, or another worker won it
+        }
+        publish(done);
+    }
+
+    /// Exact closing frame; call after every worker settled.
+    void publish_final()
+    {
+        if (store_ != nullptr) {
+            publish(done_.load(std::memory_order_relaxed));
+        }
+    }
+
+private:
+    static constexpr std::uint64_t interval_ns = 250'000'000; // ~4 Hz
+
+    void publish(std::uint64_t done) const
+    {
+        shard_progress frame = frame_;
+        frame.cells_done = done;
+        (void)store_->store(storage::manifest_bucket, key_, storage::encode(frame));
+    }
+
+    const storage::artifact_store* store_;
+    std::uint64_t key_;
+    shard_progress frame_;
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<std::uint64_t> last_publish_ns_{0};
+};
 
 } // namespace
 
@@ -234,6 +311,19 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
     cache_traffic traffic;
     std::atomic<std::uint64_t> cells_loaded{0};
     std::atomic<std::uint64_t> cells_stored{0};
+
+    // Registry counters (sweep.* taxonomy) and the run-level span. The
+    // per-sweep numbers above stay attribution-correct; the registry
+    // aggregates process-wide for --metrics.
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    obs::counter& obs_cells_loaded = registry.counter_at("sweep.cells_loaded");
+    obs::counter& obs_cells_stored = registry.counter_at("sweep.cells_stored");
+    obs::counter& obs_cells_missed = registry.counter_at("sweep.cells_missed");
+    obs::counter& obs_cells_computed = registry.counter_at("sweep.cells_computed");
+    const obs::trace_span run_span(obs::trace_recorder::global(), "sweep.run");
+    progress_publisher progress(store, spec_digest, shard,
+                                static_cast<std::uint64_t>(result.cells.size()));
+
     const auto t0 = std::chrono::steady_clock::now();
 
     // One task per owned (benchmark, stage) pair: the pair's shared inputs
@@ -247,7 +337,9 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
     for (std::size_t local_p = 0; local_p < owned.size(); ++local_p) {
         tasks.push_back(pool_->submit([this, &spec, &options, &result, &pairs, &owned,
                                        store, spec_digest, policy_count, &traffic,
-                                       &cells_loaded, &cells_stored, local_p] {
+                                       &cells_loaded, &cells_stored, &obs_cells_loaded,
+                                       &obs_cells_stored, &obs_cells_missed,
+                                       &obs_cells_computed, &progress, local_p] {
             const std::size_t p = owned[local_p];
             const auto& [workload, stage] = pairs[p];
 
@@ -290,6 +382,8 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
                 if (restored[q].has_value()) {
                     cell = *std::move(restored[q]);
                     cells_loaded.fetch_add(1, std::memory_order_relaxed);
+                    obs_cells_loaded.add(1);
+                    progress.cell_done();
                     continue;
                 }
                 cell.workload = workload;
@@ -297,16 +391,35 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
                 cell.policy = spec.policies[q];
                 cell.task_seed = util::hash_mix(spec.config.seed, index);
                 cell.theta_eq = theta_eq;
-                cell.equal_weight =
-                    cell.policy == core::policy_kind::nominal &&
-                            !spec.theta_multipliers.empty()
-                        ? nominal_baseline
-                        : experiment->run_policy(cell.policy, theta_eq);
-                if (!spec.theta_multipliers.empty()) {
-                    cell.pareto =
-                        core::pareto_sweep(*experiment, cell.policy,
-                                           spec.theta_multipliers, theta_eq,
-                                           nominal_baseline);
+                obs_cells_computed.add(1);
+                if (store != nullptr) {
+                    // Computed while a checkpoint store was present == no
+                    // usable checkpoint covered the cell (the registry twin
+                    // of sweep_result::cells_missed()).
+                    obs_cells_missed.add(1);
+                }
+                {
+                    const obs::trace_span cell_span(
+                        obs::trace_recorder::global(), [&] {
+                            std::string name = "sweep.cell:";
+                            name += workload.name;
+                            name += '/';
+                            name += circuit::pipe_stage_name(stage);
+                            name += '/';
+                            name += core::policy_name(cell.policy);
+                            return name;
+                        });
+                    cell.equal_weight =
+                        cell.policy == core::policy_kind::nominal &&
+                                !spec.theta_multipliers.empty()
+                            ? nominal_baseline
+                            : experiment->run_policy(cell.policy, theta_eq);
+                    if (!spec.theta_multipliers.empty()) {
+                        cell.pareto =
+                            core::pareto_sweep(*experiment, cell.policy,
+                                               spec.theta_multipliers, theta_eq,
+                                               nominal_baseline);
+                    }
                 }
                 // Persist as soon as the cell settles, so a kill between
                 // here and the sweep's end loses only in-flight cells.
@@ -315,6 +428,8 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
                                  sweep_cell_digest(spec_digest, index),
                                  storage::encode(cell))) {
                     cells_stored.fetch_add(1, std::memory_order_relaxed);
+                    obs_cells_stored.add(1);
+                    progress.cell_done();
                 }
             }
         }));
@@ -354,6 +469,10 @@ sweep_result sweep_scheduler::run(const sweep_spec& spec,
     result.checkpointing = store != nullptr;
     result.cells_loaded = cells_loaded.load(std::memory_order_relaxed);
     result.cells_stored = cells_stored.load(std::memory_order_relaxed);
+    // Exact closing progress frame (the throttle may have swallowed the
+    // last per-cell publishes); written before the completion manifest so
+    // --status never shows a complete shard behind a stale count.
+    progress.publish_final();
 
     if (sharded && result.cells_loaded + result.cells_stored >= result.cells.size()) {
         // Every owned cell is durably checkpointed (restored cells were on
@@ -468,6 +587,9 @@ sweep_result merge_sweep_shards(const sweep_spec& spec,
     }
     result.checkpointing = true;
     result.cells_loaded = result.cells.size();
+    obs::metrics_registry::global()
+        .counter_at("sweep.cells_loaded")
+        .add(result.cells.size());
     return result;
 }
 

@@ -266,6 +266,31 @@ struct shard_manifest {
     friend bool operator==(const shard_manifest&, const shard_manifest&) = default;
 };
 
+/// Store key of shard (index, count)'s live progress frame (manifest
+/// bucket). Distinct from the completion-manifest key so progress updates
+/// never race the completion attestation.
+[[nodiscard]] std::uint64_t shard_progress_digest(std::uint64_t spec_digest,
+                                                  std::size_t shard_count,
+                                                  std::size_t shard_index) noexcept;
+
+/// Live progress of one shard (or of an unsharded checkpointing run, which
+/// publishes as shard 0 of 1): how many of the cells it owns are durably in
+/// the store so far. The scheduler republishes the frame (atomic
+/// rename-over, throttled to ~4 Hz plus a guaranteed final publish) as the
+/// run advances, so `synts_runner --status` can render a fleet view of a
+/// sweep mid-flight without touching the processes. cells_done counts
+/// restored + stored cells -- exactly the durable ones; the completion
+/// manifest, not this frame, is what the merge trusts.
+struct shard_progress {
+    std::uint64_t spec_digest = 0;
+    std::uint32_t shard_count = 1;
+    std::uint32_t shard_index = 0;
+    std::uint64_t cells_owned = 0;
+    std::uint64_t cells_done = 0;
+
+    friend bool operator==(const shard_progress&, const shard_progress&) = default;
+};
+
 /// Assembles the full sweep_result of `spec` from the checkpoints sharded
 /// runs left in `store`: verifies the layout frame and every shard's
 /// completion manifest (spec digest, shard count, per-shard cell counts),

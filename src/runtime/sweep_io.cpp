@@ -1,9 +1,20 @@
 #include "runtime/sweep_io.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "storage/artifact_store.h"
+#include "storage/serialize.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "workload/registry.h"
@@ -117,11 +128,52 @@ void write_summary_csv(const sweep_result& result, std::ostream& out)
     }
 }
 
-void write_sweep_json(const sweep_result& result, std::ostream& out)
+sweep_json_meta collect_sweep_json_meta()
+{
+    sweep_json_meta meta;
+
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc) != nullptr) {
+        char stamp[32];
+        if (std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+            meta.generated_utc = stamp;
+        }
+    }
+
+    char host[256] = {};
+    if (gethostname(host, sizeof host - 1) == 0) {
+        meta.hostname = host;
+    }
+
+    meta.hardware_concurrency = std::thread::hardware_concurrency();
+
+    if (const char* describe = std::getenv("SYNTS_GIT_DESCRIBE");
+        describe != nullptr && *describe != '\0') {
+        meta.git_describe = describe;
+    }
+    return meta;
+}
+
+void write_sweep_json(const sweep_result& result, std::ostream& out,
+                      const sweep_json_meta* meta)
 {
     std::ostringstream body;
     body.precision(17);
-    body << "{\n  \"config\": {\"thread_count\": " << result.spec.config.thread_count
+    body << "{\n";
+    if (meta != nullptr) {
+        // One line by contract (see sweep_json_meta): byte-identity
+        // consumers strip it with `grep -v '"meta"'`.
+        body << "  \"meta\": {\"schema_version\": " << meta->schema_version
+             << ", \"generated_utc\": \"" << json_escape(meta->generated_utc)
+             << "\", \"hostname\": \"" << json_escape(meta->hostname)
+             << "\", \"hardware_concurrency\": " << meta->hardware_concurrency;
+        if (!meta->git_describe.empty()) {
+            body << ", \"git_describe\": \"" << json_escape(meta->git_describe) << '"';
+        }
+        body << "},\n";
+    }
+    body << "  \"config\": {\"thread_count\": " << result.spec.config.thread_count
          << ", \"seed\": " << result.spec.config.seed
          // Digests are 64-bit; as bare JSON numbers they would be rounded
          // by double-based consumers (anything past 2^53), so emit strings.
@@ -181,25 +233,30 @@ std::string render_sweep_table(const sweep_result& result)
     return rendered;
 }
 
-std::string render_cache_stats(const sweep_result& result, cache_stats_format format)
-{
+namespace {
+
+/// The four tier rows + trailing scalars both cache-stats sources render.
+struct cache_stats_view {
     struct row {
         const char* tier;
         std::uint64_t hits;
         std::uint64_t misses;
     };
-    const row rows[] = {
-        {"program", result.program_cache_hits, result.program_cache_misses},
-        {"stage", result.cache_hits, result.cache_misses},
-        {"disk", result.disk_hits, result.disk_misses},
-        {"checkpoint", result.cells_loaded, result.cells_missed()},
-    };
+    row rows[4];
+    std::uint64_t program_computes = 0;
+    std::uint64_t cells_stored = 0;
+};
 
+/// One formatter for both sources, so the sink-sourced and
+/// registry-sourced variants can never drift apart in layout (the CLI
+/// contract tests pin this output byte for byte).
+std::string format_cache_stats(const cache_stats_view& view, cache_stats_format format)
+{
     std::ostringstream out;
     switch (format) {
     case cache_stats_format::table: {
         util::text_table table({"tier", "hits", "misses"});
-        for (const row& r : rows) {
+        for (const cache_stats_view::row& r : view.rows) {
             table.begin_row();
             table.cell(std::string(r.tier));
             table.cell(static_cast<long long>(r.hits));
@@ -207,7 +264,7 @@ std::string render_cache_stats(const sweep_result& result, cache_stats_format fo
         }
         out << table.render();
         out << "program computes (trace gen + profiler): "
-            << result.program_computes << "\n";
+            << view.program_computes << "\n";
         break;
     }
     case cache_stats_format::csv:
@@ -216,19 +273,166 @@ std::string render_cache_stats(const sweep_result& result, cache_stats_format fo
         // omitted rather than bent into the schema (table and JSON carry
         // it explicitly).
         out << "tier,hits,misses\n";
-        for (const row& r : rows) {
+        for (const cache_stats_view::row& r : view.rows) {
             out << r.tier << ',' << r.hits << ',' << r.misses << '\n';
         }
         break;
     case cache_stats_format::json:
         out << "{\"cache\": {";
-        for (std::size_t i = 0; i < std::size(rows); ++i) {
-            out << (i ? ", " : "") << '"' << rows[i].tier << "\": {\"hits\": "
-                << rows[i].hits << ", \"misses\": " << rows[i].misses << '}';
+        for (std::size_t i = 0; i < std::size(view.rows); ++i) {
+            out << (i ? ", " : "") << '"' << view.rows[i].tier << "\": {\"hits\": "
+                << view.rows[i].hits << ", \"misses\": " << view.rows[i].misses << '}';
         }
-        out << ", \"program_computes\": " << result.program_computes
-            << ", \"cells_stored\": " << result.cells_stored << "}}\n";
+        out << ", \"program_computes\": " << view.program_computes
+            << ", \"cells_stored\": " << view.cells_stored << "}}\n";
         break;
+    }
+    return out.str();
+}
+
+} // namespace
+
+std::string render_cache_stats(const sweep_result& result, cache_stats_format format)
+{
+    const cache_stats_view view{
+        {
+            {"program", result.program_cache_hits, result.program_cache_misses},
+            {"stage", result.cache_hits, result.cache_misses},
+            {"disk", result.disk_hits, result.disk_misses},
+            {"checkpoint", result.cells_loaded, result.cells_missed()},
+        },
+        result.program_computes,
+        result.cells_stored,
+    };
+    return format_cache_stats(view, format);
+}
+
+std::string render_cache_stats_from_metrics(cache_stats_format format)
+{
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    const auto count = [&registry](std::string_view name) {
+        return registry.counter_at(name).value();
+    };
+    // Row mapping onto the registry taxonomy: program = tier2 (program
+    // memo), stage = tier1 (stage memo), disk = tier3, checkpoint =
+    // sweep.cells_loaded / sweep.cells_missed.
+    const cache_stats_view view{
+        {
+            {"program", count("cache.tier2.hits"), count("cache.tier2.misses")},
+            {"stage", count("cache.tier1.hits"), count("cache.tier1.misses")},
+            {"disk", count("cache.tier3.hits"), count("cache.tier3.misses")},
+            {"checkpoint", count("sweep.cells_loaded"), count("sweep.cells_missed")},
+        },
+        count("cache.tier2.computes"),
+        count("sweep.cells_stored"),
+    };
+    return format_cache_stats(view, format);
+}
+
+std::string render_store_status(const storage::artifact_store& store)
+{
+    // Reconstructed per-shard state of one sweep: completion manifests win
+    // over progress frames (a complete shard can never regress behind a
+    // stale count -- run() publishes the final progress frame first).
+    struct shard_view {
+        std::uint64_t done = 0;
+        std::uint64_t owned = 0;
+        bool complete = false;
+    };
+    struct sweep_view {
+        std::uint32_t shard_count = 1;
+        std::uint64_t total_cells = 0;  // from the layout frame; 0 = none seen
+        bool layout = false;
+        std::map<std::uint32_t, shard_view> shards;
+    };
+    std::map<std::uint64_t, sweep_view> sweeps;
+
+    for (const std::uint64_t key : store.list(storage::manifest_bucket)) {
+        const std::optional<std::string> frame =
+            store.load(storage::manifest_bucket, key);
+        if (!frame) {
+            continue;  // raced a concurrent republish; next --status sees it
+        }
+        try {
+            const shard_manifest manifest = storage::decode_shard_manifest(*frame);
+            sweep_view& sweep = sweeps[manifest.spec_digest];
+            if (manifest.shard_index == manifest.shard_count) {
+                // Layout sentinel: total cell count + authoritative count.
+                sweep.layout = true;
+                sweep.shard_count = manifest.shard_count;
+                sweep.total_cells = manifest.cell_count;
+            } else {
+                sweep.shard_count = std::max(sweep.shard_count, manifest.shard_count);
+                shard_view& view = sweep.shards[manifest.shard_index];
+                view.complete = true;
+                view.owned = manifest.cell_count;
+                view.done = manifest.cell_count;
+            }
+            continue;
+        } catch (const storage::serialize_error&) {
+            // Not a manifest frame; fall through to the progress decoder.
+        }
+        try {
+            const shard_progress progress = storage::decode_shard_progress(*frame);
+            sweep_view& sweep = sweeps[progress.spec_digest];
+            sweep.shard_count = std::max(sweep.shard_count, progress.shard_count);
+            shard_view& view = sweep.shards[progress.shard_index];
+            if (!view.complete) {
+                view.owned = std::max(view.owned, progress.cells_owned);
+                view.done = std::max(view.done, progress.cells_done);
+            }
+        } catch (const storage::serialize_error&) {
+            // Some other payload kind landed in the bucket: not ours, skip.
+        }
+    }
+
+    std::ostringstream out;
+    if (sweeps.empty()) {
+        out << "no sweeps recorded\n";
+        return out.str();
+    }
+    const auto percent = [](std::uint64_t done, std::uint64_t owned) {
+        char buf[32];
+        // A shard that owns zero cells is trivially done.
+        std::snprintf(buf, sizeof buf, "%.1f",
+                      owned == 0 ? 100.0
+                                 : 100.0 * static_cast<double>(done) /
+                                       static_cast<double>(owned));
+        return std::string(buf);
+    };
+    for (const auto& [digest, sweep] : sweeps) {
+        out << "sweep " << digest << ": " << sweep.shard_count
+            << (sweep.shard_count == 1 ? " shard" : " shards");
+        if (sweep.layout) {
+            out << ", " << sweep.total_cells << " cells";
+        }
+        out << "\n";
+        std::uint64_t total_done = 0;
+        std::uint64_t total_owned = 0;
+        for (std::uint32_t i = 0; i < sweep.shard_count; ++i) {
+            out << "  shard " << i << "/" << sweep.shard_count << ": ";
+            const auto it = sweep.shards.find(i);
+            if (it == sweep.shards.end()) {
+                out << "no progress recorded\n";
+                continue;
+            }
+            const shard_view& view = it->second;
+            out << view.done << "/" << view.owned << " ("
+                << percent(view.done, view.owned) << "%)";
+            if (view.complete) {
+                out << " complete";
+            }
+            out << "\n";
+            total_done += view.done;
+            total_owned += view.owned;
+        }
+        // The layout knows the sweep's full size; unreported shards would
+        // otherwise silently shrink the denominator.
+        if (sweep.layout && sweep.total_cells > total_owned) {
+            total_owned = sweep.total_cells;
+        }
+        out << "  total: " << total_done << "/" << total_owned << " ("
+            << percent(total_done, total_owned) << "%)\n";
     }
     return out.str();
 }

@@ -27,13 +27,34 @@ void write_pareto_csv(const sweep_result& result, std::ostream& out);
 /// Columns: benchmark, stage, policy, theta_eq, energy, time_ps, edp.
 void write_summary_csv(const sweep_result& result, std::ostream& out);
 
+/// Provenance stamp for sweep JSON documents (the `meta` block). Volatile
+/// by design -- it records WHEN/WHERE a document was produced, never WHAT
+/// it contains, so consumers comparing sweeps for determinism must exclude
+/// it (it is emitted as a single line exactly so `grep -v '"meta"'` drops
+/// it before a byte compare).
+struct sweep_json_meta {
+    int schema_version = 1;
+    std::string generated_utc;     ///< ISO-8601 UTC, e.g. 2026-08-07T12:34:56Z
+    std::string hostname;
+    unsigned hardware_concurrency = 0;
+    std::string git_describe;      ///< empty = field omitted
+};
+
+/// Stamps now/hostname/hardware_concurrency; git_describe comes from the
+/// SYNTS_GIT_DESCRIBE environment variable when set (the scripts export
+/// `git describe` there -- the library itself never shells out).
+[[nodiscard]] sweep_json_meta collect_sweep_json_meta();
+
 /// The whole result (spec echo incl. the checkpoint keying digests, cells,
-/// pareto points) as one JSON document. Deliberately DETERMINISTIC: it
-/// contains no wall-clock or cache-traffic fields, so two runs of the same
-/// spec -- cold, warm via the artifact store, or resumed -- emit
-/// byte-identical documents (the CI warm-store job diffs them). Volatile
-/// run stats live in render_cache_stats.
-void write_sweep_json(const sweep_result& result, std::ostream& out);
+/// pareto points) as one JSON document. Without `meta` the document is
+/// deliberately DETERMINISTIC: it contains no wall-clock or cache-traffic
+/// fields, so two runs of the same spec -- cold, warm via the artifact
+/// store, or resumed -- emit byte-identical documents (the CI warm-store
+/// job diffs them). With `meta`, ONE extra line (`"meta": {...}`) carries
+/// the volatile provenance stamp; byte-identity consumers strip that line.
+/// Volatile run stats live in render_cache_stats.
+void write_sweep_json(const sweep_result& result, std::ostream& out,
+                      const sweep_json_meta* meta = nullptr);
 
 /// Console table: one block per (benchmark, stage) pair, EDP and the
 /// equal-weight operating point per policy.
@@ -51,6 +72,23 @@ enum class cache_stats_format { table, csv, json };
 /// attached.
 [[nodiscard]] std::string render_cache_stats(const sweep_result& result,
                                              cache_stats_format format);
+
+/// Registry-sourced twin of render_cache_stats: the same rows, same
+/// formats, byte-identical layout -- but read from the process-wide
+/// metrics registry (cache.tier<N>.*, sweep.cells_*) instead of a
+/// sweep_result's attribution sink. This is what the runner's
+/// --cache-stats prints: the registry is the single source of truth for
+/// process-global counts, while the sink variant stays for callers
+/// attributing traffic to one sweep among several.
+[[nodiscard]] std::string render_cache_stats_from_metrics(cache_stats_format format);
+
+/// Fleet view of the sweeps recorded in a store's manifest bucket (the
+/// runner's --status flag): per sweep, one line per shard with its
+/// cells-stored-over-owned progress (completion manifests mark a shard
+/// "complete"; live shard_progress frames supply mid-run counts), plus a
+/// total line. Deterministic: sweeps ordered by spec digest, shards by
+/// index.
+[[nodiscard]] std::string render_store_status(const storage::artifact_store& store);
 
 /// Parses "table" / "csv" / "json" (same forgiving matching as the enum
 /// parsers below); std::nullopt on an unknown token.

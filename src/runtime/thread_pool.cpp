@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <chrono>
 #include <exception>
@@ -18,6 +20,11 @@ thread_local const thread_pool* tls_worker_pool = nullptr;
 } // namespace
 
 thread_pool::thread_pool(std::size_t worker_count)
+    : obs_executed_(&obs::metrics_registry::global().counter_at("pool.tasks_executed")),
+      obs_steals_(&obs::metrics_registry::global().counter_at("pool.steals")),
+      obs_enqueued_(&obs::metrics_registry::global().counter_at("pool.tasks_enqueued")),
+      obs_queue_depth_(&obs::metrics_registry::global().gauge_at("pool.queue_depth")),
+      obs_task_ns_(&obs::metrics_registry::global().histogram_at("pool.task_ns"))
 {
     if (worker_count == 0) {
         worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -75,9 +82,21 @@ void thread_pool::enqueue(unique_task task)
         // between a worker seeing pending_ == 0 and blocking -- a lost
         // wakeup that strands a queued task forever.
         std::lock_guard lock(sleep_mutex_);
-        pending_.fetch_add(1, std::memory_order_release);
+        obs_queue_depth_->set(static_cast<std::int64_t>(
+            pending_.fetch_add(1, std::memory_order_release) + 1));
     }
+    obs_enqueued_->add(1);
     wake_.notify_one();
+}
+
+void thread_pool::execute_task(unique_task& task)
+{
+    {
+        const obs::scoped_timer timer(*obs_task_ns_);
+        task();
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    obs_executed_->add(1);
 }
 
 bool thread_pool::run_one_task()
@@ -86,9 +105,9 @@ bool thread_pool::run_one_task()
     if (!steal_any(task)) {
         return false;
     }
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-    task();
-    executed_.fetch_add(1, std::memory_order_relaxed);
+    obs_queue_depth_->set(static_cast<std::int64_t>(
+        pending_.fetch_sub(1, std::memory_order_acq_rel) - 1));
+    execute_task(task);
     return true;
 }
 
@@ -110,6 +129,7 @@ bool thread_pool::acquire_task(std::size_t index, unique_task& out)
             out = std::move(victim.tasks.back());
             victim.tasks.pop_back();
             steals_.fetch_add(1, std::memory_order_relaxed);
+            obs_steals_->add(1);
             return true;
         }
     }
@@ -137,9 +157,9 @@ void thread_pool::worker_loop(std::size_t index)
     for (;;) {
         unique_task task;
         if (acquire_task(index, task)) {
-            pending_.fetch_sub(1, std::memory_order_acq_rel);
-            task();
-            executed_.fetch_add(1, std::memory_order_relaxed);
+            obs_queue_depth_->set(static_cast<std::int64_t>(
+                pending_.fetch_sub(1, std::memory_order_acq_rel) - 1));
+            execute_task(task);
             continue;
         }
         std::unique_lock lock(sleep_mutex_);

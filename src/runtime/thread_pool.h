@@ -32,6 +32,12 @@
 
 #include "util/parallel.h"
 
+namespace synts::obs {
+class counter;
+class gauge;
+class latency_histogram;
+} // namespace synts::obs
+
 namespace synts::runtime {
 
 /// Move-only type-erased nullary task. std::function requires copyable
@@ -151,6 +157,9 @@ private:
     };
 
     void enqueue(unique_task task);
+    /// Runs `task`, bumping the executed counters and -- only when
+    /// telemetry is enabled -- timing it into the pool.task_ns histogram.
+    void execute_task(unique_task& task);
     void worker_loop(std::size_t index);
     /// Pops from own queue front, else steals from a victim's back.
     bool acquire_task(std::size_t index, unique_task& out);
@@ -167,6 +176,16 @@ private:
     std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> steals_{0};
     std::atomic<std::uint64_t> executed_{0};
+
+    // Registry instruments (pool.* taxonomy), resolved once at
+    // construction. The per-instance atomics above stay authoritative for
+    // steal_count()/executed_count(); the registry aggregates across every
+    // pool in the process for --metrics.
+    obs::counter* obs_executed_;
+    obs::counter* obs_steals_;
+    obs::counter* obs_enqueued_;
+    obs::gauge* obs_queue_depth_;
+    obs::latency_histogram* obs_task_ns_;
 };
 
 /// Adapts `pool` to the layer-neutral util::parallel_for_fn hook the

@@ -1,5 +1,6 @@
 #include "storage/artifact_store.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <fstream>
@@ -7,6 +8,7 @@
 #include <system_error>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "storage/serialize.h"
 
 namespace synts::storage {
@@ -68,7 +70,18 @@ void reap_stale_tmp_files(const fs::path& tmp_dir)
 
 } // namespace
 
-artifact_store::artifact_store(fs::path root) : root_(std::move(root))
+artifact_store::artifact_store(fs::path root)
+    : root_(std::move(root)),
+      obs_load_hits_(&obs::metrics_registry::global().counter_at("store.load_hits")),
+      obs_load_misses_(&obs::metrics_registry::global().counter_at("store.load_misses")),
+      obs_stores_(&obs::metrics_registry::global().counter_at("store.stores")),
+      obs_store_failures_(
+          &obs::metrics_registry::global().counter_at("store.store_failures")),
+      obs_bytes_read_(&obs::metrics_registry::global().counter_at("store.bytes_read")),
+      obs_bytes_written_(
+          &obs::metrics_registry::global().counter_at("store.bytes_written")),
+      obs_load_ns_(&obs::metrics_registry::global().histogram_at("store.load_ns")),
+      obs_store_ns_(&obs::metrics_registry::global().histogram_at("store.store_ns"))
 {
     std::string version_dir = "v";
     version_dir += std::to_string(format_version);
@@ -97,21 +110,26 @@ std::optional<std::string> artifact_store::load(std::string_view bucket,
     // warm-hit path the store exists to make fast. A frame swapped by a
     // concurrent publish between the stat and the read just comes up short
     // or long -- the decoder's checksum treats either as a miss.
+    const obs::scoped_timer timer(*obs_load_ns_);
     const fs::path path = entry_path(bucket, digest);
     std::error_code ec;
     const std::uintmax_t size = fs::file_size(path, ec);
     std::ifstream in(path, std::ios::binary);
     if (ec || !in) {
         load_misses_.fetch_add(1, std::memory_order_relaxed);
+        obs_load_misses_->add(1);
         return std::nullopt;
     }
     std::string frame(static_cast<std::size_t>(size), '\0');
     in.read(frame.data(), static_cast<std::streamsize>(frame.size()));
     if (in.gcount() != static_cast<std::streamsize>(frame.size()) || in.bad()) {
         load_misses_.fetch_add(1, std::memory_order_relaxed);
+        obs_load_misses_->add(1);
         return std::nullopt;
     }
     load_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_load_hits_->add(1);
+    obs_bytes_read_->add(frame.size());
     return frame;
 }
 
@@ -124,6 +142,7 @@ bool artifact_store::contains(std::string_view bucket, std::uint64_t digest) con
 bool artifact_store::store(std::string_view bucket, std::uint64_t digest,
                            std::string_view frame) const
 {
+    const obs::scoped_timer timer(*obs_store_ns_);
     const fs::path target = entry_path(bucket, digest);
     // Temp name unique per (process, call): the counter is process-wide,
     // not per-instance, so even two store instances opened on one root in
@@ -138,6 +157,7 @@ bool artifact_store::store(std::string_view bucket, std::uint64_t digest,
     fs::create_directories(target.parent_path(), ec);
     if (ec) {
         store_failures_.fetch_add(1, std::memory_order_relaxed);
+        obs_store_failures_->add(1);
         return false;
     }
     {
@@ -147,6 +167,7 @@ bool artifact_store::store(std::string_view bucket, std::uint64_t digest,
             out.close();
             fs::remove(tmp, ec);
             store_failures_.fetch_add(1, std::memory_order_relaxed);
+            obs_store_failures_->add(1);
             return false;
         }
     }
@@ -155,9 +176,12 @@ bool artifact_store::store(std::string_view bucket, std::uint64_t digest,
     if (ec) {
         fs::remove(tmp, ec);
         store_failures_.fetch_add(1, std::memory_order_relaxed);
+        obs_store_failures_->add(1);
         return false;
     }
     stores_.fetch_add(1, std::memory_order_relaxed);
+    obs_stores_->add(1);
+    obs_bytes_written_->add(frame.size());
     return true;
 }
 
@@ -165,6 +189,50 @@ void artifact_store::erase(std::string_view bucket, std::uint64_t digest) const
 {
     std::error_code ec;
     fs::remove(entry_path(bucket, digest), ec);
+}
+
+std::vector<std::uint64_t> artifact_store::list(std::string_view bucket) const
+{
+    std::vector<std::uint64_t> digests;
+    std::error_code ec;
+    const fs::path bucket_dir = versioned_root_ / std::string(bucket);
+    for (const auto& shard_dir : fs::directory_iterator(bucket_dir, ec)) {
+        if (!shard_dir.is_directory(ec)) {
+            continue;
+        }
+        std::error_code inner_ec;
+        for (const auto& entry : fs::directory_iterator(shard_dir.path(), inner_ec)) {
+            if (!entry.is_regular_file(inner_ec)) {
+                continue;
+            }
+            // Entry names are exactly <16 lowercase hex>.bin; anything else
+            // (editor droppings, foreign files) is not an entry.
+            const std::string name = entry.path().filename().string();
+            if (name.size() != 20 || name.substr(16) != ".bin") {
+                continue;
+            }
+            std::uint64_t digest = 0;
+            bool valid = true;
+            for (std::size_t i = 0; i < 16; ++i) {
+                const char c = name[i];
+                std::uint64_t nibble = 0;
+                if (c >= '0' && c <= '9') {
+                    nibble = static_cast<std::uint64_t>(c - '0');
+                } else if (c >= 'a' && c <= 'f') {
+                    nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+                } else {
+                    valid = false;
+                    break;
+                }
+                digest = (digest << 4) | nibble;
+            }
+            if (valid) {
+                digests.push_back(digest);
+            }
+        }
+    }
+    std::sort(digests.begin(), digests.end());
+    return digests;
 }
 
 } // namespace synts::storage

@@ -34,6 +34,12 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
+
+namespace synts::obs {
+class counter;
+class latency_histogram;
+} // namespace synts::obs
 
 namespace synts::storage {
 
@@ -80,6 +86,12 @@ public:
     /// Removes the entry if present (used to invalidate a checkpoint).
     void erase(std::string_view bucket, std::uint64_t digest) const;
 
+    /// Digests of every entry currently published in `bucket`, sorted
+    /// ascending (deterministic output for the --status fleet view).
+    /// Non-entry files are skipped; I/O errors yield an empty/partial list
+    /// -- like every other read path, degraded, never throwing.
+    [[nodiscard]] std::vector<std::uint64_t> list(std::string_view bucket) const;
+
     /// Lifetime I/O counters (loads that returned bytes / came up empty,
     /// successful stores, absorbed store failures).
     [[nodiscard]] std::uint64_t load_hit_count() const noexcept
@@ -107,6 +119,18 @@ private:
     mutable std::atomic<std::uint64_t> load_misses_{0};
     mutable std::atomic<std::uint64_t> stores_{0};
     mutable std::atomic<std::uint64_t> store_failures_{0};
+
+    // Registry instruments (store.* taxonomy), resolved once at
+    // construction; counters aggregate every store instance in the
+    // process, the latency histograms are gated on obs::enabled().
+    obs::counter* obs_load_hits_;
+    obs::counter* obs_load_misses_;
+    obs::counter* obs_stores_;
+    obs::counter* obs_store_failures_;
+    obs::counter* obs_bytes_read_;
+    obs::counter* obs_bytes_written_;
+    obs::latency_histogram* obs_load_ns_;
+    obs::latency_histogram* obs_store_ns_;
 };
 
 } // namespace synts::storage

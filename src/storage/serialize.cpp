@@ -473,6 +473,37 @@ runtime::shard_manifest read_shard_manifest(binary_reader& in)
     return manifest;
 }
 
+void write(binary_writer& out, const runtime::shard_progress& progress)
+{
+    out.u64(progress.spec_digest);
+    out.u32(progress.shard_count);
+    out.u32(progress.shard_index);
+    out.u64(progress.cells_owned);
+    out.u64(progress.cells_done);
+}
+
+runtime::shard_progress read_shard_progress(binary_reader& in)
+{
+    runtime::shard_progress progress;
+    progress.spec_digest = in.u64();
+    progress.shard_count = in.u32();
+    progress.shard_index = in.u32();
+    progress.cells_owned = in.u64();
+    progress.cells_done = in.u64();
+    if (progress.shard_count == 0) {
+        throw serialize_error("shard progress: shard count must be >= 1");
+    }
+    // Unlike the manifest, a progress frame is always a REAL shard's --
+    // there is no layout sentinel, so index must be strictly in range.
+    if (progress.shard_index >= progress.shard_count) {
+        throw serialize_error("shard progress: shard index out of range");
+    }
+    if (progress.cells_done > progress.cells_owned) {
+        throw serialize_error("shard progress: done exceeds owned");
+    }
+    return progress;
+}
+
 // -- framing ----------------------------------------------------------------
 
 namespace {
@@ -584,6 +615,18 @@ runtime::shard_manifest decode_shard_manifest(std::string_view frame)
     return decode_frame<runtime::shard_manifest>(
         frame, payload_kind::shard_manifest,
         [](binary_reader& in, std::uint32_t) { return read_shard_manifest(in); });
+}
+
+std::string encode(const runtime::shard_progress& progress)
+{
+    return encode_frame(payload_kind::shard_progress, progress);
+}
+
+runtime::shard_progress decode_shard_progress(std::string_view frame)
+{
+    return decode_frame<runtime::shard_progress>(
+        frame, payload_kind::shard_progress,
+        [](binary_reader& in, std::uint32_t) { return read_shard_progress(in); });
 }
 
 } // namespace synts::storage

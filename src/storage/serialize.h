@@ -80,6 +80,7 @@ enum class payload_kind : std::uint32_t {
     program_artifacts = 1,
     sweep_cell = 2,
     shard_manifest = 3,
+    shard_progress = 4,
 };
 
 /// Appends explicitly little-endian primitives to a byte buffer.
@@ -176,6 +177,9 @@ void write(binary_writer& out, const runtime::sweep_cell& cell);
 void write(binary_writer& out, const runtime::shard_manifest& manifest);
 [[nodiscard]] runtime::shard_manifest read_shard_manifest(binary_reader& in);
 
+void write(binary_writer& out, const runtime::shard_progress& progress);
+[[nodiscard]] runtime::shard_progress read_shard_progress(binary_reader& in);
+
 // -- framed envelopes -------------------------------------------------------
 // encode_* produce a complete self-verifying frame (always the current
 // format_version):
@@ -194,5 +198,8 @@ void write(binary_writer& out, const runtime::shard_manifest& manifest);
 
 [[nodiscard]] std::string encode(const runtime::shard_manifest& manifest);
 [[nodiscard]] runtime::shard_manifest decode_shard_manifest(std::string_view frame);
+
+[[nodiscard]] std::string encode(const runtime::shard_progress& progress);
+[[nodiscard]] runtime::shard_progress decode_shard_progress(std::string_view frame);
 
 } // namespace synts::storage

@@ -24,6 +24,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/sweep.h"
 #include "runtime/sweep_io.h"
 #include "storage/artifact_store.h"
@@ -87,17 +89,29 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
                       --resume.
   --cache-stats[=FMT] print hit/miss counts of every cache tier (program
                       artifacts, stage experiments, disk store, cell
-                      checkpoints) plus the compute count; FMT: table
-                      (default), csv, json
+                      checkpoints) plus the compute count, sourced from the
+                      process metrics registry; FMT: table (default), csv,
+                      json
+  --metrics[=FMT]     after the run, print the whole metrics registry --
+                      pool.*, cache.tier<N>.*, store.*, sweep.* counters,
+                      gauges and latency histograms (p50/p95/p99); FMT:
+                      table (default), csv, json
+  --trace=FILE        record spans (sweep cells, cache builds/computes)
+                      during the run and write Chrome trace-event JSON to
+                      FILE (open in Perfetto or chrome://tracing)
+  --status[=DIR]      standalone: print the fleet view of every sweep
+                      recorded in DIR's store (per-shard cells-done/owned
+                      progress, completion marks) and exit; DIR defaults to
+                      the --store directory, else .synts-store
   --list-benchmarks   print every registered workload name (one per line:
                       the SPLASH-2 profiles, then the scenario-family
                       instances) and exit
   --quiet             suppress the console table
   --help              this text
 
-  Value flags accept both --flag=VALUE and --flag VALUE, except --store and
-  --cache-stats, whose bare spellings select their defaults (use = to pass
-  a value).
+  Value flags accept both --flag=VALUE and --flag VALUE, except --store,
+  --cache-stats, --metrics and --status, whose bare spellings select their
+  defaults (use = to pass a value).
 )";
 
 std::optional<std::string_view> flag_value(std::string_view arg, std::string_view name)
@@ -187,6 +201,21 @@ runtime::sweep_shard parse_shard(std::string_view token)
                                 static_cast<std::size_t>(count)};
 }
 
+/// "table" / "csv" / "json" for --metrics (same tokens as --cache-stats).
+obs::metrics_format parse_metrics_format(std::string_view token)
+{
+    if (token == "table") {
+        return obs::metrics_format::table;
+    }
+    if (token == "csv") {
+        return obs::metrics_format::csv;
+    }
+    if (token == "json") {
+        return obs::metrics_format::json;
+    }
+    throw std::invalid_argument("bad --metrics format: \"" + std::string(token) + "\"");
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -213,6 +242,10 @@ int main(int argc, char** argv)
     std::optional<runtime::sweep_shard> shard;
     bool quiet = false;
     std::optional<runtime::cache_stats_format> cache_stats;
+    std::optional<obs::metrics_format> metrics;
+    std::string trace_path;
+    bool status = false;
+    std::string status_dir;
     workload::workload_registry& registry = workload::workload_registry::global();
 
     try {
@@ -260,6 +293,19 @@ int main(int argc, char** argv)
                     throw std::invalid_argument("bad --cache-stats format: \"" +
                                                 std::string(*v) + "\"");
                 }
+            } else if (arg == "--metrics") {
+                metrics = obs::metrics_format::table;
+            } else if (const auto v = flag_value(arg, "metrics")) {
+                metrics = parse_metrics_format(*v);
+            } else if (arg == "--trace") {
+                trace_path = take(arg);
+            } else if (const auto v = flag_value(arg, "trace")) {
+                trace_path = *v;
+            } else if (arg == "--status") {
+                status = true;
+            } else if (const auto v = flag_value(arg, "status")) {
+                status = true;
+                status_dir = *v;
             } else if (arg == "--benchmarks" || arg == "--benchmark") {
                 benchmarks_csv = take(arg);
             } else if (const auto v = flag_value(arg, "benchmarks")) {
@@ -345,6 +391,27 @@ int main(int argc, char** argv)
     }
 
     try {
+        if (status) {
+            // Standalone fleet view: read-only over the store's manifest
+            // bucket, no sweep is run.
+            const std::string dir = !status_dir.empty() ? status_dir
+                                    : !store_dir.empty() ? store_dir
+                                                         : ".synts-store";
+            const storage::artifact_store status_store(dir);
+            std::fputs(runtime::render_store_status(status_store).c_str(), stdout);
+            return 0;
+        }
+
+        // Telemetry switches on BEFORE the pool/cache/store exist so their
+        // instruments observe the whole run. Counters are always live; this
+        // flag arms the clock-reading paths (latency histograms, spans).
+        if (metrics.has_value() || !trace_path.empty()) {
+            obs::set_enabled(true);
+        }
+        if (!trace_path.empty()) {
+            obs::trace_recorder::global().set_enabled(true);
+        }
+
         runtime::experiment_cache& cache = runtime::experiment_cache::process_cache();
         runtime::sweep_options options;
         std::shared_ptr<storage::artifact_store> store;
@@ -396,7 +463,17 @@ int main(int argc, char** argv)
             }
         }
         if (cache_stats) {
-            std::fputs(runtime::render_cache_stats(result, *cache_stats).c_str(), stdout);
+            // Registry-sourced: the process-wide counters are the single
+            // source of truth (byte-identical layout to the sink-sourced
+            // renderer, which remains for multi-sweep attribution).
+            std::fputs(runtime::render_cache_stats_from_metrics(*cache_stats).c_str(),
+                       stdout);
+        }
+        if (metrics.has_value()) {
+            std::fputs(obs::render_metrics(obs::metrics_registry::global().snapshot(),
+                                           *metrics)
+                           .c_str(),
+                       stdout);
         }
 
         const auto write_file = [](const std::string& path, const auto& writer) {
@@ -406,6 +483,12 @@ int main(int argc, char** argv)
             }
             writer(out);
         };
+        if (!trace_path.empty()) {
+            obs::trace_recorder::global().set_enabled(false);
+            write_file(trace_path, [](std::ostream& out) {
+                obs::trace_recorder::global().write_chrome_trace(out);
+            });
+        }
         if (!pareto_csv_path.empty()) {
             write_file(pareto_csv_path,
                        [&](std::ostream& out) { runtime::write_pareto_csv(result, out); });
@@ -416,8 +499,12 @@ int main(int argc, char** argv)
             });
         }
         if (!json_path.empty()) {
-            write_file(json_path,
-                       [&](std::ostream& out) { runtime::write_sweep_json(result, out); });
+            // Always stamped: meta rides on its own line, so determinism
+            // consumers strip it with `grep -v '"meta"'`.
+            const runtime::sweep_json_meta meta = runtime::collect_sweep_json_meta();
+            write_file(json_path, [&](std::ostream& out) {
+                runtime::write_sweep_json(result, out, &meta);
+            });
         }
         return 0;
     } catch (const runtime::shard_error& error) {
