@@ -2,12 +2,25 @@
 // pipeline.
 //
 // Times each pipeline phase (trace generation, architectural profiling,
-// per-stage timing simulation) serial vs pool-parallel, plus the end-to-end
-// win of the two-tier cache: all three pipe stages of one benchmark through
-// shared program artifacts vs three naive from-scratch constructions. While
-// timing, it also re-checks the bit-identity contract (parallel phases must
-// equal serial exactly) and exits non-zero on any mismatch, so a regression
-// fails CI instead of being recorded in the artifact.
+// per-stage timing simulation) serial vs pool-parallel, the scalar vs
+// 64-lane batched stepping kernel (the PR 7 hot-path vectorization), the
+// chunked-grain parallel path at one worker, plus the end-to-end win of the
+// two-tier cache: all three pipe stages of one benchmark through shared
+// program artifacts vs three naive from-scratch constructions. While
+// timing, it also re-checks the bit-identity contract (parallel and batched
+// paths must equal the scalar serial walk exactly) and exits non-zero on
+// any mismatch, so a regression fails CI instead of being recorded in the
+// artifact.
+//
+// Perf comparisons are interleaved best-of rounds (alternating order, each
+// path's minimum): single-shot timings on a shared CI box drift by more
+// than the effects under test, and minima of alternating rounds compare
+// the code, not the neighbor's load.
+//
+// On a 1-hardware-thread host the pool-parallel comparison phases are
+// skipped (and annotated in the JSON): a 1-worker pool measures scheduling
+// overhead, not parallel speedup. The batched-kernel and 1-worker-chunk
+// gates still run -- they are single-threaded statements.
 //
 // Output: one JSON document on stdout (scripts/run_benches.sh captures it
 // as BENCH_characterization.json). Human-readable progress goes to stderr.
@@ -16,12 +29,14 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/experiment.h"
 #include "runtime/experiment_cache.h"
 #include "runtime/thread_pool.h"
+#include "workload/registry.h"
 
 namespace {
 
@@ -130,29 +145,47 @@ int main()
         return s;
     };
 
+    // A 1-hardware-thread host cannot demonstrate pool speedups; the
+    // *_parallel comparison phases are skipped and listed in the JSON so
+    // the artifact says why they are absent.
+    const bool single_hw_thread = std::thread::hardware_concurrency() <= 1;
+    std::vector<std::string> skipped_phases;
+    const auto skip = [&](const char* name) {
+        skipped_phases.emplace_back(name);
+        std::fprintf(stderr, "%-32s  skipped (hardware_concurrency == 1)\n", name);
+    };
+
     // Phase 1: workload trace generation.
     const workload::benchmark_profile profile =
         workload::make_profile(kBenchmark, config.thread_count);
     arch::program_trace trace_serial;
-    arch::program_trace trace_parallel;
     timed("trace_generation_serial",
           [&] { trace_serial = workload::generate_program_trace(profile, kSeed); });
-    timed("trace_generation_parallel", [&] {
-        trace_parallel = workload::generate_program_trace(profile, kSeed, parallel);
-    });
-    identity_ok = identity_ok && same_trace(trace_serial, trace_parallel);
+    if (single_hw_thread) {
+        skip("trace_generation_parallel");
+    } else {
+        arch::program_trace trace_parallel;
+        timed("trace_generation_parallel", [&] {
+            trace_parallel = workload::generate_program_trace(profile, kSeed, parallel);
+        });
+        identity_ok = identity_ok && same_trace(trace_serial, trace_parallel);
+    }
 
     // Phase 2: architectural profiling.
     arch::multicore_profiler profiler(config.characterization.core);
     std::vector<arch::thread_profile> profiles_serial;
-    std::vector<arch::thread_profile> profiles_parallel;
     timed("arch_profile_serial", [&] { profiles_serial = profiler.profile(trace_serial); });
-    timed("arch_profile_parallel",
-          [&] { profiles_parallel = profiler.profile(trace_serial, parallel); });
-    identity_ok = identity_ok && same_profiles(profiles_serial, profiles_parallel);
+    if (single_hw_thread) {
+        skip("arch_profile_parallel");
+    } else {
+        std::vector<arch::thread_profile> profiles_parallel;
+        timed("arch_profile_parallel",
+              [&] { profiles_parallel = profiler.profile(trace_serial, parallel); });
+        identity_ok = identity_ok && same_profiles(profiles_serial, profiles_parallel);
+    }
 
-    // Phase 3: per-stage timing simulation, serial vs (thread, interval)
-    // fan-out, on shared artifacts.
+    // Phase 3: per-stage timing simulation, serial vs chunked fan-out, on
+    // shared artifacts.
     core::program_artifacts artifacts;
     artifacts.workload = kBenchmark;
     artifacts.thread_count = config.thread_count;
@@ -165,15 +198,194 @@ int main()
     const core::characterizer chars(lib, vm, config.characterization);
 
     core::stage_characterization stage_serial;
-    core::stage_characterization stage_parallel;
     timed("stage_characterization_serial", [&] {
         stage_serial = chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
     });
-    timed("stage_characterization_parallel", [&] {
-        stage_parallel =
-            chars.characterize(artifacts, circuit::pipe_stage::simple_alu, parallel);
-    });
-    identity_ok = identity_ok && same_characterization(stage_serial, stage_parallel);
+    if (single_hw_thread) {
+        skip("stage_characterization_parallel");
+    } else {
+        core::stage_characterization stage_parallel;
+        timed("stage_characterization_parallel", [&] {
+            stage_parallel = chars.characterize(artifacts, circuit::pipe_stage::simple_alu,
+                                                parallel, pool.worker_count());
+        });
+        identity_ok = identity_ok && same_characterization(stage_serial, stage_parallel);
+    }
+
+    // Phase 3b: the batched 64-lane stepping kernel vs the scalar
+    // reference walk, both serial, interleaved best-of. This is THE gate
+    // of the hot-path vectorization: the batched path must be bit-identical
+    // AND >= 1.25x faster (ratio <= 0.8); the as-measured design target is
+    // 1.5x, recorded alongside.
+    core::characterization_config scalar_cfg = config.characterization;
+    scalar_cfg.batched = false;
+    const core::characterizer chars_scalar(lib, vm, scalar_cfg);
+    constexpr int kKernelRounds = 2;
+    double scalar_best = 0.0;
+    double batched_best = 0.0;
+    core::stage_characterization batched_result;
+    {
+        const auto measure = [&](const auto& body) {
+            const auto t0 = std::chrono::steady_clock::now();
+            body();
+            return seconds_since(t0);
+        };
+        for (int round = 0; round < kKernelRounds; ++round) {
+            double scalar_s = 0.0;
+            double batched_s = 0.0;
+            const auto run_scalar = [&] {
+                stage_serial =
+                    chars_scalar.characterize(artifacts, circuit::pipe_stage::simple_alu);
+            };
+            const auto run_batched = [&] {
+                batched_result =
+                    chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
+            };
+            if (round % 2 == 0) {
+                scalar_s = measure(run_scalar);
+                batched_s = measure(run_batched);
+            } else {
+                batched_s = measure(run_batched);
+                scalar_s = measure(run_scalar);
+            }
+            std::fprintf(stderr,
+                         "round %d: characterization_scalar %.3f s, "
+                         "characterization_batched %.3f s\n",
+                         round, scalar_s, batched_s);
+            scalar_best = round == 0 ? scalar_s : std::min(scalar_best, scalar_s);
+            batched_best = round == 0 ? batched_s : std::min(batched_best, batched_s);
+        }
+    }
+    phases.emplace_back("characterization_scalar", scalar_best);
+    phases.emplace_back("characterization_batched", batched_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "characterization_scalar", scalar_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "characterization_batched", batched_best);
+    identity_ok = identity_ok && same_characterization(stage_serial, batched_result);
+
+    std::uint64_t total_vectors = 0;
+    for (const auto& thread : batched_result.threads) {
+        for (const auto& cell : thread) {
+            total_vectors += cell.vector_count;
+        }
+    }
+    const double vectors_per_second =
+        batched_best > 0.0 ? static_cast<double>(total_vectors) / batched_best : 0.0;
+    const double batched_over_scalar =
+        scalar_best > 0.0 ? batched_best / scalar_best : 0.0;
+    const bool batched_ok = batched_over_scalar <= 0.8;
+    if (!batched_ok) {
+        std::fprintf(stderr,
+                     "FAIL: batched characterization not >= 1.25x scalar "
+                     "(%.3f s vs %.3f s, ratio %.3f > 0.8)\n",
+                     batched_best, scalar_best, batched_over_scalar);
+    }
+
+    // Phase 3c: the chunked-grain parallel path at ONE worker must
+    // degenerate to the serial walk -- one chunk per thread, no extra
+    // warm-up replay -- so its cost is gated at <= 1.05x serial.
+    double chunk_serial_best = 0.0;
+    double chunk_1w_best = 0.0;
+    {
+        runtime::thread_pool pool_1w(1);
+        const util::parallel_for_fn parallel_1w = runtime::make_parallel_for(pool_1w);
+        core::stage_characterization chunked_result;
+        const auto measure = [&](const auto& body) {
+            const auto t0 = std::chrono::steady_clock::now();
+            body();
+            return seconds_since(t0);
+        };
+        for (int round = 0; round < kKernelRounds; ++round) {
+            double serial_s = 0.0;
+            double chunked_s = 0.0;
+            const auto run_serial = [&] {
+                batched_result =
+                    chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
+            };
+            const auto run_chunked = [&] {
+                chunked_result = chars.characterize(
+                    artifacts, circuit::pipe_stage::simple_alu, parallel_1w, 1);
+            };
+            if (round % 2 == 0) {
+                serial_s = measure(run_serial);
+                chunked_s = measure(run_chunked);
+            } else {
+                chunked_s = measure(run_chunked);
+                serial_s = measure(run_serial);
+            }
+            std::fprintf(stderr,
+                         "round %d: characterization_serial_1w %.3f s, "
+                         "characterization_chunked_1w %.3f s\n",
+                         round, serial_s, chunked_s);
+            chunk_serial_best = round == 0 ? serial_s : std::min(chunk_serial_best, serial_s);
+            chunk_1w_best = round == 0 ? chunked_s : std::min(chunk_1w_best, chunked_s);
+        }
+        identity_ok = identity_ok && same_characterization(batched_result, chunked_result);
+    }
+    phases.emplace_back("characterization_chunked_1w", chunk_1w_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "characterization_chunked_1w", chunk_1w_best);
+    const double chunked_1w_over_serial =
+        chunk_serial_best > 0.0 ? chunk_1w_best / chunk_serial_best : 0.0;
+    const bool chunked_1w_ok = chunked_1w_over_serial <= 1.05;
+    if (!chunked_1w_ok) {
+        std::fprintf(stderr,
+                     "FAIL: 1-worker chunked path slower than serial "
+                     "(%.3f s vs %.3f s, ratio %.3f > 1.05)\n",
+                     chunk_1w_best, chunk_serial_best, chunked_1w_over_serial);
+    }
+
+    // Phase 3d: a second workload shape -- the lock_ladder registry
+    // scenario -- so the speedup artifact is not a Radix-only statement.
+    // Recorded, not gated: the gate stays on Radix (the calibrated
+    // reference) while lock_ladder's convoy structure exercises sparse
+    // driving patterns (many non-driving ops between ALU vectors).
+    double ll_scalar_best = 0.0;
+    double ll_batched_best = 0.0;
+    {
+        const workload::workload_key ll_key =
+            workload::workload_registry::global().key("lock_ladder");
+        const core::program_characterizer pc(config.characterization.core);
+        const core::program_artifacts ll_artifacts =
+            pc.characterize(ll_key, config.thread_count, kSeed);
+        core::stage_characterization ll_scalar;
+        core::stage_characterization ll_batched;
+        const auto measure = [&](const auto& body) {
+            const auto t0 = std::chrono::steady_clock::now();
+            body();
+            return seconds_since(t0);
+        };
+        for (int round = 0; round < kKernelRounds; ++round) {
+            double scalar_s = 0.0;
+            double batched_s = 0.0;
+            const auto run_scalar = [&] {
+                ll_scalar = chars_scalar.characterize(ll_artifacts,
+                                                      circuit::pipe_stage::simple_alu);
+            };
+            const auto run_batched = [&] {
+                ll_batched =
+                    chars.characterize(ll_artifacts, circuit::pipe_stage::simple_alu);
+            };
+            if (round % 2 == 0) {
+                scalar_s = measure(run_scalar);
+                batched_s = measure(run_batched);
+            } else {
+                batched_s = measure(run_batched);
+                scalar_s = measure(run_scalar);
+            }
+            std::fprintf(stderr,
+                         "round %d: lock_ladder_scalar %.3f s, "
+                         "lock_ladder_batched %.3f s\n",
+                         round, scalar_s, batched_s);
+            ll_scalar_best = round == 0 ? scalar_s : std::min(ll_scalar_best, scalar_s);
+            ll_batched_best = round == 0 ? batched_s : std::min(ll_batched_best, batched_s);
+        }
+        identity_ok = identity_ok && same_characterization(ll_scalar, ll_batched);
+    }
+    phases.emplace_back("lock_ladder_scalar", ll_scalar_best);
+    phases.emplace_back("lock_ladder_batched", ll_batched_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "lock_ladder_scalar", ll_scalar_best);
+    std::fprintf(stderr, "%-32s %8.3f s\n", "lock_ladder_batched", ll_batched_best);
+    const double ll_batched_over_scalar =
+        ll_scalar_best > 0.0 ? ll_batched_best / ll_scalar_best : 0.0;
 
     // Phase 4: end-to-end -- three naive from-scratch constructions vs the
     // two-tier cache sharing one artifact set across all three pipe
@@ -250,24 +462,45 @@ int main()
                      staged_best, naive_best, naive_best * 1.05);
     }
 
-    std::printf("{\n  \"benchmark\": \"%s\",\n  \"workers\": %zu,\n  \"phases\": [\n",
+    std::printf("{\n  \"benchmark\": \"%s\",\n  \"workers\": %zu,\n"
+                "  \"hardware_concurrency\": %u,\n  \"phases\": [\n",
                 std::string(workload::benchmark_name(kBenchmark)).c_str(),
-                pool.worker_count());
+                pool.worker_count(), std::thread::hardware_concurrency());
     for (std::size_t i = 0; i < phases.size(); ++i) {
         std::printf("    {\"name\": \"%s\", \"seconds\": %.6f}%s\n",
                     phases[i].first.c_str(), phases[i].second,
                     i + 1 < phases.size() ? "," : "");
     }
-    // identity_ok means bit-identity ONLY; the perf gate gets its own
+    std::printf("  ],\n  \"skipped_phases\": [");
+    for (std::size_t i = 0; i < skipped_phases.size(); ++i) {
+        std::printf("%s\"%s\"", i == 0 ? "" : ", ", skipped_phases[i].c_str());
+    }
+    // identity_ok means bit-identity ONLY; each perf gate gets its own
     // field so a timing regression is never triaged as a determinism bug.
-    std::printf("  ],\n  \"staged_over_naive\": %.4f,\n  \"staged_ok\": %s,\n"
+    // batched_speedup_target is the design goal (1.5x); batched_ok gates
+    // the conservative floor (>= 1.25x, i.e. ratio <= 0.8) so CI noise
+    // does not flap the build while real kernel regressions still fail.
+    std::printf("],\n  \"skip_reason\": %s,\n",
+                skipped_phases.empty() ? "null" : "\"hardware_concurrency == 1\"");
+    std::printf("  \"vectors_per_second\": %.1f,\n", vectors_per_second);
+    std::printf("  \"batched_over_scalar\": %.4f,\n", batched_over_scalar);
+    std::printf("  \"batched_speedup_measured\": %.4f,\n",
+                batched_over_scalar > 0.0 ? 1.0 / batched_over_scalar : 0.0);
+    std::printf("  \"batched_speedup_target\": 1.5,\n");
+    std::printf("  \"batched_ok\": %s,\n", batched_ok ? "true" : "false");
+    std::printf("  \"chunked_1w_over_serial\": %.4f,\n", chunked_1w_over_serial);
+    std::printf("  \"chunked_1w_ok\": %s,\n", chunked_1w_ok ? "true" : "false");
+    std::printf("  \"lock_ladder_batched_over_scalar\": %.4f,\n", ll_batched_over_scalar);
+    std::printf("  \"staged_over_naive\": %.4f,\n  \"staged_ok\": %s,\n"
                 "  \"identity_ok\": %s\n}\n",
                 naive_best > 0.0 ? staged_best / naive_best : 0.0,
                 staged_ok ? "true" : "false", identity_ok ? "true" : "false");
 
     if (!identity_ok) {
-        std::fprintf(stderr, "FAIL: parallel characterization diverged from serial\n");
+        std::fprintf(stderr,
+                     "FAIL: a parallel or batched characterization diverged from "
+                     "the scalar serial walk\n");
         return 1;
     }
-    return staged_ok ? 0 : 1;
+    return (staged_ok && batched_ok && chunked_1w_ok) ? 0 : 1;
 }

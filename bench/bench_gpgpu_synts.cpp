@@ -41,34 +41,30 @@ int main()
         const auto traces =
             gpgpu::execute_kernel(kernel, gpgpu::hd7970_valu_count, 6000, 42);
 
-        // Characterize each VALU against the ALU netlist.
+        // Characterize each VALU against the ALU netlist. The operand
+        // stream drives the batched 64-lane path (bit-identical to scalar
+        // stepping); one corner's lane delays land in the histogram as a
+        // single bulk insert.
+        const auto tables = circuit::make_corner_tables(stage.nl, lib, vm, corners);
         std::vector<core::empirical_error_model> models;
-        std::vector<double> tnom;
+        const std::vector<double>& tnom = tables->nominal_period_ps;
+        constexpr std::size_t lanes_max = circuit::dynamic_timing_simulator::max_batch_lanes;
         for (const auto& trace : traces) {
-            circuit::dynamic_timing_simulator sim(stage.nl, lib, vm, corners);
-            if (tnom.empty()) {
-                for (std::size_t c = 0; c < corners.size(); ++c) {
-                    tnom.push_back(sim.nominal_period_ps(c));
-                }
-            }
+            circuit::dynamic_timing_simulator sim(stage.nl, tables);
             std::vector<util::histogram> hist;
             for (std::size_t c = 0; c < corners.size(); ++c) {
                 hist.emplace_back(0.0, tnom[c] * 1.05, 256);
             }
-            auto bits = std::make_unique<bool[]>(stage.nl.input_count());
-            std::vector<double> delays(corners.size());
-            for (const auto& insn : trace.instructions) {
-                for (std::size_t b = 0; b < 32; ++b) {
-                    bits[b] = ((insn.operand_a >> b) & 1) != 0;
-                    bits[32 + b] = ((insn.operand_b >> b) & 1) != 0;
-                }
-                bits[64] = insn.op == gpgpu::valu_op::sub;
-                bits[65] = false;
-                bits[66] = false;
-                sim.step(std::span<const bool>(bits.get(), stage.nl.input_count()),
-                         delays);
+            std::vector<std::uint64_t> lane_words(stage.nl.input_count());
+            std::vector<double> delays(corners.size() * lanes_max);
+            const std::span<const gpgpu::valu_instruction> insns(trace.instructions);
+            for (std::size_t offset = 0; offset < insns.size(); offset += lanes_max) {
+                const std::size_t lanes =
+                    gpgpu::pack_valu_lanes(insns.subspan(offset), lane_words);
+                sim.step_batch(lane_words, lanes,
+                               std::span<double>(delays.data(), corners.size() * lanes));
                 for (std::size_t c = 0; c < corners.size(); ++c) {
-                    hist[c].add(delays[c]);
+                    hist[c].add(std::span<const double>(delays).subspan(c * lanes, lanes));
                 }
             }
             models.emplace_back(std::move(hist), tnom, 1.0);

@@ -1,5 +1,7 @@
 #include "arch/stage_taps.h"
 
+#include <algorithm>
+
 namespace synts::arch {
 
 namespace {
@@ -9,6 +11,19 @@ void write_bits(std::span<bool> bits, std::size_t offset, std::uint64_t value,
 {
     for (std::size_t i = 0; i < count; ++i) {
         bits[offset + i] = ((value >> i) & 1) != 0;
+    }
+}
+
+/// Scatters the low `count` bits of `value` across lane words: for each set
+/// bit i, lane `lane_bit` of words[offset + i] is raised. Words start
+/// zeroed, so clear bits need no store.
+void spread_bits(std::span<std::uint64_t> words, std::size_t offset, std::uint64_t value,
+                 std::size_t count, std::uint64_t lane_bit) noexcept
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        if ((value >> i) & 1) {
+            words[offset + i] |= lane_bit;
+        }
     }
 }
 
@@ -68,6 +83,56 @@ bool stage_tap::extract(const micro_op& op, std::span<bool> bits) const noexcept
     }
     }
     return false;
+}
+
+stage_tap::batch_result stage_tap::extract_batch(
+    std::span<const micro_op> ops, std::span<std::uint64_t> lane_words,
+    std::span<std::uint32_t> lane_op_index) const noexcept
+{
+    batch_result result;
+    if (lane_words.size() != width_ || lane_op_index.size() < 64) {
+        return result;
+    }
+    std::fill(lane_words.begin(), lane_words.end(), 0);
+    std::size_t scanned = 0;
+    for (; scanned < ops.size() && result.lanes < 64; ++scanned) {
+        const micro_op& op = ops[scanned];
+        if (!drives_stage(op)) {
+            continue;
+        }
+        const std::uint64_t lane_bit = 1ull << result.lanes;
+        switch (stage_) {
+        case circuit::pipe_stage::decode:
+            spread_bits(lane_words, 0, op.encoding, layout_.instruction_bits, lane_bit);
+            break;
+        case circuit::pipe_stage::simple_alu: {
+            spread_bits(lane_words, 0, op.operand_a, layout_.operand_a_bits, lane_bit);
+            spread_bits(lane_words, layout_.operand_a_bits, op.operand_b,
+                        layout_.operand_b_bits, lane_bit);
+            // Same select encoding as extract(): bit0 = subtract, bits 1..2
+            // = logic variant from the encoding's low bits.
+            std::uint64_t select = 0;
+            if (op.cls == op_class::int_sub) {
+                select = 0b001;
+            } else if (op.cls == op_class::int_logic) {
+                const std::uint64_t variant = 1 + (op.encoding & 0x3) % 3; // 1..3
+                select = variant << 1;
+            }
+            spread_bits(lane_words, layout_.operand_a_bits + layout_.operand_b_bits,
+                        select, layout_.opcode_bits, lane_bit);
+            break;
+        }
+        case circuit::pipe_stage::complex_alu:
+            spread_bits(lane_words, 0, op.operand_a, layout_.operand_a_bits, lane_bit);
+            spread_bits(lane_words, layout_.operand_a_bits, op.operand_b,
+                        layout_.operand_b_bits, lane_bit);
+            break;
+        }
+        lane_op_index[result.lanes] = static_cast<std::uint32_t>(scanned);
+        ++result.lanes;
+    }
+    result.ops_consumed = scanned;
+    return result;
 }
 
 } // namespace synts::arch

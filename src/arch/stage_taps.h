@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "arch/isa.h"
@@ -32,6 +33,24 @@ public:
     /// Returns false (leaving `bits` untouched) when the op does not drive
     /// the stage.
     bool extract(const micro_op& op, std::span<bool> bits) const noexcept;
+
+    /// Outcome of one extract_batch call.
+    struct batch_result {
+        std::size_t lanes = 0;        ///< driving vectors packed (0 .. 64)
+        std::size_t ops_consumed = 0; ///< ops scanned off the front of the span
+    };
+
+    /// Packs the driving vectors of up to 64 leading ops of `ops` into
+    /// lane words for dynamic_timing_simulator::step_batch: bit j of
+    /// lane_words[i] is input bit i of the j-th driving vector, in op
+    /// order. Non-driving ops are scanned past without branching into the
+    /// bit-spread path. lane_words (size width()) is fully rewritten;
+    /// lane_op_index[j] (capacity >= 64) receives the index *within `ops`*
+    /// of lane j's op. Scanning stops when 64 lanes are packed or `ops` is
+    /// exhausted, whichever is first.
+    batch_result extract_batch(std::span<const micro_op> ops,
+                               std::span<std::uint64_t> lane_words,
+                               std::span<std::uint32_t> lane_op_index) const noexcept;
 
 private:
     circuit::pipe_stage stage_;

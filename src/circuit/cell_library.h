@@ -93,6 +93,16 @@ struct cell_params {
 /// the architecture level).
 [[nodiscard]] bool evaluate_cell(cell_kind kind, std::span<const bool> inputs) noexcept;
 
+/// Word-parallel twin of evaluate_cell: evaluates the cell's Boolean
+/// function on all 64 bit positions of the operand words at once (bit j of
+/// the result is evaluate_cell applied to bit j of each operand). Unused
+/// operands are ignored; const cells produce all-0 / all-1 words. This is
+/// the lane engine of dynamic_timing_simulator::step_batch -- one bitwise
+/// expression replaces 64 scalar cell evaluations.
+[[nodiscard]] std::uint64_t evaluate_cell_word(cell_kind kind, std::uint64_t a,
+                                               std::uint64_t b,
+                                               std::uint64_t c) noexcept;
+
 /// The standard-cell library: parameter lookup per cell class.
 class cell_library {
 public:

@@ -17,16 +17,21 @@ make_corner_tables(const netlist& nl, const cell_library& lib, const voltage_mod
     const static_timing_analyzer sta(nl);
     const std::vector<double> nominal = sta.nominal_gate_delays(lib);
     const auto gates = nl.gates();
+    const std::size_t corner_count = vdd_levels.size();
 
     auto tables = std::make_shared<timing_corner_tables>();
     tables->vdd.assign(vdd_levels.begin(), vdd_levels.end());
-    tables->nominal_period_ps.reserve(vdd_levels.size());
-    tables->gate_delay_ps.reserve(vdd_levels.size());
-    for (const double vdd : vdd_levels) {
-        std::vector<double> delays(gates.size());
-        vm.scale_gate_delays(gates, nominal, delays, vdd);
+    tables->nominal_period_ps.reserve(corner_count);
+    tables->gate_delay_ps.resize(gates.size() * corner_count);
+    std::vector<double> delays(gates.size());
+    for (std::size_t c = 0; c < corner_count; ++c) {
+        vm.scale_gate_delays(gates, nominal, delays, vdd_levels[c]);
         tables->nominal_period_ps.push_back(sta.analyze(delays).critical_delay_ps);
-        tables->gate_delay_ps.push_back(std::move(delays));
+        // Transpose into the corner-minor layout: one gate's corners are
+        // contiguous so the simulators' inner corner loops stream.
+        for (std::size_t g = 0; g < gates.size(); ++g) {
+            tables->gate_delay_ps[g * corner_count + c] = delays[g];
+        }
     }
     return tables;
 }
@@ -45,23 +50,31 @@ dynamic_timing_simulator::dynamic_timing_simulator(
     if (!tables_ || tables_->vdd.empty()) {
         throw std::invalid_argument("dynamic_timing_simulator: need at least one corner");
     }
-    values_.assign(nl_.net_count(), 0);
-    changed_.assign(nl_.net_count(), 0);
-    toggle_ps_.assign(tables_->vdd.size() * nl_.net_count(), 0.0);
+    // Single initialization: vector value-init already zeroes every buffer,
+    // which IS the reset-state contract. reset() re-establishes it for
+    // reuse without repeating the toggle_ps_ fill (see reset()).
+    values_.resize(nl_.net_count());
+    changed_.resize(nl_.net_count());
+    toggle_ps_.resize(nl_.net_count() * tables_->vdd.size());
+    latest_ps_.resize(tables_->vdd.size());
 }
 
 void dynamic_timing_simulator::reset()
 {
     std::fill(values_.begin(), values_.end(), 0);
     std::fill(changed_.begin(), changed_.end(), 0);
-    std::fill(toggle_ps_.begin(), toggle_ps_.end(), 0.0);
+    // toggle_ps_ is deliberately left as-is: every read of a net's settle
+    // time is guarded by that net's toggle flag, and toggle flags plus
+    // toggled nets' settle times are rewritten within each step before any
+    // read. Primary-input slots are only ever zero (inputs switch at the
+    // clock edge, time 0), so stale data is unreachable -- re-clearing the
+    // corner x net doubles here was pure construction/reset waste.
 }
 
 double dynamic_timing_simulator::step(std::span<const bool> inputs,
                                       std::span<double> out_delay_ps)
 {
     const std::size_t input_count = nl_.input_count();
-    const std::size_t net_count = nl_.net_count();
     const std::size_t corner_count_ = tables_->vdd.size();
     if (inputs.size() != input_count) {
         throw std::invalid_argument("dynamic_timing_simulator: input vector width mismatch");
@@ -70,20 +83,19 @@ double dynamic_timing_simulator::step(std::span<const bool> inputs,
         throw std::invalid_argument("dynamic_timing_simulator: corner buffer mismatch");
     }
 
-    // Primary inputs switch at the launching clock edge (time 0).
+    // Primary inputs switch at the launching clock edge (time 0). Their
+    // toggle_ps_ slots stay 0.0 forever (never written otherwise), so no
+    // per-corner store is needed here.
     for (std::size_t i = 0; i < input_count; ++i) {
         const std::uint8_t next = inputs[i] ? 1 : 0;
         changed_[i] = (next != values_[i]) ? 1 : 0;
         values_[i] = next;
-        if (changed_[i]) {
-            for (std::size_t c = 0; c < corner_count_; ++c) {
-                toggle_ps_[c * net_count + i] = 0.0;
-            }
-        }
     }
 
     const auto gates = nl_.gates();
-    const auto& gate_delays = tables_->gate_delay_ps;
+    const double* const gate_delays = tables_->gate_delay_ps.data();
+    double* const toggle = toggle_ps_.data();
+    double* const latest = latest_ps_.data();
     for (std::size_t gi = 0; gi < gates.size(); ++gi) {
         const gate& g = gates[gi];
         bool in_bits[3] = {false, false, false};
@@ -99,30 +111,147 @@ double dynamic_timing_simulator::step(std::span<const bool> inputs,
         if (!toggled) {
             continue;
         }
-        for (std::size_t c = 0; c < corner_count_; ++c) {
-            double latest_input = 0.0;
-            for (std::size_t i = 0; i < g.input_count; ++i) {
-                const net_id in = g.inputs[i];
-                if (changed_[in]) {
-                    latest_input = std::max(latest_input, toggle_ps_[c * net_count + in]);
-                }
+        // Corner-minor sweeps: each changed input contributes one
+        // contiguous max pass, the delay add is one contiguous pass. The
+        // per-corner arithmetic order (inputs in pin order, then one add)
+        // is exactly the historical corner-major loop's, so delays are
+        // bit-identical across layouts.
+        std::fill(latest, latest + corner_count_, 0.0);
+        for (std::size_t i = 0; i < g.input_count; ++i) {
+            const net_id in = g.inputs[i];
+            if (!changed_[in]) {
+                continue;
             }
-            toggle_ps_[c * net_count + out] = latest_input + gate_delays[c][gi];
+            const double* const in_toggle = toggle + in * corner_count_;
+            for (std::size_t c = 0; c < corner_count_; ++c) {
+                latest[c] = std::max(latest[c], in_toggle[c]);
+            }
+        }
+        double* const out_toggle = toggle + out * corner_count_;
+        const double* const delays = gate_delays + gi * corner_count_;
+        for (std::size_t c = 0; c < corner_count_; ++c) {
+            out_toggle[c] = latest[c] + delays[c];
         }
     }
 
+    std::fill(latest, latest + corner_count_, 0.0);
+    for (const net_id out : nl_.output_nets()) {
+        if (!changed_[out]) {
+            continue;
+        }
+        const double* const out_toggle = toggle + out * corner_count_;
+        for (std::size_t c = 0; c < corner_count_; ++c) {
+            latest[c] = std::max(latest[c], out_toggle[c]);
+        }
+    }
     double worst = 0.0;
     for (std::size_t c = 0; c < corner_count_; ++c) {
-        double latest = 0.0;
-        for (const net_id out : nl_.output_nets()) {
-            if (changed_[out]) {
-                latest = std::max(latest, toggle_ps_[c * net_count + out]);
-            }
-        }
-        out_delay_ps[c] = latest;
-        worst = std::max(worst, latest);
+        out_delay_ps[c] = latest[c];
+        worst = std::max(worst, latest[c]);
     }
     return worst;
+}
+
+void dynamic_timing_simulator::step_batch(std::span<const std::uint64_t> input_words,
+                                          std::size_t lane_count,
+                                          std::span<double> out_delay_ps)
+{
+    const std::size_t input_count = nl_.input_count();
+    const std::size_t net_count = nl_.net_count();
+    const std::size_t corner_count_ = tables_->vdd.size();
+    if (input_words.size() != input_count) {
+        throw std::invalid_argument("dynamic_timing_simulator: input word span mismatch");
+    }
+    if (lane_count == 0 || lane_count > max_batch_lanes) {
+        throw std::invalid_argument("dynamic_timing_simulator: lane count out of range");
+    }
+    if (out_delay_ps.size() != corner_count_ * lane_count) {
+        throw std::invalid_argument("dynamic_timing_simulator: batch delay buffer mismatch");
+    }
+    if (value_words_.size() != net_count) {
+        value_words_.resize(net_count);
+        toggle_words_.resize(net_count);
+    }
+
+    // Functional pass, word-parallel: lane j of a net's word is its settled
+    // value under input vector j. The toggle mask compares each lane with
+    // its predecessor; lane 0's predecessor is the carried scalar state
+    // (values_), which after reset() is the raw all-zero baseline -- the
+    // exact comparison sequence of lane_count scalar step() calls.
+    std::uint64_t* const words = value_words_.data();
+    std::uint64_t* const toggles = toggle_words_.data();
+    for (std::size_t i = 0; i < input_count; ++i) {
+        const std::uint64_t w = input_words[i];
+        words[i] = w;
+        toggles[i] = w ^ ((w << 1) | static_cast<std::uint64_t>(values_[i]));
+    }
+    const auto gates = nl_.gates();
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        const gate& g = gates[gi];
+        const std::uint64_t a = g.input_count > 0 ? words[g.inputs[0]] : 0;
+        const std::uint64_t b = g.input_count > 1 ? words[g.inputs[1]] : 0;
+        const std::uint64_t c = g.input_count > 2 ? words[g.inputs[2]] : 0;
+        const std::uint64_t w = evaluate_cell_word(g.kind, a, b, c);
+        const net_id out = g.output;
+        words[out] = w;
+        toggles[out] = w ^ ((w << 1) | static_cast<std::uint64_t>(values_[out]));
+    }
+
+    // Delay propagation per lane, visiting only toggled gates. Lanes share
+    // toggle_ps_ sequentially exactly like consecutive scalar steps share
+    // it: a lane only reads settle times its own pass wrote (reads guarded
+    // by the lane's toggle bits), so no per-lane copy is needed and the
+    // final toggle_ps_ contents equal the scalar walk's.
+    const double* const gate_delays = tables_->gate_delay_ps.data();
+    double* const toggle = toggle_ps_.data();
+    double* const latest = latest_ps_.data();
+    const auto output_nets = nl_.output_nets();
+    for (std::size_t lane = 0; lane < lane_count; ++lane) {
+        const std::uint64_t lane_bit = 1ull << lane;
+        for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+            const gate& g = gates[gi];
+            if ((toggles[g.output] & lane_bit) == 0) {
+                continue;
+            }
+            std::fill(latest, latest + corner_count_, 0.0);
+            for (std::size_t i = 0; i < g.input_count; ++i) {
+                const net_id in = g.inputs[i];
+                if ((toggles[in] & lane_bit) == 0) {
+                    continue;
+                }
+                const double* const in_toggle = toggle + in * corner_count_;
+                for (std::size_t c = 0; c < corner_count_; ++c) {
+                    latest[c] = std::max(latest[c], in_toggle[c]);
+                }
+            }
+            double* const out_toggle = toggle + g.output * corner_count_;
+            const double* const delays = gate_delays + gi * corner_count_;
+            for (std::size_t c = 0; c < corner_count_; ++c) {
+                out_toggle[c] = latest[c] + delays[c];
+            }
+        }
+        std::fill(latest, latest + corner_count_, 0.0);
+        for (const net_id out : output_nets) {
+            if ((toggles[out] & lane_bit) == 0) {
+                continue;
+            }
+            const double* const out_toggle = toggle + out * corner_count_;
+            for (std::size_t c = 0; c < corner_count_; ++c) {
+                latest[c] = std::max(latest[c], out_toggle[c]);
+            }
+        }
+        for (std::size_t c = 0; c < corner_count_; ++c) {
+            out_delay_ps[c * lane_count + lane] = latest[c];
+        }
+    }
+
+    // Land the carried scalar state on the last lane, so scalar and batched
+    // stepping interleave freely.
+    const std::size_t last = lane_count - 1;
+    for (std::size_t n = 0; n < net_count; ++n) {
+        values_[n] = static_cast<std::uint8_t>((words[n] >> last) & 1);
+        changed_[n] = static_cast<std::uint8_t>((toggles[n] >> last) & 1);
+    }
 }
 
 bool dynamic_timing_simulator::output_value(std::size_t i) const noexcept

@@ -9,7 +9,25 @@
 // relation the paper characterizes (Fig. 3.5).
 //
 // The simulator evaluates all requested voltage corners in one topological
-// pass so cross-voltage delay traces stay sample-aligned.
+// pass so cross-voltage delay traces stay sample-aligned. Two stepping
+// modes share one state:
+//
+//   * step()       -- the scalar reference walk: one input vector, one
+//                     functional pass, delay propagation over toggled gates;
+//   * step_batch() -- the vectorized hot path: up to 64 consecutive input
+//                     vectors packed one bit-lane per vector into a
+//                     std::uint64_t word per net. The functional pass and
+//                     toggle derivation run word-parallel (one bitwise
+//                     evaluate_cell_word per gate covers all lanes), then
+//                     delay propagation visits, per lane, only the gates
+//                     whose toggle bit is set. Per-corner arithmetic order
+//                     is identical to step(), so results are bit-identical
+//                     (pinned by tests/test_circuit_dynamic_timing_batch).
+//
+// Timing data is laid out corner-minor ("SoA"): gate delays as
+// [gate][corner] and per-net toggle times as [net][corner], so the
+// per-gate corner loop is one contiguous add/max sweep the compiler can
+// auto-vectorize.
 
 #pragma once
 
@@ -31,9 +49,22 @@ namespace synts::circuit {
 /// the same netlist (the per-(thread, interval) characterization cells)
 /// build one set and share it.
 struct timing_corner_tables {
-    std::vector<double> vdd;                        ///< [corner]
-    std::vector<double> nominal_period_ps;          ///< [corner]
-    std::vector<std::vector<double>> gate_delay_ps; ///< [corner][gate]
+    std::vector<double> vdd;               ///< [corner]
+    std::vector<double> nominal_period_ps; ///< [corner]
+    /// Gate delays in corner-minor layout: [gate * corner_count() + corner].
+    /// The transpose (vs the historical [corner][gate]) keeps one gate's
+    /// corners contiguous -- the inner loop of both stepping modes.
+    std::vector<double> gate_delay_ps;
+
+    /// Number of voltage corners.
+    [[nodiscard]] std::size_t corner_count() const noexcept { return vdd.size(); }
+
+    /// Per-corner delays of gate `g` (contiguous, size corner_count()).
+    [[nodiscard]] std::span<const double> gate_delays(gate_id g) const noexcept
+    {
+        return std::span<const double>(gate_delay_ps)
+            .subspan(static_cast<std::size_t>(g) * vdd.size(), vdd.size());
+    }
 };
 
 /// Runs the STA and builds the shared tables for every supply level in
@@ -45,6 +76,10 @@ make_corner_tables(const netlist& nl, const cell_library& lib, const voltage_mod
 /// Multi-corner dynamic timing simulator bound to one netlist.
 class dynamic_timing_simulator {
 public:
+    /// Maximum number of input vectors one step_batch call evaluates (the
+    /// lane width of the bit-parallel functional pass).
+    static constexpr std::size_t max_batch_lanes = 64;
+
     /// Binds to `nl` (which must outlive the simulator) and prepares delay
     /// tables for every supply level in `vdd_levels`. Convenience overload:
     /// pays the per-corner STA; use the tables overload to amortize it.
@@ -53,7 +88,7 @@ public:
 
     /// Binds to `nl` sharing precomputed tables (which must describe `nl`):
     /// no STA runs, so construction is cheap enough for one simulator per
-    /// (thread, interval) characterization cell.
+    /// characterization chunk.
     dynamic_timing_simulator(const netlist& nl,
                              std::shared_ptr<const timing_corner_tables> tables);
 
@@ -77,13 +112,30 @@ public:
     }
 
     /// Clears all state to the all-zero vector. The first step after a
-    /// reset measures the transition from that baseline.
+    /// reset measures the transition from that baseline. Construction
+    /// leaves the simulator in exactly this state; reset() exists for
+    /// reuse and owns the baseline contract (values and toggle flags zero;
+    /// the per-net settle-time scratch is intentionally NOT re-cleared --
+    /// stale entries are unreachable because every read is guarded by a
+    /// toggle flag set in the same step).
     void reset();
 
     /// Applies the next input vector (size must equal input_count of the
     /// netlist) and writes the sensitized delay at every corner into
     /// `out_delay_ps` (size corner_count). Returns the worst corner delay.
     double step(std::span<const bool> inputs, std::span<double> out_delay_ps);
+
+    /// Applies `lane_count` (1 .. max_batch_lanes) consecutive input
+    /// vectors in one pass. `input_words` has one word per primary input
+    /// (size input_count of the netlist); bit j of input_words[i] is input
+    /// i of the j-th vector. Delays are written corner-major:
+    /// out_delay_ps[c * lane_count + j] is the sensitized delay of vector
+    /// j at corner c (size corner_count * lane_count), so each corner's
+    /// lane run is contiguous for bulk histogram insertion. The simulator
+    /// ends in exactly the state `lane_count` scalar step() calls would
+    /// leave, and every delay is bit-identical to the scalar walk.
+    void step_batch(std::span<const std::uint64_t> input_words, std::size_t lane_count,
+                    std::span<double> out_delay_ps);
 
     /// Functional value of primary output `i` after the latest step.
     [[nodiscard]] bool output_value(std::size_t i) const noexcept;
@@ -99,7 +151,12 @@ private:
     std::shared_ptr<const timing_corner_tables> tables_;
     std::vector<std::uint8_t> values_;  ///< per net, current value
     std::vector<std::uint8_t> changed_; ///< per net, toggled in current step
-    std::vector<double> toggle_ps_;     ///< [corner * net_count + net]
+    std::vector<double> toggle_ps_;     ///< [net * corner_count + corner]
+    std::vector<double> latest_ps_;     ///< per corner scratch (size corners)
+    /// Batch-mode scratch, sized lazily on the first step_batch call so
+    /// scalar-only simulators never pay for it.
+    std::vector<std::uint64_t> value_words_;  ///< per net, lane values
+    std::vector<std::uint64_t> toggle_words_; ///< per net, lane toggle masks
 };
 
 } // namespace synts::circuit

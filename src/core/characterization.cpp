@@ -1,9 +1,16 @@
 #include "core/characterization.h"
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "circuit/dynamic_timing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace synts::core {
 
@@ -79,9 +86,18 @@ interval_characterization characterizer::characterize_interval(
 
 stage_characterization characterizer::characterize(const program_artifacts& program,
                                                    circuit::pipe_stage stage,
-                                                   const util::parallel_for_fn& parallel) const
+                                                   const util::parallel_for_fn& parallel,
+                                                   std::size_t worker_hint) const
 {
     program.validate();
+
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    obs::counter& cells_counter = registry.counter_at("characterize.cells");
+    obs::counter& vectors_counter = registry.counter_at("characterize.vectors");
+    obs::latency_histogram& cell_ns = registry.histogram_at("characterize.cell_ns");
+    const obs::trace_span span(obs::trace_recorder::global(), [stage] {
+        return std::string("characterize.stage:") + circuit::pipe_stage_name(stage);
+    });
 
     const circuit::stage_netlist stage_nl = circuit::build_stage(stage);
     const auto corners = circuit::paper_voltage_levels();
@@ -111,34 +127,155 @@ stage_characterization characterizer::characterize(const program_artifacts& prog
     // that drives the stage. One forward scan per thread finds them all;
     // a per-cell backward scan would re-walk the whole preceding history
     // per interval -- quadratic exactly when the stage fires rarely and
-    // there is little simulation work to amortize it.
+    // there is little simulation work to amortize it. drives_stage alone
+    // decides -- no bit extraction on this scan.
     std::vector<std::vector<std::size_t>> warmup_ops(
         thread_count, std::vector<std::size_t>(interval_count, no_warmup_op));
     util::for_each_index(parallel, thread_count, [&](std::size_t t) {
         const arch::thread_trace& trace = program.trace.threads[t];
-        const auto bits_storage = std::make_unique<bool[]>(tap.width());
-        const std::span<bool> bits(bits_storage.get(), tap.width());
         std::size_t last_driving = no_warmup_op;
         for (std::size_t k = 0; k < interval_count; ++k) {
             warmup_ops[t][k] = last_driving;
             const std::size_t begin = k == 0 ? 0 : trace.barrier_points[k - 1];
             for (std::size_t n = begin; n < trace.barrier_points[k]; ++n) {
-                if (tap.extract(trace.ops[n], bits)) {
+                if (tap.drives_stage(trace.ops[n])) {
                     last_driving = n;
                 }
             }
         }
     });
 
-    // Every (thread, interval) cell is independent (see
-    // characterize_interval) and lands in its pre-assigned slot, so the
-    // merge order is deterministic regardless of schedule.
-    util::for_each_index(parallel, thread_count * interval_count, [&](std::size_t cell) {
-        const std::size_t t = cell / interval_count;
-        const std::size_t k = cell % interval_count;
-        result.threads[t][k] =
-            characterize_interval(stage_nl, tap, tables, program.trace.threads[t], k,
-                                  warmup_ops[t][k]);
+    if (!config_.batched) {
+        // Scalar reference walk: every (thread, interval) cell is
+        // independent (see characterize_interval) and lands in its
+        // pre-assigned slot, so the merge order is deterministic
+        // regardless of schedule.
+        util::for_each_index(parallel, thread_count * interval_count,
+                             [&](std::size_t cell) {
+                                 const std::size_t t = cell / interval_count;
+                                 const std::size_t k = cell % interval_count;
+                                 const obs::scoped_timer timer(cell_ns);
+                                 result.threads[t][k] = characterize_interval(
+                                     stage_nl, tap, tables, program.trace.threads[t], k,
+                                     warmup_ops[t][k]);
+                                 cells_counter.add(1);
+                                 vectors_counter.add(result.threads[t][k].vector_count);
+                             });
+        return result;
+    }
+
+    // Batched mode: the task grain is a contiguous run of intervals of one
+    // thread. Within a chunk the simulator CHAINS -- the carried state
+    // entering interval k is the settled last driving vector before k,
+    // exactly what the scalar path's warm-up replay reconstructs -- so
+    // chunking eliminates all warm-up work except one step at chunk entry.
+    // Chunk count scales with the worker pool: enough chunks to load every
+    // worker (with slack for imbalance), never more. At one worker this is
+    // ONE chunk per thread, i.e. the plain serial walk with zero replay.
+    std::size_t workers = worker_hint;
+    if (workers == 0) {
+        workers = parallel ? std::max<std::size_t>(std::thread::hardware_concurrency(), 1)
+                           : 1;
+    }
+    std::size_t chunks_per_thread = 1;
+    if (workers > 1 && thread_count > 0 && interval_count > 0) {
+        // Aim for ~4 chunks per worker across all threads so the tail of an
+        // uneven schedule still has work to steal.
+        const std::size_t target_chunks = 4 * workers;
+        chunks_per_thread = (target_chunks + thread_count - 1) / thread_count;
+        chunks_per_thread = std::clamp<std::size_t>(chunks_per_thread, 1, interval_count);
+    }
+
+    struct chunk {
+        std::size_t thread = 0;
+        std::size_t begin_interval = 0;
+        std::size_t end_interval = 0;
+    };
+    std::vector<chunk> chunks;
+    chunks.reserve(thread_count * chunks_per_thread);
+    for (std::size_t t = 0; t < thread_count; ++t) {
+        for (std::size_t i = 0; i < chunks_per_thread; ++i) {
+            const std::size_t begin = interval_count * i / chunks_per_thread;
+            const std::size_t end = interval_count * (i + 1) / chunks_per_thread;
+            if (begin < end) {
+                chunks.push_back(chunk{t, begin, end});
+            }
+        }
+    }
+
+    const std::size_t corner_count = tables->vdd.size();
+    const std::vector<double>& tnom_ps = tables->nominal_period_ps;
+    constexpr std::size_t lanes_max = circuit::dynamic_timing_simulator::max_batch_lanes;
+
+    util::for_each_index(parallel, chunks.size(), [&](std::size_t ci) {
+        const chunk& ch = chunks[ci];
+        const arch::thread_trace& trace = program.trace.threads[ch.thread];
+
+        circuit::dynamic_timing_simulator sim(stage_nl.nl, tables);
+        std::vector<std::uint64_t> lane_words(tap.width());
+        std::array<std::uint32_t, lanes_max> lane_op_index{};
+        std::vector<double> lane_delays(corner_count * lanes_max);
+
+        // Chunk entry: replay the last driving vector of the preceding
+        // history (delays discarded), reproducing the carried state a
+        // serial walk would bring here.
+        const std::size_t warmup_op = warmup_ops[ch.thread][ch.begin_interval];
+        if (warmup_op != no_warmup_op) {
+            const auto bits_storage = std::make_unique<bool[]>(tap.width());
+            const std::span<bool> bits(bits_storage.get(), tap.width());
+            if (!tap.extract(trace.ops[warmup_op], bits)) {
+                throw std::logic_error(
+                    "characterizer: warm-up op does not drive the stage");
+            }
+            std::vector<double> discard(corner_count);
+            sim.step(std::span<const bool>(bits_storage.get(), tap.width()), discard);
+        }
+
+        for (std::size_t k = ch.begin_interval; k < ch.end_interval; ++k) {
+            const obs::scoped_timer timer(cell_ns);
+            const auto ops = trace.interval(k);
+
+            interval_characterization data;
+            data.delay_histograms.reserve(corner_count);
+            for (std::size_t c = 0; c < corner_count; ++c) {
+                data.delay_histograms.emplace_back(
+                    0.0, tnom_ps[c] * config_.histogram_headroom, config_.histogram_bins);
+            }
+            data.instruction_count = ops.size();
+
+            std::size_t offset = 0;
+            while (offset < ops.size()) {
+                const arch::stage_tap::batch_result batch = tap.extract_batch(
+                    ops.subspan(offset), lane_words,
+                    std::span<std::uint32_t>(lane_op_index.data(), lanes_max));
+                if (batch.lanes > 0) {
+                    const std::size_t lanes = batch.lanes;
+                    const std::span<double> delays(lane_delays.data(),
+                                                   corner_count * lanes);
+                    sim.step_batch(lane_words, lanes, delays);
+
+                    data.vector_count += lanes;
+                    for (std::size_t c = 0; c < corner_count; ++c) {
+                        // Corner-major delay layout: one contiguous bulk
+                        // insert per corner.
+                        data.delay_histograms[c].add(delays.subspan(c * lanes, lanes));
+                    }
+                    if (config_.keep_sampling_trace) {
+                        for (std::size_t j = 0; j < lanes; ++j) {
+                            data.sampling_delays_ps.push_back(
+                                static_cast<float>(lane_delays[j]));
+                            data.sampling_instr_index.push_back(
+                                static_cast<std::uint32_t>(offset + lane_op_index[j]));
+                        }
+                    }
+                }
+                offset += batch.ops_consumed;
+            }
+
+            cells_counter.add(1);
+            vectors_counter.add(data.vector_count);
+            result.threads[ch.thread][k] = std::move(data);
+        }
     });
     return result;
 }

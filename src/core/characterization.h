@@ -82,6 +82,13 @@ struct characterization_config {
     double histogram_headroom = 1.05;
     /// Keep the raw sampling-corner delay trace (needed by SynTS-online).
     bool keep_sampling_trace = true;
+    /// Run the vectorized hot path (64-lane step_batch over chunked
+    /// interval ranges). false selects the scalar per-cell reference walk.
+    /// Results are bit-identical either way (pinned by
+    /// tests/test_core_characterization_batch.cpp), so this flag is NOT
+    /// part of experiment_config::digest(): flipping it never invalidates
+    /// cached sweep results.
+    bool batched = true;
     arch::core_config core{};
 };
 
@@ -94,15 +101,25 @@ public:
 
     /// Characterizes pre-built program artifacts against one pipe stage --
     /// the staged-pipeline entry point; the architectural profiles are taken
-    /// from `program`, never recomputed. `parallel` fans the independent
-    /// (thread, interval) cells out; each cell runs on a private simulator
-    /// whose entry state is replayed from the last driving vector of the
-    /// preceding intervals, so the output is bit-identical to the serial
-    /// pass for any executor (pinned by
-    /// tests/test_core_characterization_pipeline.cpp).
+    /// from `program`, never recomputed. `parallel` fans independent work
+    /// out. In batched mode the grain is a contiguous run of intervals per
+    /// thread (a *chunk*): the simulator chains serially within a chunk --
+    /// a settled netlist's state is a pure function of the last applied
+    /// vector, so entering interval k with the chunk's carried state equals
+    /// replaying the last driving vector before k -- and only chunk entry
+    /// pays a warm-up step. `worker_hint` sizes the chunks (0 = derive from
+    /// hardware_concurrency when `parallel` is set, serial otherwise); at
+    /// one worker the partition degenerates to one chunk per thread, i.e.
+    /// the exact serial walk. In scalar mode the grain is one (thread,
+    /// interval) cell with per-cell warm-up replay. Every grain lands in a
+    /// pre-assigned slot, so output is bit-identical to the serial pass for
+    /// any executor and either mode (pinned by
+    /// tests/test_core_characterization_pipeline.cpp and
+    /// tests/test_core_characterization_batch.cpp).
     [[nodiscard]] stage_characterization
     characterize(const program_artifacts& program, circuit::pipe_stage stage,
-                 const util::parallel_for_fn& parallel = {}) const;
+                 const util::parallel_for_fn& parallel = {},
+                 std::size_t worker_hint = 0) const;
 
     /// Legacy one-shot: profiles `program` architecturally, then delegates
     /// to the artifact overload above. Equivalent to running

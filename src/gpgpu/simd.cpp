@@ -31,6 +31,32 @@ std::uint32_t evaluate_valu_op(valu_op op, std::uint32_t a, std::uint32_t b) noe
     return 0;
 }
 
+std::size_t pack_valu_lanes(std::span<const valu_instruction> instructions,
+                            std::span<std::uint64_t> lane_words) noexcept
+{
+    if (lane_words.size() != 67) {
+        return 0;
+    }
+    std::fill(lane_words.begin(), lane_words.end(), 0);
+    const std::size_t lanes = std::min<std::size_t>(instructions.size(), 64);
+    for (std::size_t j = 0; j < lanes; ++j) {
+        const valu_instruction& insn = instructions[j];
+        const std::uint64_t lane_bit = 1ull << j;
+        for (std::size_t b = 0; b < 32; ++b) {
+            if ((insn.operand_a >> b) & 1) {
+                lane_words[b] |= lane_bit;
+            }
+            if ((insn.operand_b >> b) & 1) {
+                lane_words[32 + b] |= lane_bit;
+            }
+        }
+        if (insn.op == valu_op::sub) {
+            lane_words[64] |= lane_bit;
+        }
+    }
+    return lanes;
+}
+
 void valu_trace::execute(valu_op op, std::uint32_t a, std::uint32_t b)
 {
     valu_instruction insn;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace synts::gpgpu {
@@ -52,6 +53,17 @@ struct valu_trace {
 /// Functional evaluation of one VALU op.
 [[nodiscard]] std::uint32_t evaluate_valu_op(valu_op op, std::uint32_t a,
                                              std::uint32_t b) noexcept;
+
+/// Packs up to 64 VALU instructions into SimpleALU batch lane words for
+/// dynamic_timing_simulator::step_batch. The layout matches
+/// circuit::build_simple_alu's primary inputs exactly: words[0..31] carry
+/// operand_a bits, words[32..63] operand_b bits, words[64] the subtract
+/// select (op == valu_op::sub), words[65] and words[66] stay zero (no
+/// logic-variant select on the VALU path). `lane_words` must have size 67
+/// (the SimpleALU input width); it is fully rewritten. Returns the number
+/// of lanes packed: min(instructions.size(), 64).
+[[nodiscard]] std::size_t pack_valu_lanes(std::span<const valu_instruction> instructions,
+                                          std::span<std::uint64_t> lane_words) noexcept;
 
 /// The default HD 7970 configuration analyzed by the paper: 16 vector ALUs
 /// per SIMD unit.

@@ -33,11 +33,42 @@ void histogram::add(double value) noexcept
     ++total_;
 }
 
+void histogram::add(std::span<const double> values) noexcept
+{
+    // One total_ update for the whole run; the bin loop touches only the
+    // counts array. bin-index math matches add(double) exactly.
+    for (const double v : values) {
+        std::size_t index;
+        if (v < lo_) {
+            index = 0;
+        } else {
+            const auto raw = static_cast<std::size_t>((v - lo_) / width_);
+            index = std::min(raw, counts_.size() - 1);
+        }
+        ++counts_[index];
+    }
+    total_ += values.size();
+}
+
+void histogram::add(std::span<const float> values) noexcept
+{
+    for (const float v : values) {
+        std::size_t index;
+        const auto value = static_cast<double>(v);
+        if (value < lo_) {
+            index = 0;
+        } else {
+            const auto raw = static_cast<std::size_t>((value - lo_) / width_);
+            index = std::min(raw, counts_.size() - 1);
+        }
+        ++counts_[index];
+    }
+    total_ += values.size();
+}
+
 void histogram::add_all(std::span<const double> values) noexcept
 {
-    for (const double v : values) {
-        add(v);
-    }
+    add(values);
 }
 
 double histogram::bin_lower(std::size_t i) const noexcept

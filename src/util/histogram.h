@@ -30,7 +30,20 @@ public:
     /// Adds one sample.
     void add(double value) noexcept;
 
-    /// Adds every sample of a span.
+    /// Adds every sample of a span in order. Equivalent to values.size()
+    /// scalar add() calls (pinned by tests/test_util_histogram); the bulk
+    /// entry point exists so hot paths hand over whole lane runs (e.g. one
+    /// corner's 64 batched delays) in a single call that updates `total_`
+    /// once and keeps the bin-index loop tight.
+    void add(std::span<const double> values) noexcept;
+
+    /// Bulk add over single-precision samples (the sampling traces store
+    /// float delays). Each value is widened to double and binned exactly as
+    /// add(double(value)) would.
+    void add(std::span<const float> values) noexcept;
+
+    /// Adds every sample of a span (alias of the bulk add overload, kept
+    /// for existing call sites).
     void add_all(std::span<const double> values) noexcept;
 
     /// Number of bins.

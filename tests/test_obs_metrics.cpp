@@ -8,9 +8,14 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "arch/trace.h"
+#include "core/characterization.h"
+#include "core/program_artifacts.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -272,6 +277,118 @@ TEST(obs_metrics, scoped_timer_records_nothing_when_disabled)
     }
     EXPECT_EQ(hist.total(), 1u);
     obs::set_enabled(was_enabled);
+}
+
+// -- characterization instrumentation ----------------------------------------
+// The characterizer registers characterize.cells / characterize.vectors
+// counters and a characterize.cell_ns latency histogram in the global
+// registry, and wraps each stage pass in a characterize.stage:<name> span.
+// These tests run a tiny hand-built trace through the pipeline and assert
+// the instrument deltas exactly.
+
+namespace charz {
+
+/// One thread, two intervals: interval 0 has 2 SimpleALU ops + 1 nop,
+/// interval 1 has 1 SimpleALU op + 1 multiply (ComplexALU). Against the
+/// SimpleALU stage that is 2 cells and 3 driving vectors.
+arch::program_trace tiny_trace()
+{
+    arch::thread_trace t;
+    t.ops.push_back({arch::op_class::int_add, 0x11, 3, 4, 0, false});
+    t.ops.push_back({arch::op_class::nop, 0, 0, 0, 0, false});
+    t.ops.push_back({arch::op_class::int_sub, 0x22, 9, 5, 0, false});
+    t.ops.push_back({arch::op_class::int_logic, 0x33, 6, 7, 0, false});
+    t.ops.push_back({arch::op_class::int_mul, 0x44, 2, 8, 0, false});
+    t.barrier_points = {3, 5};
+    arch::program_trace trace;
+    trace.threads.push_back(std::move(t));
+    return trace;
+}
+
+} // namespace charz
+
+TEST(obs_metrics, characterization_bumps_cell_and_vector_counters)
+{
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    obs::counter& cells = registry.counter_at("characterize.cells");
+    obs::counter& vectors = registry.counter_at("characterize.vectors");
+    const std::uint64_t cells_before = cells.value();
+    const std::uint64_t vectors_before = vectors.value();
+
+    const auto artifacts =
+        core::program_characterizer{}.characterize_trace(charz::tiny_trace());
+    const auto lib = circuit::cell_library::standard_22nm();
+    const circuit::voltage_model vm(0.04);
+    const core::characterizer chars(lib, vm, {});
+    const auto result =
+        chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
+
+    // 1 thread x 2 intervals = 2 cells; int_add + int_sub + int_logic = 3
+    // driving vectors (the nop and the multiply never reach the SimpleALU).
+    EXPECT_EQ(cells.value() - cells_before, 2u);
+    EXPECT_EQ(vectors.value() - vectors_before, 3u);
+    ASSERT_EQ(result.threads.size(), 1u);
+    ASSERT_EQ(result.threads[0].size(), 2u);
+    EXPECT_EQ(result.threads[0][0].vector_count, 2u);
+    EXPECT_EQ(result.threads[0][1].vector_count, 1u);
+
+    // The scalar reference path must report the same counts.
+    core::characterization_config scalar_cfg;
+    scalar_cfg.batched = false;
+    const std::uint64_t cells_mid = cells.value();
+    const std::uint64_t vectors_mid = vectors.value();
+    (void)core::characterizer(lib, vm, scalar_cfg)
+        .characterize(artifacts, circuit::pipe_stage::simple_alu);
+    EXPECT_EQ(cells.value() - cells_mid, 2u);
+    EXPECT_EQ(vectors.value() - vectors_mid, 3u);
+}
+
+TEST(obs_metrics, characterization_cell_latency_histogram_gated_on_enabled)
+{
+    obs::metrics_registry& registry = obs::metrics_registry::global();
+    obs::latency_histogram& cell_ns = registry.histogram_at("characterize.cell_ns");
+
+    const auto artifacts =
+        core::program_characterizer{}.characterize_trace(charz::tiny_trace());
+    const auto lib = circuit::cell_library::standard_22nm();
+    const circuit::voltage_model vm(0.04);
+    const core::characterizer chars(lib, vm, {});
+
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(false);
+    const std::uint64_t disabled_before = cell_ns.total();
+    (void)chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
+    EXPECT_EQ(cell_ns.total(), disabled_before) << "disabled telemetry recorded";
+
+    obs::set_enabled(true);
+    const std::uint64_t enabled_before = cell_ns.total();
+    (void)chars.characterize(artifacts, circuit::pipe_stage::simple_alu);
+    // One scoped_timer per (thread, interval) cell.
+    EXPECT_EQ(cell_ns.total() - enabled_before, 2u);
+    obs::set_enabled(was_enabled);
+}
+
+TEST(obs_metrics, characterization_emits_stage_span)
+{
+    obs::trace_recorder& recorder = obs::trace_recorder::global();
+    const bool was_enabled = recorder.enabled();
+    recorder.set_enabled(true);
+    const std::size_t events_before = recorder.event_count();
+
+    const auto artifacts =
+        core::program_characterizer{}.characterize_trace(charz::tiny_trace());
+    const auto lib = circuit::cell_library::standard_22nm();
+    const circuit::voltage_model vm(0.04);
+    (void)core::characterizer(lib, vm, {})
+        .characterize(artifacts, circuit::pipe_stage::complex_alu);
+    recorder.set_enabled(was_enabled);
+
+    bool found = false;
+    for (const auto& event : recorder.events()) {
+        found = found || event.name == "characterize.stage:ComplexALU";
+    }
+    EXPECT_TRUE(found) << "no characterize.stage span recorded (events before: "
+                       << events_before << ")";
 }
 
 } // namespace

@@ -132,6 +132,91 @@ TEST(integer_histogram, counts_and_clamps)
     EXPECT_EQ(h.bucket_count(), 5u);
 }
 
+TEST(histogram, bulk_add_matches_scalar_adds)
+{
+    xoshiro256 rng(17);
+    std::vector<double> samples;
+    samples.reserve(2000);
+    for (int i = 0; i < 2000; ++i) {
+        // Span well past both edges so clamping paths are exercised.
+        samples.push_back(rng.uniform() * 14.0 - 2.0);
+    }
+
+    histogram scalar(0.0, 10.0, 64);
+    for (const double v : samples) {
+        scalar.add(v);
+    }
+    histogram bulk(0.0, 10.0, 64);
+    bulk.add(std::span<const double>(samples));
+
+    EXPECT_EQ(bulk.total(), scalar.total());
+    for (std::size_t i = 0; i < scalar.bin_count(); ++i) {
+        EXPECT_EQ(bulk.count_at(i), scalar.count_at(i)) << "bin " << i;
+    }
+}
+
+TEST(histogram, bulk_add_edge_bins)
+{
+    // Exact edge cases: below lo -> bin 0, at hi and above -> last bin,
+    // exactly lo -> bin 0, last interior boundary -> last bin.
+    const std::vector<double> edges = {-1e9, -0.001, 0.0, 9.999, 10.0, 1e9};
+    histogram scalar(0.0, 10.0, 10);
+    for (const double v : edges) {
+        scalar.add(v);
+    }
+    histogram bulk(0.0, 10.0, 10);
+    bulk.add(std::span<const double>(edges));
+    for (std::size_t i = 0; i < scalar.bin_count(); ++i) {
+        EXPECT_EQ(bulk.count_at(i), scalar.count_at(i)) << "bin " << i;
+    }
+    EXPECT_EQ(bulk.count_at(0), 3u);
+    EXPECT_EQ(bulk.count_at(9), 3u);
+}
+
+TEST(histogram, bulk_add_empty_span_is_noop)
+{
+    histogram h(0.0, 1.0, 4);
+    h.add(std::span<const double>());
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(histogram, bulk_add_float_matches_widened_scalar_adds)
+{
+    xoshiro256 rng(29);
+    std::vector<float> samples;
+    samples.reserve(1500);
+    for (int i = 0; i < 1500; ++i) {
+        samples.push_back(static_cast<float>(rng.uniform() * 14.0 - 2.0));
+    }
+
+    // The float overload must bin exactly as add(double(v)) would -- the
+    // sampling traces store float delays, and their histograms must agree
+    // with the double-path histograms built from the same values.
+    histogram scalar(0.0, 10.0, 64);
+    for (const float v : samples) {
+        scalar.add(static_cast<double>(v));
+    }
+    histogram bulk(0.0, 10.0, 64);
+    bulk.add(std::span<const float>(samples));
+
+    EXPECT_EQ(bulk.total(), scalar.total());
+    for (std::size_t i = 0; i < scalar.bin_count(); ++i) {
+        EXPECT_EQ(bulk.count_at(i), scalar.count_at(i)) << "bin " << i;
+    }
+}
+
+TEST(histogram, add_all_delegates_to_bulk_add)
+{
+    const std::vector<double> values = {0.5, 1.5, 2.5};
+    histogram a(0.0, 4.0, 4);
+    a.add_all(std::span<const double>(values));
+    histogram b(0.0, 4.0, 4);
+    b.add(std::span<const double>(values));
+    for (std::size_t i = 0; i < a.bin_count(); ++i) {
+        EXPECT_EQ(a.count_at(i), b.count_at(i));
+    }
+}
+
 TEST(integer_histogram, mean_of_known_data)
 {
     integer_histogram h(8);
