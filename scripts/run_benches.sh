@@ -19,6 +19,14 @@ set -u
 build_dir="${1:-build}"
 out="BENCH_runtime.json"
 
+# Recompute provenance at INVOCATION time and export it for every child:
+# benches that stamp their own meta (via collect_sweep_json_meta) read
+# SYNTS_GIT_DESCRIBE from the environment, and a stale exported value from
+# an earlier shell once shipped BENCH_obs.json claiming a commit several
+# PRs behind HEAD. Empty (not a git checkout) simply omits the field.
+SYNTS_GIT_DESCRIBE="$(git describe --always --dirty 2> /dev/null || true)"
+export SYNTS_GIT_DESCRIBE
+
 if [[ ! -d "${build_dir}" ]]; then
     echo "run_benches.sh: build dir '${build_dir}' not found (run cmake first)" >&2
     exit 1
@@ -133,7 +141,7 @@ if command -v python3 > /dev/null 2>&1; then
     meta_generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     meta_host="$(hostname)"
     meta_threads="$(nproc)"
-    meta_describe="$(git describe --always --dirty 2> /dev/null || true)"
+    meta_describe="${SYNTS_GIT_DESCRIBE}"
     for artifact in BENCH_*.json; do
         [[ -f "${artifact}" ]] || continue
         python3 - "${artifact}" "${meta_generated}" "${meta_host}" \
@@ -162,6 +170,35 @@ PYEOF
     echo "stamped meta into BENCH_*.json" >&2
 else
     echo "skip meta stamping: python3 not found" >&2
+fi
+
+# -- perf-regression ledger --------------------------------------------------
+# One JSONL line per invocation, appended to BENCH_HISTORY.jsonl: the run's
+# provenance plus every BENCH_*.json document inline. Append-only and
+# one-line-per-run on purpose -- `jq`-able, diffable, and a later
+# `bench_diff` can be pointed at any two extracted lines to compare
+# arbitrary commits. Best-effort like the stamping: never fails the run.
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "${SYNTS_GIT_DESCRIBE}" \
+        "$(hostname)" BENCH_*.json <<'PYEOF' || \
+        echo "warn: could not append BENCH_HISTORY.jsonl" >&2
+import json
+import sys
+
+generated, describe, host = sys.argv[1:4]
+entry = {"generated_utc": generated, "hostname": host, "artifacts": {}}
+if describe:
+    entry["git_describe"] = describe
+for path in sys.argv[4:]:
+    name = path.removeprefix("BENCH_").removesuffix(".json")
+    with open(path) as f:
+        entry["artifacts"][name] = json.load(f)
+with open("BENCH_HISTORY.jsonl", "a") as f:
+    f.write(json.dumps(entry, sort_keys=True) + "\n")
+PYEOF
+    echo "appended BENCH_HISTORY.jsonl" >&2
+else
+    echo "skip BENCH_HISTORY.jsonl: python3 not found" >&2
 fi
 
 # A failing bench (e.g. bench_runtime_scaling's bit-identity check) must

@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Contract tests for bench_diff, invoked from CTest as
+#   test_bench_diff.sh <path-to-bench_diff>
+#
+# Pins the perf-regression ledger's comparator semantics: byte-identical
+# documents always pass, a 20% slowdown under the 10% default tolerance
+# fails with a REGRESSED line, direction inference (timings regress upward,
+# throughput and `pass` regress downward), per-metric --tol overrides,
+# missing-metric detection, zero-baseline exit codes, --ratios-only
+# portability filtering, and loud exit-2 on unparseable input or misuse.
+set -u
+
+BENCH_DIFF=${1:?usage: test_bench_diff.sh <bench_diff>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+failures=0
+
+check() {
+    local name=$1 expected_rc=$2 actual_rc=$3
+    if [ "$actual_rc" -ne "$expected_rc" ]; then
+        echo "FAIL $name: expected exit $expected_rc, got $actual_rc" >&2
+        failures=$((failures + 1))
+        return 1
+    fi
+    echo "ok $name"
+}
+
+# A BENCH_obs-shaped baseline: timings, ratios, a verdict, and a meta
+# block that must never be compared.
+cat >"$WORK/baseline.json" <<'EOF'
+{
+  "bench": "obs_overhead",
+  "bare_ns_per_iter": 50.0,
+  "disabled_ns_per_iter": 50.5,
+  "disabled_over_bare": 1.01,
+  "cells_per_second": 2000.0,
+  "sampler_ticks": 7,
+  "pass": true,
+  "benches": [
+    {"name": "bench_micro_solver", "seconds": 0.5, "exit_code": 0},
+    {"name": "bench_micro_circuit", "seconds": 1.0, "exit_code": 0}
+  ],
+  "generated_unix": 1754600000,
+  "meta": {"schema_version": 1, "hostname": "baseline-host", "hardware_concurrency": 64}
+}
+EOF
+
+# Identical documents: zero regressions, exit 0.
+cp "$WORK/baseline.json" "$WORK/identical.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/identical.json" >"$WORK/identical.out" 2>&1
+check identical_passes 0 $?
+grep -q ', 0 regressions' "$WORK/identical.out" || {
+    echo "FAIL identical_passes: no zero-regression summary" >&2
+    failures=$((failures + 1))
+}
+
+# Provenance is never compared: a different meta/hostname still passes.
+sed 's/"baseline-host"/"other-host"/; s/1754600000/1754699999/' \
+    "$WORK/baseline.json" >"$WORK/othermeta.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/othermeta.json" >/dev/null 2>&1
+check meta_is_ignored 0 $?
+
+# A doctored 20% slowdown on a lower-better timing: REGRESSED, exit 1.
+sed 's/"disabled_ns_per_iter": 50.5/"disabled_ns_per_iter": 60.6/' \
+    "$WORK/baseline.json" >"$WORK/slower.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/slower.json" >/dev/null 2>"$WORK/slower.err"
+check doctored_slowdown_fails 1 $?
+grep -q '^REGRESSED disabled_ns_per_iter' "$WORK/slower.err" || {
+    echo "FAIL doctored_slowdown_fails: no REGRESSED line:" >&2
+    cat "$WORK/slower.err" >&2
+    failures=$((failures + 1))
+}
+
+# The same drift under a generous tolerance passes.
+"$BENCH_DIFF" --tolerance=25 "$WORK/baseline.json" "$WORK/slower.json" >/dev/null 2>&1
+check tolerance_flag_respected 0 $?
+
+# Per-metric override: everything else stays at the default.
+"$BENCH_DIFF" --tol=disabled_ns_per_iter=25 \
+    "$WORK/baseline.json" "$WORK/slower.json" >/dev/null 2>&1
+check per_metric_override 0 $?
+
+# A 20% IMPROVEMENT on a timing passes: direction matters.
+sed 's/"disabled_ns_per_iter": 50.5/"disabled_ns_per_iter": 40.4/' \
+    "$WORK/baseline.json" >"$WORK/faster.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/faster.json" >/dev/null 2>&1
+check improvement_passes 0 $?
+
+# Throughput is higher-better: a 20% DROP fails.
+sed 's/"cells_per_second": 2000.0/"cells_per_second": 1600.0/' \
+    "$WORK/baseline.json" >"$WORK/slower_tput.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/slower_tput.json" >/dev/null 2>&1
+check throughput_drop_fails 1 $?
+
+# A verdict flip (pass: true -> false) is a regression at any tolerance.
+sed 's/"pass": true/"pass": false/' "$WORK/baseline.json" >"$WORK/failing.json"
+"$BENCH_DIFF" --tolerance=99 "$WORK/baseline.json" "$WORK/failing.json" >/dev/null 2>&1
+check verdict_flip_fails 1 $?
+
+# exit_code 0 -> 1: the zero-baseline additive rule (no ratio exists).
+sed 's/"bench_micro_solver", "seconds": 0.5, "exit_code": 0/"bench_micro_solver", "seconds": 0.5, "exit_code": 1/' \
+    "$WORK/baseline.json" >"$WORK/crashing.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/crashing.json" >/dev/null 2>"$WORK/crashing.err"
+check exit_code_regression_fails 1 $?
+grep -q 'benches.bench_micro_solver.exit_code' "$WORK/crashing.err" || {
+    echo "FAIL exit_code_regression: array element not keyed by name:" >&2
+    cat "$WORK/crashing.err" >&2
+    failures=$((failures + 1))
+}
+
+# A baseline metric missing from the current document is a failure --
+# silent schema drift must not read as a fixed regression.
+grep -v '"sampler_ticks"' "$WORK/baseline.json" |
+    sed 's/"disabled_over_bare": 1.01,/"disabled_over_bare": 1.01,"padding": 1,/' \
+        >"$WORK/missing.json"
+"$BENCH_DIFF" "$WORK/baseline.json" "$WORK/missing.json" >/dev/null 2>"$WORK/missing.err"
+check missing_metric_fails 1 $?
+grep -q '^MISSING sampler_ticks' "$WORK/missing.err" || {
+    echo "FAIL missing_metric_fails: no MISSING line:" >&2
+    cat "$WORK/missing.err" >&2
+    failures=$((failures + 1))
+}
+
+# --ratios-only: machine-specific timings are excluded, so the doctored
+# ns/iter slowdown passes -- but a doctored RATIO still fails.
+"$BENCH_DIFF" --ratios-only "$WORK/baseline.json" "$WORK/slower.json" >/dev/null 2>&1
+check ratios_only_skips_timings 0 $?
+sed 's/"disabled_over_bare": 1.01/"disabled_over_bare": 1.30/' \
+    "$WORK/baseline.json" >"$WORK/ratio_regressed.json"
+"$BENCH_DIFF" --ratios-only --tol=disabled_over_bare=2 \
+    "$WORK/baseline.json" "$WORK/ratio_regressed.json" >/dev/null 2>&1
+check ratios_only_compares_ratios 1 $?
+
+# --list prints every compared path.
+"$BENCH_DIFF" --list "$WORK/baseline.json" "$WORK/identical.json" >"$WORK/list.out" 2>&1
+check list_mode 0 $?
+grep -q '^ok benches.bench_micro_circuit.seconds' "$WORK/list.out" || {
+    echo "FAIL list_mode: flattened path not listed:" >&2
+    cat "$WORK/list.out" >&2
+    failures=$((failures + 1))
+}
+
+# Unparseable JSON, wrong arity, and unknown flags: loud exit 2.
+echo '{"truncated": ' >"$WORK/bad.json"
+"$BENCH_DIFF" "$WORK/bad.json" "$WORK/baseline.json" >/dev/null 2>&1
+check parse_error_exits_2 2 $?
+"$BENCH_DIFF" "$WORK/baseline.json" >/dev/null 2>&1
+check missing_operand_exits_2 2 $?
+"$BENCH_DIFF" --frobnicate a b >/dev/null 2>&1
+check unknown_flag_exits_2 2 $?
+"$BENCH_DIFF" --tolerance=-5 a b >/dev/null 2>&1
+check negative_tolerance_exits_2 2 $?
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures bench_diff contract failure(s)" >&2
+    exit 1
+fi
+echo "all bench_diff contract tests passed"

@@ -76,6 +76,11 @@ expect_usage_error merge_with_resume --store=ignored --merge --resume
 # Telemetry flag hardening: bad --metrics format, --trace without a value.
 expect_usage_error metrics_bad_format --metrics=xml
 expect_usage_error trace_missing_value --trace
+# --sample grammar: a positive period, an optional non-empty :FILE suffix.
+expect_usage_error sample_zero --sample=0
+expect_usage_error sample_garbage --sample=abc
+expect_usage_error sample_empty_file --sample=100:
+expect_usage_error stall_ms_zero --stall-ms=0
 
 # --list-benchmarks: the ten SPLASH-2 names plus the scenario families.
 LIST="$WORK/list.txt"
@@ -212,6 +217,84 @@ if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal \
     if [ "$ok" -eq 1 ]; then echo "ok trace_and_metrics"; else failures=$((failures + 1)); fi
 else
     echo "FAIL trace_and_metrics: runner exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+# --sample + --metrics=prom on a tiny sweep: the JSONL timeline carries
+# tick frames with derived rates, and the prom exposition is OpenMetrics
+# text ending in # EOF.
+TIMELINE="$WORK/timeline.jsonl"
+PROM="$WORK/metrics.prom"
+if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal \
+        --quiet --sample=20:"$TIMELINE" --metrics=prom >"$PROM" 2>&1; then
+    ok=1
+    if ! grep -q '"tick": 0' "$TIMELINE" ||
+       ! grep -q '"t_ns": ' "$TIMELINE" ||
+       ! grep -q '"metrics": {' "$TIMELINE"; then
+        echo "FAIL sample: timeline lacks tick frames:" >&2
+        head -n2 "$TIMELINE" >&2
+        ok=0
+    fi
+    if ! grep -q '"rates_per_s": {"' "$TIMELINE"; then
+        echo "FAIL sample: no tick carries a derived rate" >&2
+        ok=0
+    fi
+    if ! grep -q '^# TYPE synts_sweep_cells_computed counter$' "$PROM" ||
+       ! grep -q '^synts_sweep_cells_computed_total ' "$PROM"; then
+        echo "FAIL prom: sweep counter missing from exposition:" >&2
+        head -n10 "$PROM" >&2
+        ok=0
+    fi
+    if ! grep -q '{quantile="0.99"} ' "$PROM" || ! grep -qx '# EOF' "$PROM"; then
+        echo "FAIL prom: no summary quantiles or missing # EOF terminator" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok sample_timeline_and_prom"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL sample_timeline_and_prom: runner exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+# --watch over the completed two-shard store: one tick, all complete, exit 0.
+WATCH_DONE="$WORK/watch_done.txt"
+"$RUNNER" --watch="$SHARD_STORE" --sample=50 >"$WATCH_DONE" 2>&1
+rc=$?
+if [ "$rc" -eq 0 ] && grep -q 'complete' "$WATCH_DONE" &&
+   grep -q 'total: .*(100.0%)' "$WATCH_DONE"; then
+    echo "ok watch_complete_fleet"
+else
+    echo "FAIL watch_complete_fleet: rc=$rc:" >&2
+    cat "$WATCH_DONE" >&2
+    failures=$((failures + 1))
+fi
+# Kill-one-shard stall detection: shard 0 completes, shard 1 is killed
+# mid-run right after publishing its first progress frame; its frame then
+# ages past --stall-ms (mtimes rewound an hour -- deterministic, no 10 s
+# wait) and --watch must report STALLED and exit 3.
+STALL_STORE="$WORK/stall-store"
+STALL_SPEC="--benchmarks=lock_ladder,pipeline,graph_walk --stages=simple_alu,complex_alu --policies=nominal,synts_offline"
+WATCH_STALL="$WORK/watch_stall.txt"
+if "$RUNNER" $STALL_SPEC --store="$STALL_STORE" --shard=0/2 --quiet >/dev/null 2>&1; then
+    manifest_count() { find "$STALL_STORE" -path '*/manifest/*' -type f | wc -l; }
+    base_frames=$(manifest_count)
+    "$RUNNER" $STALL_SPEC --store="$STALL_STORE" --shard=1/2 --workers=1 --quiet >/dev/null 2>&1 &
+    shard_pid=$!
+    for _ in $(seq 1 200); do
+        [ "$(manifest_count)" -gt "$base_frames" ] && break
+        sleep 0.05
+    done
+    kill -9 "$shard_pid" 2>/dev/null
+    wait "$shard_pid" 2>/dev/null
+    find "$STALL_STORE" -type f -exec touch -d '1 hour ago' {} +
+    "$RUNNER" --watch="$STALL_STORE" --sample=50 >"$WATCH_STALL" 2>&1
+    rc=$?
+    if [ "$rc" -eq 3 ] && grep -q 'STALLED (age ' "$WATCH_STALL"; then
+        echo "ok watch_detects_killed_shard"
+    else
+        echo "FAIL watch_detects_killed_shard: rc=$rc (want 3):" >&2
+        cat "$WATCH_STALL" >&2
+        failures=$((failures + 1))
+    fi
+else
+    echo "FAIL watch_detects_killed_shard: shard 0 run exited non-zero" >&2
     failures=$((failures + 1))
 fi
 # Overlapping partition of the recorded spec: refused, exit 2.

@@ -1,0 +1,86 @@
+#include "obs/health.h"
+
+#include <ostream>
+
+namespace synts::obs {
+
+health_monitor::health_monitor(std::string metric, const latency_histogram& hist,
+                               counter& outliers, options opts)
+    : metric_(std::move(metric)), hist_(&hist), outliers_(&outliers), opts_(opts)
+{
+    if (opts_.refresh_interval == 0) {
+        opts_.refresh_interval = 1;
+    }
+    if (opts_.capacity == 0) {
+        opts_.capacity = 1;
+    }
+}
+
+bool health_monitor::is_outlier(std::uint64_t value_ns) noexcept
+{
+    const std::uint64_t note = notes_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t threshold = threshold_.load(std::memory_order_relaxed);
+    if (threshold == 0 || note % opts_.refresh_interval == 0) {
+        // Refresh is racy by design: concurrent refreshers derive the same
+        // (or an adjacent) threshold from the same histogram; last store
+        // wins and every candidate is valid.
+        if (hist_->total() >= opts_.min_samples) {
+            threshold = static_cast<std::uint64_t>(
+                opts_.k * static_cast<double>(hist_->percentile(0.99)));
+            threshold_.store(threshold, std::memory_order_relaxed);
+        }
+    }
+    return threshold != 0 && value_ns > threshold;
+}
+
+void health_monitor::log(std::uint64_t value_ns, std::string detail)
+{
+    outliers_->add(1);
+    health_event event;
+    event.t_ns = now_ns();
+    event.value_ns = value_ns;
+    event.threshold_ns = threshold_.load(std::memory_order_relaxed);
+    event.detail = std::move(detail);
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= opts_.capacity) {
+        events_.erase(events_.begin());
+        ++dropped_;
+    }
+    events_.push_back(std::move(event));
+}
+
+std::vector<health_event> health_monitor::events() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::uint64_t health_monitor::event_count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_ + events_.size();
+}
+
+void health_monitor::write_log(std::ostream& out) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (dropped_ > 0) {
+        out << "... " << dropped_ << " older slow-cell events dropped\n";
+    }
+    for (const health_event& e : events_) {
+        out << "SLOW " << metric_ << ' ' << e.value_ns << "ns > " << opts_.k
+            << "x p99 (threshold " << e.threshold_ns << "ns): " << e.detail << '\n';
+    }
+}
+
+health_monitor& health_monitor::cell_monitor()
+{
+    static health_monitor monitor(
+        "characterize.cell_ns",
+        metrics_registry::global().histogram_at("characterize.cell_ns"),
+        metrics_registry::global().counter_at("health.slow_cells"));
+    return monitor;
+}
+
+} // namespace synts::obs

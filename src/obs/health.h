@@ -1,0 +1,137 @@
+// health.h -- outlier detection over latency histograms: the slow-cell log.
+//
+// Percentiles tell you the distribution moved; they do not tell you WHICH
+// cell was slow, and by the time a human reads the end-of-run table the
+// cell's identity is gone. A health_monitor watches one latency_histogram
+// and flags individual samples exceeding k x its p99, capturing a caller-
+// supplied detail string (stage/thread/interval) at the moment of the
+// outlier -- the characterization pipeline feeds it `characterize.cell_ns`
+// so a pathological cell is named, not just counted.
+//
+// Hot-path contract: is_outlier() is a relaxed counter bump plus a relaxed
+// threshold load. The k x p99 threshold is CACHED and re-derived only every
+// `refresh_interval` notes (a p99 walk reads ~7680 relaxed atomics -- fine
+// per 256 cells, hot per cell). The detail string is built and the mutex
+// taken only for actual outliers, which are rare by construction (p99).
+// Everything rides behind obs::enabled() via monitored_timer, which
+// degrades to scoped_timer's one-load-one-branch when telemetry is off.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace synts::obs {
+
+/// One flagged sample.
+struct health_event {
+    std::uint64_t t_ns = 0;         ///< obs::now_ns() when flagged
+    std::uint64_t value_ns = 0;     ///< the outlying sample
+    std::uint64_t threshold_ns = 0; ///< k x p99 it exceeded
+    std::string detail;             ///< caller-supplied identity (cell coords)
+};
+
+struct health_options {
+    double k = 4.0;                       ///< threshold multiple of p99
+    std::uint64_t min_samples = 64;       ///< no flagging before this many
+    std::uint32_t refresh_interval = 256; ///< notes between p99 re-derivations
+    std::size_t capacity = 64;            ///< retained events (drop-oldest)
+};
+
+/// Watches one latency_histogram for samples beyond k x p99. Thread-safe;
+/// see the file comment for the hot-path contract.
+class health_monitor {
+public:
+    using options = health_options;
+
+    /// `metric` names the watched histogram in log lines; `outliers` is the
+    /// registry counter bumped per event (always-on, like every counter).
+    health_monitor(std::string metric, const latency_histogram& hist,
+                   counter& outliers, options opts = {});
+
+    /// Hot path: is this sample an outlier under the cached threshold?
+    /// False until the histogram has min_samples (a cold p99 is noise).
+    [[nodiscard]] bool is_outlier(std::uint64_t value_ns) noexcept;
+
+    /// Records a flagged sample (rare path: takes the event mutex).
+    void log(std::uint64_t value_ns, std::string detail);
+
+    /// The currently cached k x p99 threshold; 0 while below min_samples.
+    [[nodiscard]] std::uint64_t threshold_ns() const noexcept
+    {
+        return threshold_.load(std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] const std::string& metric() const noexcept { return metric_; }
+
+    /// Retained events, oldest first.
+    [[nodiscard]] std::vector<health_event> events() const;
+
+    /// Events logged over the monitor's lifetime (>= events().size()).
+    [[nodiscard]] std::uint64_t event_count() const;
+
+    /// One line per retained event:
+    ///   SLOW <metric> <value>ns > <k>x p99 (threshold <t>ns): <detail>
+    void write_log(std::ostream& out) const;
+
+    /// The process-wide monitor over `characterize.cell_ns` (counter:
+    /// `health.slow_cells`), resolved against the global registry.
+    [[nodiscard]] static health_monitor& cell_monitor();
+
+private:
+    std::string metric_;
+    const latency_histogram* hist_;
+    counter* outliers_;
+    options opts_;
+
+    std::atomic<std::uint64_t> notes_{0};
+    std::atomic<std::uint64_t> threshold_{0};
+
+    mutable std::mutex mutex_; ///< guards events_ and dropped_
+    std::vector<health_event> events_;
+    std::uint64_t dropped_ = 0;
+};
+
+/// RAII probe like scoped_timer, but also feeds a health_monitor. The
+/// DetailFn (returning the cell's identity as a string) is invoked ONLY for
+/// outliers; when telemetry is disabled the cost is one relaxed load and a
+/// branch, identical to scoped_timer.
+template <typename DetailFn>
+class monitored_timer {
+public:
+    monitored_timer(latency_histogram& sink, health_monitor& monitor,
+                    DetailFn detail) noexcept
+        : sink_(enabled() ? &sink : nullptr), monitor_(&monitor),
+          detail_(std::move(detail)), start_ns_(sink_ != nullptr ? now_ns() : 0)
+    {
+    }
+    ~monitored_timer()
+    {
+        if (sink_ == nullptr) {
+            return;
+        }
+        const std::uint64_t elapsed = now_ns() - start_ns_;
+        sink_->record(elapsed);
+        if (monitor_->is_outlier(elapsed)) {
+            monitor_->log(elapsed, detail_());
+        }
+    }
+    monitored_timer(const monitored_timer&) = delete;
+    monitored_timer& operator=(const monitored_timer&) = delete;
+
+private:
+    latency_histogram* sink_;
+    health_monitor* monitor_;
+    DetailFn detail_;
+    std::uint64_t start_ns_;
+};
+
+} // namespace synts::obs

@@ -1,0 +1,258 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace synts::obs {
+
+sampler::sampler(metrics_registry& registry, sampler_config config)
+    : registry_(&registry), config_(config), tick_times_(config.capacity)
+{
+    if (config_.capacity == 0) {
+        config_.capacity = 1;
+    }
+    if (config_.period.count() <= 0) {
+        config_.period = std::chrono::milliseconds(1);
+    }
+}
+
+sampler::~sampler() { stop(); }
+
+void sampler::start()
+{
+    {
+        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        if (running_) {
+            return;
+        }
+        running_ = true;
+        stopping_ = false;
+    }
+    thread_ = std::thread([this] { run_loop(); });
+}
+
+void sampler::stop()
+{
+    {
+        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        if (!running_ && !thread_.joinable()) {
+            // Never started: still take the final tick below so a
+            // constructed-but-unstarted sampler records its end state --
+            // callers (the runner) rely on at least one tick existing.
+            stopping_ = true;
+        }
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable()) {
+        thread_.join();
+    }
+    {
+        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        running_ = false;
+    }
+    // The guaranteed final tick: a run shorter than one period still ends
+    // with its closing totals on record.
+    sample_now();
+}
+
+void sampler::run_loop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(wake_mutex_);
+            if (wake_.wait_for(lock, config_.period, [this] { return stopping_; })) {
+                return; // stop() takes the final tick after the join
+            }
+        }
+        sample_now();
+    }
+}
+
+void sampler::append_locked(const std::string& name, metric_sample::kind kind,
+                            std::uint64_t t_ns, double value)
+{
+    auto it = series_.find(name);
+    if (it == series_.end()) {
+        it = series_.emplace(name, series_data(kind, config_.capacity)).first;
+    }
+    it->second.ring.push(sample_point{t_ns, value});
+}
+
+void sampler::sample_now()
+{
+    // Snapshot OUTSIDE our own lock: the registry walk (its mutex guards
+    // interning, not the relaxed counter reads) must not extend the window
+    // during which series readers are blocked.
+    const std::vector<metric_sample> snapshot = registry_->snapshot();
+    const std::uint64_t t_ns = now_ns();
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tick_times_.push(sample_point{t_ns, static_cast<double>(ticks_)});
+    ++ticks_;
+    for (const metric_sample& sample : snapshot) {
+        switch (sample.type) {
+        case metric_sample::kind::counter:
+            append_locked(sample.name, sample.type, t_ns,
+                          static_cast<double>(sample.count));
+            break;
+        case metric_sample::kind::gauge:
+            append_locked(sample.name, sample.type, t_ns,
+                          static_cast<double>(sample.level));
+            break;
+        case metric_sample::kind::histogram:
+            append_locked(sample.name + ".count", sample.type, t_ns,
+                          static_cast<double>(sample.count));
+            append_locked(sample.name + ".p50", sample.type, t_ns,
+                          static_cast<double>(sample.p50));
+            append_locked(sample.name + ".p99", sample.type, t_ns,
+                          static_cast<double>(sample.p99));
+            break;
+        }
+    }
+}
+
+std::uint64_t sampler::tick_count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ticks_;
+}
+
+std::vector<std::string> sampler::series_names() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(series_.size());
+    for (const auto& [name, data] : series_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+std::optional<series_view> sampler::series(std::string_view name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = series_.find(name);
+    if (it == series_.end()) {
+        return std::nullopt;
+    }
+    series_view view;
+    view.name = it->first;
+    view.kind = it->second.kind;
+    view.points = it->second.ring.points();
+    view.dropped = it->second.ring.dropped();
+    return view;
+}
+
+namespace {
+
+/// True for series whose value is a monotone running total, i.e. where a
+/// between-tick difference is a rate: counters, and the .count sub-series
+/// of histograms. Gauge levels and histogram percentiles are not rates.
+bool rate_eligible(metric_sample::kind kind, std::string_view name)
+{
+    if (kind == metric_sample::kind::counter) {
+        return true;
+    }
+    return kind == metric_sample::kind::histogram && name.ends_with(".count");
+}
+
+std::optional<double> rate_between(const sample_point& prev, const sample_point& last)
+{
+    if (last.t_ns <= prev.t_ns) {
+        return std::nullopt;
+    }
+    const double dt_s = static_cast<double>(last.t_ns - prev.t_ns) * 1e-9;
+    return (last.value - prev.value) / dt_s;
+}
+
+} // namespace
+
+std::optional<double> sampler::rate_per_second(std::string_view name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = series_.find(name);
+    if (it == series_.end() || it->second.ring.size() < 2) {
+        return std::nullopt;
+    }
+    const std::vector<sample_point> points = it->second.ring.points();
+    return rate_between(points[points.size() - 2], points.back());
+}
+
+std::optional<double> sampler::interval_hit_rate(std::string_view prefix) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto last_delta = [this](const std::string& name) -> std::optional<double> {
+        const auto it = series_.find(name);
+        if (it == series_.end() || it->second.ring.size() < 2) {
+            return std::nullopt;
+        }
+        const std::vector<sample_point> points = it->second.ring.points();
+        return points.back().value - points[points.size() - 2].value;
+    };
+    const std::optional<double> hits = last_delta(std::string(prefix) + ".hits");
+    const std::optional<double> misses = last_delta(std::string(prefix) + ".misses");
+    if (!hits || !misses || *hits + *misses <= 0.0) {
+        return std::nullopt;
+    }
+    return *hits / (*hits + *misses);
+}
+
+void sampler::write_timeline_jsonl(std::ostream& out) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+
+    // Tick-major reassembly: every point of one tick shares the t_ns read
+    // once in sample_now(), so grouping by timestamp reconstructs the tick
+    // frames exactly. The tick ring supplies the surviving ticks in order
+    // (and their global indices); series windows may start later (a series
+    // appears when its instrument does) but never contain foreign stamps.
+    struct entry {
+        double value;
+        std::optional<double> rate;
+    };
+    std::map<std::uint64_t, std::map<std::string, entry, std::less<>>> frames;
+    for (const auto& [name, data] : series_) {
+        const std::vector<sample_point> points = data.ring.points();
+        const bool eligible = rate_eligible(data.kind, name);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            entry e{points[i].value, std::nullopt};
+            if (eligible && i > 0) {
+                e.rate = rate_between(points[i - 1], points[i]);
+            }
+            frames[points[i].t_ns].emplace(name, e);
+        }
+    }
+
+    std::ostringstream line;
+    line.precision(17);
+    for (const sample_point& tick : tick_times_.points()) {
+        const auto frame = frames.find(tick.t_ns);
+        line.str("");
+        line << "{\"tick\": " << static_cast<std::uint64_t>(tick.value)
+             << ", \"t_ns\": " << tick.t_ns << ", \"metrics\": {";
+        bool first = true;
+        if (frame != frames.end()) {
+            for (const auto& [name, e] : frame->second) {
+                line << (first ? "" : ", ") << '"' << name << "\": " << e.value;
+                first = false;
+            }
+        }
+        line << "}, \"rates_per_s\": {";
+        first = true;
+        if (frame != frames.end()) {
+            for (const auto& [name, e] : frame->second) {
+                if (e.rate.has_value()) {
+                    line << (first ? "" : ", ") << '"' << name << "\": " << *e.rate;
+                    first = false;
+                }
+            }
+        }
+        line << "}}";
+        out << line.str() << '\n';
+    }
+}
+
+} // namespace synts::obs

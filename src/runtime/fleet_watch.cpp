@@ -1,0 +1,171 @@
+#include "runtime/fleet_watch.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace synts::runtime {
+
+fleet_watch::fleet_watch(const storage::artifact_store& store, watch_config config)
+    : store_(&store), config_(config)
+{
+}
+
+watch_report fleet_watch::tick(std::uint64_t now_ns)
+{
+    watch_report report;
+    const std::vector<sweep_status> sweeps = collect_store_status(*store_);
+    report.sweeps.reserve(sweeps.size());
+    bool all_complete = !sweeps.empty();
+
+    for (const sweep_status& sweep : sweeps) {
+        watch_sweep view;
+        view.spec_digest = sweep.spec_digest;
+        view.shard_count = sweep.shard_count;
+        view.total_cells = sweep.total_cells;
+        view.layout = sweep.layout;
+        view.total_done = sweep.total_done;
+        view.total_owned = sweep.total_owned;
+        view.shards.reserve(sweep.shards.size());
+
+        double rate_sum = 0.0;
+        bool any_rate = false;
+        bool all_finished = !sweep.shards.empty();
+        for (const shard_status& status : sweep.shards) {
+            watch_shard row;
+            row.status = status;
+
+            // A shard with every owned cell durable has finished its work
+            // even when its completion manifest is absent (unsharded
+            // checkpoint runs publish progress frames only): done work
+            // cannot stall, and the watch must not wait on an attestation
+            // that will never come.
+            const bool finished =
+                status.complete || (status.reported && status.done >= status.owned);
+            all_finished = all_finished && finished;
+
+            const auto key = std::make_pair(sweep.spec_digest, status.index);
+            if (status.reported && !finished) {
+                const auto prev = last_.find(key);
+                if (prev != last_.end() && now_ns > prev->second.t_ns) {
+                    const double dt_s =
+                        static_cast<double>(now_ns - prev->second.t_ns) * 1e-9;
+                    // done is monotone per shard (max-merged from frames);
+                    // a store wipe between ticks would read as rate 0.
+                    const double delta = status.done >= prev->second.done
+                        ? static_cast<double>(status.done - prev->second.done)
+                        : 0.0;
+                    row.cells_per_s = delta / dt_s;
+                    any_rate = true;
+                    rate_sum += *row.cells_per_s;
+                    if (*row.cells_per_s > 0.0 && status.owned > status.done) {
+                        row.eta_s = static_cast<double>(status.owned - status.done) /
+                                    *row.cells_per_s;
+                    }
+                }
+                row.stalled = status.frame_age_ns.has_value() &&
+                              *status.frame_age_ns > config_.stall_ns;
+            }
+            last_[key] = observation{now_ns, status.done};
+
+            view.any_stalled = view.any_stalled || row.stalled;
+            view.shards.push_back(std::move(row));
+        }
+        view.complete = all_finished;
+        if (any_rate) {
+            view.cells_per_s = rate_sum;
+        }
+        // The sweep finishes when its slowest shard does.
+        for (const watch_shard& row : view.shards) {
+            if (row.eta_s && (!view.eta_s || *row.eta_s > *view.eta_s)) {
+                view.eta_s = row.eta_s;
+            }
+        }
+
+        all_complete = all_complete && view.complete;
+        report.any_stalled = report.any_stalled || view.any_stalled;
+        report.sweeps.push_back(std::move(view));
+    }
+    report.all_complete = all_complete;
+    return report;
+}
+
+namespace {
+
+std::string fixed1(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return std::string(buf);
+}
+
+std::string percent_token(std::uint64_t done, std::uint64_t owned)
+{
+    return fixed1(owned == 0 ? 100.0
+                             : 100.0 * static_cast<double>(done) /
+                                   static_cast<double>(owned));
+}
+
+std::string eta_token(double eta_s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", eta_s < 0.5 ? 1.0 : eta_s);
+    return std::string(buf);
+}
+
+} // namespace
+
+std::string render_watch_report(const watch_report& report)
+{
+    std::ostringstream out;
+    if (report.sweeps.empty()) {
+        out << "no sweeps recorded\n";
+        return out.str();
+    }
+    for (const watch_sweep& sweep : report.sweeps) {
+        out << "sweep " << sweep.spec_digest << ": " << sweep.shard_count
+            << (sweep.shard_count == 1 ? " shard" : " shards");
+        if (sweep.layout) {
+            out << ", " << sweep.total_cells << " cells";
+        }
+        out << "\n";
+        for (const watch_shard& row : sweep.shards) {
+            const shard_status& s = row.status;
+            out << "  shard " << s.index << "/" << sweep.shard_count << ": ";
+            if (!s.reported) {
+                out << "no progress recorded\n";
+                continue;
+            }
+            out << s.done << "/" << s.owned << " ("
+                << percent_token(s.done, s.owned) << "%)";
+            if (s.complete) {
+                out << " complete";
+            }
+            if (row.cells_per_s) {
+                out << ' ' << fixed1(*row.cells_per_s) << " cells/s";
+            }
+            if (row.eta_s) {
+                out << " eta " << eta_token(*row.eta_s) << "s";
+            }
+            if (row.stalled) {
+                out << " STALLED";
+                if (s.frame_age_ns) {
+                    out << " (age " << fixed1(static_cast<double>(*s.frame_age_ns) * 1e-9)
+                        << "s)";
+                }
+            }
+            out << "\n";
+        }
+        out << "  total: " << sweep.total_done << "/" << sweep.total_owned << " ("
+            << percent_token(sweep.total_done, sweep.total_owned) << "%)";
+        if (sweep.cells_per_s) {
+            out << ' ' << fixed1(*sweep.cells_per_s) << " cells/s";
+        }
+        if (sweep.eta_s) {
+            out << " eta " << eta_token(*sweep.eta_s) << "s";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace synts::runtime

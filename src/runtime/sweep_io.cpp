@@ -151,6 +151,25 @@ sweep_json_meta collect_sweep_json_meta()
     if (const char* describe = std::getenv("SYNTS_GIT_DESCRIBE");
         describe != nullptr && *describe != '\0') {
         meta.git_describe = describe;
+    } else {
+        // Fallback when no script exported the env var (a bare binary run
+        // from a checkout): ask git directly. BENCH_obs.json once shipped a
+        // stale describe precisely because nothing recomputed it at run
+        // time; stderr is routed to /dev/null so a non-repo cwd or missing
+        // git degrades to an omitted field, never noise in the document.
+        if (FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+            pipe != nullptr) {
+            char line[256] = {};
+            if (std::fgets(line, sizeof line, pipe) != nullptr) {
+                std::string described(line);
+                while (!described.empty() &&
+                       (described.back() == '\n' || described.back() == '\r')) {
+                    described.pop_back();
+                }
+                meta.git_describe = std::move(described);
+            }
+            pclose(pipe);
+        }
     }
     return meta;
 }
@@ -329,21 +348,16 @@ std::string render_cache_stats_from_metrics(cache_stats_format format)
     return format_cache_stats(view, format);
 }
 
-std::string render_store_status(const storage::artifact_store& store)
+std::vector<sweep_status> collect_store_status(const storage::artifact_store& store)
 {
     // Reconstructed per-shard state of one sweep: completion manifests win
     // over progress frames (a complete shard can never regress behind a
     // stale count -- run() publishes the final progress frame first).
-    struct shard_view {
-        std::uint64_t done = 0;
-        std::uint64_t owned = 0;
-        bool complete = false;
-    };
     struct sweep_view {
         std::uint32_t shard_count = 1;
         std::uint64_t total_cells = 0;  // from the layout frame; 0 = none seen
         bool layout = false;
-        std::map<std::uint32_t, shard_view> shards;
+        std::map<std::uint32_t, shard_status> shards;
     };
     std::map<std::uint64_t, sweep_view> sweeps;
 
@@ -363,8 +377,9 @@ std::string render_store_status(const storage::artifact_store& store)
                 sweep.total_cells = manifest.cell_count;
             } else {
                 sweep.shard_count = std::max(sweep.shard_count, manifest.shard_count);
-                shard_view& view = sweep.shards[manifest.shard_index];
+                shard_status& view = sweep.shards[manifest.shard_index];
                 view.complete = true;
+                view.reported = true;
                 view.owned = manifest.cell_count;
                 view.done = manifest.cell_count;
             }
@@ -376,7 +391,8 @@ std::string render_store_status(const storage::artifact_store& store)
             const shard_progress progress = storage::decode_shard_progress(*frame);
             sweep_view& sweep = sweeps[progress.spec_digest];
             sweep.shard_count = std::max(sweep.shard_count, progress.shard_count);
-            shard_view& view = sweep.shards[progress.shard_index];
+            shard_status& view = sweep.shards[progress.shard_index];
+            view.reported = true;
             if (!view.complete) {
                 view.owned = std::max(view.owned, progress.cells_owned);
                 view.done = std::max(view.done, progress.cells_done);
@@ -386,53 +402,89 @@ std::string render_store_status(const storage::artifact_store& store)
         }
     }
 
+    std::vector<sweep_status> out;
+    out.reserve(sweeps.size());
+    for (auto& [digest, sweep] : sweeps) {
+        sweep_status status;
+        status.spec_digest = digest;
+        status.shard_count = sweep.shard_count;
+        status.total_cells = sweep.total_cells;
+        status.layout = sweep.layout;
+        status.shards.resize(sweep.shard_count);
+        for (std::uint32_t i = 0; i < sweep.shard_count; ++i) {
+            shard_status& view = status.shards[i];
+            const auto it = sweep.shards.find(i);
+            if (it != sweep.shards.end()) {
+                view = it->second;
+            }
+            view.index = i;
+            if (view.reported) {
+                // The progress frame's mtime IS the shard's last heartbeat
+                // (atomic republish on every durable cell, ~4 Hz throttle):
+                // its age is how long the shard has been silent.
+                view.frame_age_ns = store.entry_age_ns(
+                    storage::manifest_bucket,
+                    shard_progress_digest(digest, sweep.shard_count, i));
+                status.total_done += view.done;
+                status.total_owned += view.owned;
+            }
+        }
+        // The layout knows the sweep's full size; unreported shards would
+        // otherwise silently shrink the denominator.
+        if (sweep.layout && sweep.total_cells > status.total_owned) {
+            status.total_owned = sweep.total_cells;
+        }
+        out.push_back(std::move(status));
+    }
+    return out;
+}
+
+namespace {
+
+/// "%.1f" completion percentage; a shard that owns zero cells is trivially
+/// done.
+std::string percent_token(std::uint64_t done, std::uint64_t owned)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f",
+                  owned == 0 ? 100.0
+                             : 100.0 * static_cast<double>(done) /
+                                   static_cast<double>(owned));
+    return std::string(buf);
+}
+
+} // namespace
+
+std::string render_store_status(const storage::artifact_store& store)
+{
+    const std::vector<sweep_status> sweeps = collect_store_status(store);
     std::ostringstream out;
     if (sweeps.empty()) {
         out << "no sweeps recorded\n";
         return out.str();
     }
-    const auto percent = [](std::uint64_t done, std::uint64_t owned) {
-        char buf[32];
-        // A shard that owns zero cells is trivially done.
-        std::snprintf(buf, sizeof buf, "%.1f",
-                      owned == 0 ? 100.0
-                                 : 100.0 * static_cast<double>(done) /
-                                       static_cast<double>(owned));
-        return std::string(buf);
-    };
-    for (const auto& [digest, sweep] : sweeps) {
-        out << "sweep " << digest << ": " << sweep.shard_count
+    for (const sweep_status& sweep : sweeps) {
+        out << "sweep " << sweep.spec_digest << ": " << sweep.shard_count
             << (sweep.shard_count == 1 ? " shard" : " shards");
         if (sweep.layout) {
             out << ", " << sweep.total_cells << " cells";
         }
         out << "\n";
-        std::uint64_t total_done = 0;
-        std::uint64_t total_owned = 0;
-        for (std::uint32_t i = 0; i < sweep.shard_count; ++i) {
-            out << "  shard " << i << "/" << sweep.shard_count << ": ";
-            const auto it = sweep.shards.find(i);
-            if (it == sweep.shards.end()) {
+        for (const shard_status& view : sweep.shards) {
+            out << "  shard " << view.index << "/" << sweep.shard_count << ": ";
+            if (!view.reported) {
                 out << "no progress recorded\n";
                 continue;
             }
-            const shard_view& view = it->second;
             out << view.done << "/" << view.owned << " ("
-                << percent(view.done, view.owned) << "%)";
+                << percent_token(view.done, view.owned) << "%)";
             if (view.complete) {
                 out << " complete";
             }
             out << "\n";
-            total_done += view.done;
-            total_owned += view.owned;
         }
-        // The layout knows the sweep's full size; unreported shards would
-        // otherwise silently shrink the denominator.
-        if (sweep.layout && sweep.total_cells > total_owned) {
-            total_owned = sweep.total_cells;
-        }
-        out << "  total: " << total_done << "/" << total_owned << " ("
-            << percent(total_done, total_owned) << "%)\n";
+        out << "  total: " << sweep.total_done << "/" << sweep.total_owned << " ("
+            << percent_token(sweep.total_done, sweep.total_owned) << "%)\n";
     }
     return out.str();
 }

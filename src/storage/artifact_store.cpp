@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <stdexcept>
@@ -137,6 +138,22 @@ bool artifact_store::contains(std::string_view bucket, std::uint64_t digest) con
 {
     std::error_code ec;
     return fs::is_regular_file(entry_path(bucket, digest), ec);
+}
+
+std::optional<std::uint64_t> artifact_store::entry_age_ns(std::string_view bucket,
+                                                          std::uint64_t digest) const
+{
+    std::error_code ec;
+    const fs::file_time_type mtime = fs::last_write_time(entry_path(bucket, digest), ec);
+    if (ec) {
+        return std::nullopt;
+    }
+    const auto age = fs::file_time_type::clock::now() - mtime;
+    if (age.count() < 0) {
+        return 0;
+    }
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(age).count());
 }
 
 bool artifact_store::store(std::string_view bucket, std::uint64_t digest,

@@ -77,6 +77,15 @@ public:
     /// True when an entry file exists (says nothing about validity).
     [[nodiscard]] bool contains(std::string_view bucket, std::uint64_t digest) const;
 
+    /// Nanoseconds since (bucket, digest)'s file was last written, or
+    /// nullopt when absent/unreadable. Publishes are atomic renames, so
+    /// the mtime is the instant the current frame became visible -- this
+    /// is what --watch ages shard_progress frames by to call a shard
+    /// STALLED without touching its process. Clamped to 0 for files whose
+    /// mtime sits ahead of now (clock skew on shared filesystems).
+    [[nodiscard]] std::optional<std::uint64_t>
+    entry_age_ns(std::string_view bucket, std::uint64_t digest) const;
+
     /// Atomically publishes `frame` as (bucket, digest): temp file in the
     /// store's tmp/ dir, then rename over the final path. Returns false
     /// (leaving no partial file behind) on any I/O failure.

@@ -1,0 +1,310 @@
+#include "util/json.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace synts::util {
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Nesting is capped so a
+/// hostile (or corrupted) document cannot overflow the stack.
+class parser {
+public:
+    explicit parser(std::string_view text) : text_(text) {}
+
+    json_value run()
+    {
+        json_value value = parse_value(0);
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+        }
+        return value;
+    }
+
+private:
+    static constexpr int max_depth = 64;
+
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        throw json_error(what, pos_);
+    }
+
+    [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+    void skip_ws() noexcept
+    {
+        while (!eof()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+                return;
+            }
+            ++pos_;
+        }
+    }
+
+    void expect(char c)
+    {
+        if (eof() || peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal) {
+            return false;
+        }
+        pos_ += literal.size();
+        return true;
+    }
+
+    json_value parse_value(int depth)
+    {
+        if (depth > max_depth) {
+            fail("nesting too deep");
+        }
+        skip_ws();
+        if (eof()) {
+            fail("unexpected end of document");
+        }
+        switch (peek()) {
+        case '{': return parse_object(depth);
+        case '[': return parse_array(depth);
+        case '"': return json_value(parse_string());
+        case 't':
+            if (!consume_literal("true")) {
+                fail("bad literal");
+            }
+            return json_value(true);
+        case 'f':
+            if (!consume_literal("false")) {
+                fail("bad literal");
+            }
+            return json_value(false);
+        case 'n':
+            if (!consume_literal("null")) {
+                fail("bad literal");
+            }
+            return json_value();
+        default: return json_value(parse_number());
+        }
+    }
+
+    json_value parse_object(int depth)
+    {
+        expect('{');
+        json_object members;
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return json_value(std::move(members));
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            json_value value = parse_value(depth + 1);
+            // Duplicate keys keep the FIRST occurrence: later duplicates
+            // are parsed (syntax must still be valid) but dropped.
+            bool duplicate = false;
+            for (const auto& [name, existing] : members) {
+                if (name == key) {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (!duplicate) {
+                members.emplace_back(std::move(key), std::move(value));
+            }
+            skip_ws();
+            if (eof()) {
+                fail("unterminated object");
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return json_value(std::move(members));
+        }
+    }
+
+    json_value parse_array(int depth)
+    {
+        expect('[');
+        json_array elements;
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return json_value(std::move(elements));
+        }
+        for (;;) {
+            elements.push_back(parse_value(depth + 1));
+            skip_ws();
+            if (eof()) {
+                fail("unterminated array");
+            }
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return json_value(std::move(elements));
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (eof()) {
+                fail("unterminated string");
+            }
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof()) {
+                fail("unterminated escape");
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': out += decode_unicode_escape(); break;
+            default: fail("bad escape");
+            }
+        }
+    }
+
+    /// \uXXXX -> UTF-8. Surrogate pairs are combined; a lone surrogate is
+    /// an error (these documents are ASCII in practice; strictness is
+    /// cheaper than a replacement-character policy).
+    std::string decode_unicode_escape()
+    {
+        std::uint32_t code = parse_hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!consume_literal("\\u")) {
+                fail("lone high surrogate");
+            }
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+                fail("bad low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate");
+        }
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    std::uint32_t parse_hex4()
+    {
+        std::uint32_t value = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (eof()) {
+                fail("truncated \\u escape");
+            }
+            const char c = text_[pos_++];
+            value <<= 4;
+            if (c >= '0' && c <= '9') {
+                value |= static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                value |= static_cast<std::uint32_t>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                value |= static_cast<std::uint32_t>(c - 'A' + 10);
+            } else {
+                fail("bad hex digit in \\u escape");
+            }
+        }
+        return value;
+    }
+
+    double parse_number()
+    {
+        const std::size_t start = pos_;
+        if (!eof() && peek() == '-') {
+            ++pos_;
+        }
+        const auto digits = [&] {
+            std::size_t n = 0;
+            while (!eof() && peek() >= '0' && peek() <= '9') {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        const std::size_t int_digits = digits();
+        if (int_digits == 0) {
+            fail("bad number");
+        }
+        // JSON forbids leading zeros ("007"); strtod would accept them.
+        if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+            fail("leading zero in number");
+        }
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (digits() == 0) {
+                fail("bad fraction");
+            }
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-')) {
+                ++pos_;
+            }
+            if (digits() == 0) {
+                fail("bad exponent");
+            }
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        return std::strtod(token.c_str(), nullptr);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+json_value json_value::parse(std::string_view text)
+{
+    return parser(text).run();
+}
+
+} // namespace synts::util

@@ -1,0 +1,121 @@
+// util/json.h -- a minimal JSON reader (DOM) for tooling.
+//
+// The repo is full of JSON *writers* (sweep documents, bench artifacts,
+// Chrome traces) but until bench_diff nothing needed to read JSON back
+// without shelling out to python. This is the smallest DOM that covers
+// those documents: the six JSON kinds, strict parsing (trailing garbage,
+// unterminated strings, bad escapes and malformed numbers all throw
+// json_error with a byte offset), a recursion-depth cap instead of a stack
+// overflow, and order-preserving objects (duplicate keys keep the first,
+// matching what a honest writer emits). Numbers are doubles -- a 2%
+// tolerance comparison does not care about the 53-bit integer ceiling.
+//
+// Not a general-purpose library on purpose: no serialization (writers
+// already exist), no mutation helpers, no SAX interface.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace synts::util {
+
+/// Parse failure: what went wrong and the byte offset it went wrong at.
+class json_error : public std::runtime_error {
+public:
+    json_error(const std::string& what, std::size_t offset)
+        : std::runtime_error(what + " at byte " + std::to_string(offset)),
+          offset_(offset)
+    {
+    }
+    [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+private:
+    std::size_t offset_;
+};
+
+class json_value;
+using json_array = std::vector<json_value>;
+/// Order-preserving object representation (documents are small; linear
+/// key lookup beats a map's allocation churn and keeps emission order
+/// available to callers that care).
+using json_object = std::vector<std::pair<std::string, json_value>>;
+
+class json_value {
+public:
+    enum class kind { null, boolean, number, string, array, object };
+
+    json_value() = default;
+    explicit json_value(bool b) : value_(b) {}
+    explicit json_value(double d) : value_(d) {}
+    explicit json_value(std::string s) : value_(std::move(s)) {}
+    explicit json_value(json_array a) : value_(std::move(a)) {}
+    explicit json_value(json_object o) : value_(std::move(o)) {}
+
+    /// Parses exactly one JSON document (leading/trailing whitespace
+    /// allowed, anything else after the value throws).
+    [[nodiscard]] static json_value parse(std::string_view text);
+
+    [[nodiscard]] kind type() const noexcept
+    {
+        return static_cast<kind>(value_.index());
+    }
+    [[nodiscard]] bool is_null() const noexcept { return type() == kind::null; }
+    [[nodiscard]] bool is_bool() const noexcept { return type() == kind::boolean; }
+    [[nodiscard]] bool is_number() const noexcept { return type() == kind::number; }
+    [[nodiscard]] bool is_string() const noexcept { return type() == kind::string; }
+    [[nodiscard]] bool is_array() const noexcept { return type() == kind::array; }
+    [[nodiscard]] bool is_object() const noexcept { return type() == kind::object; }
+
+    /// Typed accessors; each throws json_error (offset 0) on a kind
+    /// mismatch -- tooling wants loud schema drift, not default values.
+    [[nodiscard]] bool as_bool() const { return get<bool>("boolean"); }
+    [[nodiscard]] double as_number() const { return get<double>("number"); }
+    [[nodiscard]] const std::string& as_string() const
+    {
+        return get<std::string>("string");
+    }
+    [[nodiscard]] const json_array& as_array() const
+    {
+        return get<json_array>("array");
+    }
+    [[nodiscard]] const json_object& as_object() const
+    {
+        return get<json_object>("object");
+    }
+
+    /// Object member lookup (first match); nullptr when absent or when
+    /// this value is not an object.
+    [[nodiscard]] const json_value* find(std::string_view key) const
+    {
+        if (!is_object()) {
+            return nullptr;
+        }
+        for (const auto& [name, member] : std::get<json_object>(value_)) {
+            if (name == key) {
+                return &member;
+            }
+        }
+        return nullptr;
+    }
+
+private:
+    template <typename T>
+    [[nodiscard]] const T& get(const char* wanted) const
+    {
+        if (const T* p = std::get_if<T>(&value_)) {
+            return *p;
+        }
+        throw json_error(std::string("expected ") + wanted, 0);
+    }
+
+    std::variant<std::monostate, bool, double, std::string, json_array, json_object>
+        value_;
+};
+
+} // namespace synts::util

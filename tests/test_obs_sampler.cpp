@@ -1,0 +1,316 @@
+// Tests for the metrics sampler: exact ring wraparound/drop-oldest
+// semantics, series expansion (counter/gauge/histogram -> flat series),
+// derived rates and interval hit-rates, the JSONL timeline (parsed back
+// through util/json -- the emitter and the reader must agree), global tick
+// indices surviving wraparound, and -- under TSan -- writer threads
+// hammering the registry while a fast sampler ticks concurrently.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace synts;
+
+obs::sampler_config config_of(std::size_t capacity,
+                              std::chrono::milliseconds period = std::chrono::milliseconds(100))
+{
+    obs::sampler_config config;
+    config.capacity = capacity;
+    config.period = period;
+    return config;
+}
+
+TEST(obs_sampler, ring_keeps_newest_window_and_counts_drops)
+{
+    obs::sample_ring ring(4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 4u);
+
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        ring.push(obs::sample_point{i, static_cast<double>(i * 10)});
+    }
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 6u);
+
+    // Oldest-to-newest: exactly the last four pushes, in push order.
+    const std::vector<obs::sample_point> points = ring.points();
+    ASSERT_EQ(points.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(points[i].t_ns, 6u + i);
+        EXPECT_EQ(points[i].value, static_cast<double>((6 + i) * 10));
+    }
+    ASSERT_TRUE(ring.back().has_value());
+    EXPECT_EQ(ring.back()->t_ns, 9u);
+}
+
+TEST(obs_sampler, ring_zero_capacity_is_coerced_to_one)
+{
+    obs::sample_ring ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    ring.push(obs::sample_point{1, 1.0});
+    ring.push(obs::sample_point{2, 2.0});
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.dropped(), 1u);
+    EXPECT_EQ(ring.back()->value, 2.0);
+}
+
+TEST(obs_sampler, sample_now_expands_instruments_into_flat_series)
+{
+    obs::metrics_registry registry;
+    registry.counter_at("sampler.cells").add(5);
+    registry.gauge_at("sampler.inflight").set(3);
+    obs::latency_histogram& hist = registry.histogram_at("sampler.lat_ns");
+    for (int i = 0; i < 100; ++i) {
+        hist.record(1000);
+    }
+
+    obs::sampler sampler(registry, config_of(8));
+    sampler.sample_now();
+    EXPECT_EQ(sampler.tick_count(), 1u);
+
+    const std::vector<std::string> names = sampler.series_names();
+    const auto has = [&](const std::string& name) {
+        return std::find(names.begin(), names.end(), name) != names.end();
+    };
+    EXPECT_TRUE(has("sampler.cells"));
+    EXPECT_TRUE(has("sampler.inflight"));
+    EXPECT_TRUE(has("sampler.lat_ns.count"));
+    EXPECT_TRUE(has("sampler.lat_ns.p50"));
+    EXPECT_TRUE(has("sampler.lat_ns.p99"));
+
+    const auto cells = sampler.series("sampler.cells");
+    ASSERT_TRUE(cells.has_value());
+    EXPECT_EQ(cells->kind, obs::metric_sample::kind::counter);
+    ASSERT_EQ(cells->points.size(), 1u);
+    EXPECT_EQ(cells->points[0].value, 5.0);
+
+    const auto count = sampler.series("sampler.lat_ns.count");
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(count->points[0].value, 100.0);
+
+    EXPECT_FALSE(sampler.series("sampler.absent").has_value());
+}
+
+TEST(obs_sampler, rate_per_second_differences_the_last_two_points)
+{
+    obs::metrics_registry registry;
+    obs::counter& cells = registry.counter_at("rate.cells");
+    obs::sampler sampler(registry, config_of(8));
+
+    cells.add(10);
+    sampler.sample_now();
+    // One point: no interval to difference yet.
+    EXPECT_FALSE(sampler.rate_per_second("rate.cells").has_value());
+
+    cells.add(10);
+    sampler.sample_now();
+    const std::optional<double> rate = sampler.rate_per_second("rate.cells");
+    ASSERT_TRUE(rate.has_value());
+    // 10 new cells over a sub-second interval: a large positive rate whose
+    // exact value depends on the wall clock; sign and floor are invariant.
+    EXPECT_GT(*rate, 0.0);
+
+    EXPECT_FALSE(sampler.rate_per_second("rate.absent").has_value());
+}
+
+TEST(obs_sampler, interval_hit_rate_uses_only_the_last_interval)
+{
+    obs::metrics_registry registry;
+    obs::counter& hits = registry.counter_at("tier.hits");
+    obs::counter& misses = registry.counter_at("tier.misses");
+    obs::sampler sampler(registry, config_of(8));
+
+    // Pre-history the last interval must NOT see: 90 hits, 0 misses.
+    hits.add(90);
+    sampler.sample_now();
+    EXPECT_FALSE(sampler.interval_hit_rate("tier").has_value()); // one point
+
+    hits.add(3);
+    misses.add(1);
+    sampler.sample_now();
+    const std::optional<double> rate = sampler.interval_hit_rate("tier");
+    ASSERT_TRUE(rate.has_value());
+    EXPECT_DOUBLE_EQ(*rate, 0.75); // 3 / (3 + 1), not 93 / 94
+
+    // A quiet interval (no lookups) has no defined hit rate.
+    sampler.sample_now();
+    EXPECT_FALSE(sampler.interval_hit_rate("tier").has_value());
+    EXPECT_FALSE(sampler.interval_hit_rate("absent").has_value());
+}
+
+TEST(obs_sampler, timeline_jsonl_round_trips_through_the_json_reader)
+{
+    obs::metrics_registry registry;
+    obs::counter& cells = registry.counter_at("tl.cells");
+    obs::sampler sampler(registry, config_of(8));
+
+    cells.add(2);
+    sampler.sample_now();
+    cells.add(3);
+    sampler.sample_now();
+
+    std::ostringstream out;
+    sampler.write_timeline_jsonl(out);
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<util::json_value> frames;
+    while (std::getline(lines, line)) {
+        frames.push_back(util::json_value::parse(line));
+    }
+    ASSERT_EQ(frames.size(), 2u);
+
+    EXPECT_EQ(frames[0].find("tick")->as_number(), 0.0);
+    EXPECT_EQ(frames[1].find("tick")->as_number(), 1.0);
+    EXPECT_LT(frames[0].find("t_ns")->as_number(), frames[1].find("t_ns")->as_number());
+
+    EXPECT_EQ(frames[0].find("metrics")->find("tl.cells")->as_number(), 2.0);
+    EXPECT_EQ(frames[1].find("metrics")->find("tl.cells")->as_number(), 5.0);
+
+    // The first tick has no previous point to difference against.
+    EXPECT_EQ(frames[0].find("rates_per_s")->find("tl.cells"), nullptr);
+    const util::json_value* rate = frames[1].find("rates_per_s")->find("tl.cells");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_GT(rate->as_number(), 0.0);
+}
+
+TEST(obs_sampler, timeline_keeps_global_tick_indices_across_wraparound)
+{
+    obs::metrics_registry registry;
+    obs::counter& cells = registry.counter_at("wrap.cells");
+    obs::sampler sampler(registry, config_of(3));
+
+    for (int i = 0; i < 5; ++i) {
+        cells.add(1);
+        sampler.sample_now();
+    }
+    EXPECT_EQ(sampler.tick_count(), 5u);
+
+    const auto view = sampler.series("wrap.cells");
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->points.size(), 3u);
+    EXPECT_EQ(view->dropped, 2u);
+
+    std::ostringstream out;
+    sampler.write_timeline_jsonl(out);
+    std::istringstream lines(out.str());
+    std::string line;
+    std::vector<double> ticks;
+    std::vector<double> values;
+    while (std::getline(lines, line)) {
+        const util::json_value frame = util::json_value::parse(line);
+        ticks.push_back(frame.find("tick")->as_number());
+        values.push_back(frame.find("metrics")->find("wrap.cells")->as_number());
+    }
+    // Ticks 0 and 1 were dropped; survivors keep their TRUE indices.
+    EXPECT_EQ(ticks, (std::vector<double>{2.0, 3.0, 4.0}));
+    EXPECT_EQ(values, (std::vector<double>{3.0, 4.0, 5.0}));
+}
+
+TEST(obs_sampler, stop_without_start_still_takes_the_final_tick)
+{
+    obs::metrics_registry registry;
+    registry.counter_at("final.cells").add(7);
+    obs::sampler sampler(registry, config_of(4));
+    sampler.stop();
+    EXPECT_EQ(sampler.tick_count(), 1u);
+    const auto view = sampler.series("final.cells");
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->points.back().value, 7.0);
+    sampler.stop(); // idempotent: one more guaranteed tick per call is fine
+    EXPECT_EQ(sampler.tick_count(), 2u);
+}
+
+// The TSan target: writer threads hammer registry instruments (relaxed
+// atomics) while the background sampler snapshots on a 1 ms period and a
+// reader polls rates -- the snapshot-vs-writer and tick-vs-reader races the
+// lock-light design claims to avoid must actually be clean.
+TEST(obs_sampler, concurrent_writers_and_sampler_agree_on_totals)
+{
+    obs::metrics_registry registry;
+    obs::counter& cells = registry.counter_at("stress.cells");
+    obs::latency_histogram& lat = registry.histogram_at("stress.lat_ns");
+
+    obs::sampler sampler(registry, config_of(128, std::chrono::milliseconds(1)));
+    sampler.start();
+    sampler.start(); // no-op when already running
+
+    constexpr int writer_count = 4;
+    constexpr std::uint64_t per_writer = 20'000;
+    std::vector<std::thread> writers;
+    writers.reserve(writer_count);
+    for (int w = 0; w < writer_count; ++w) {
+        writers.emplace_back([&] {
+            for (std::uint64_t i = 0; i < per_writer; ++i) {
+                cells.add(1);
+                lat.record(100 + (i & 0xFF));
+            }
+        });
+    }
+    for (std::thread& writer : writers) {
+        writer.join();
+    }
+    sampler.stop();
+
+    EXPECT_GE(sampler.tick_count(), 1u);
+    // The guaranteed final tick runs after every writer joined, so the last
+    // point carries the exact totals.
+    const auto view = sampler.series("stress.cells");
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->points.back().value,
+              static_cast<double>(writer_count * per_writer));
+    const auto count = sampler.series("stress.lat_ns.count");
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(count->points.back().value,
+              static_cast<double>(writer_count * per_writer));
+}
+
+TEST(obs_openmetrics, exposition_covers_all_kinds_and_terminates)
+{
+    obs::metrics_registry registry;
+    registry.counter_at("sweep.cells_computed").add(42);
+    registry.gauge_at("pool.queue-depth").set(-3);
+    obs::latency_histogram& hist = registry.histogram_at("cell.lat_ns");
+    for (int i = 0; i < 100; ++i) {
+        hist.record(1000);
+    }
+
+    const std::string text = obs::render_openmetrics(registry.snapshot());
+
+    // Counter: sanitized name, `_total` sample, TYPE line.
+    EXPECT_NE(text.find("# TYPE synts_sweep_cells_computed counter\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("synts_sweep_cells_computed_total 42\n"), std::string::npos);
+
+    // Gauge: '-' sanitized to '_', signed level, no suffix.
+    EXPECT_NE(text.find("# TYPE synts_pool_queue_depth gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("synts_pool_queue_depth -3\n"), std::string::npos);
+
+    // Histogram: summary with quantile labels plus _count.
+    EXPECT_NE(text.find("# TYPE synts_cell_lat_ns summary\n"), std::string::npos);
+    EXPECT_NE(text.find("synts_cell_lat_ns{quantile=\"0.5\"} "), std::string::npos);
+    EXPECT_NE(text.find("synts_cell_lat_ns{quantile=\"0.99\"} "), std::string::npos);
+    EXPECT_NE(text.find("synts_cell_lat_ns_count 100\n"), std::string::npos);
+
+    // OpenMetrics termination marker, exactly at the end.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+    // render_metrics dispatches prom to the same exposition.
+    EXPECT_EQ(obs::render_metrics(registry.snapshot(), obs::metrics_format::prom),
+              text);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+// Tests for the minimal JSON reader behind bench_diff: the six value
+// kinds, strict rejection (trailing garbage, leading zeros, lone
+// surrogates, raw control characters, over-deep nesting) with byte
+// offsets, \u escape decoding incl. surrogate pairs, first-wins duplicate
+// keys, and a round-trip over a real BENCH-shaped document.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+
+namespace {
+
+using synts::util::json_error;
+using synts::util::json_value;
+
+TEST(util_json, parses_all_scalar_kinds)
+{
+    EXPECT_TRUE(json_value::parse("null").is_null());
+    EXPECT_TRUE(json_value::parse("true").as_bool());
+    EXPECT_FALSE(json_value::parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(json_value::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(json_value::parse("-0.5").as_number(), -0.5);
+    EXPECT_DOUBLE_EQ(json_value::parse("1.25e2").as_number(), 125.0);
+    EXPECT_DOUBLE_EQ(json_value::parse("2E-2").as_number(), 0.02);
+    EXPECT_EQ(json_value::parse("\"hi\"").as_string(), "hi");
+    EXPECT_EQ(json_value::parse("  \"ws\"  ").as_string(), "ws");
+}
+
+TEST(util_json, parses_containers_and_preserves_order)
+{
+    const json_value doc = json_value::parse(
+        R"({"z": [1, 2, 3], "a": {"nested": true}, "empty_a": [], "empty_o": {}})");
+    ASSERT_TRUE(doc.is_object());
+    const auto& members = doc.as_object();
+    ASSERT_EQ(members.size(), 4u);
+    // Emission order survives (no sorting).
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+
+    const json_value* z = doc.find("z");
+    ASSERT_NE(z, nullptr);
+    ASSERT_EQ(z->as_array().size(), 3u);
+    EXPECT_DOUBLE_EQ(z->as_array()[1].as_number(), 2.0);
+
+    EXPECT_TRUE(doc.find("a")->find("nested")->as_bool());
+    EXPECT_TRUE(doc.find("empty_a")->as_array().empty());
+    EXPECT_TRUE(doc.find("empty_o")->as_object().empty());
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_EQ(z->find("anything"), nullptr); // find on a non-object
+}
+
+TEST(util_json, decodes_escapes_including_surrogate_pairs)
+{
+    EXPECT_EQ(json_value::parse(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+              "a\"b\\c/d\b\f\n\r\t");
+    EXPECT_EQ(json_value::parse(R"("\u0041")").as_string(), "A");
+    EXPECT_EQ(json_value::parse(R"("\u00e9")").as_string(), "\xC3\xA9");   // e-acute
+    EXPECT_EQ(json_value::parse(R"("\u20ac")").as_string(), "\xE2\x82\xAC"); // euro
+    // U+1D11E (musical G clef): a surrogate pair into 4-byte UTF-8.
+    EXPECT_EQ(json_value::parse(R"("\ud834\udd1e")").as_string(),
+              "\xF0\x9D\x84\x9E");
+    // Raw UTF-8 bytes (>= 0x20) pass through untouched.
+    EXPECT_EQ(json_value::parse("\"\xC3\xA9\"").as_string(), "\xC3\xA9");
+}
+
+TEST(util_json, duplicate_keys_keep_the_first)
+{
+    const json_value doc = json_value::parse(R"({"k": 1, "k": 2})");
+    ASSERT_EQ(doc.as_object().size(), 1u);
+    EXPECT_DOUBLE_EQ(doc.find("k")->as_number(), 1.0);
+}
+
+TEST(util_json, rejects_malformed_documents_with_offsets)
+{
+    const auto offset_of = [](const std::string& text) -> std::size_t {
+        try {
+            (void)json_value::parse(text);
+        } catch (const json_error& error) {
+            return error.offset();
+        }
+        ADD_FAILURE() << "parsed: " << text;
+        return static_cast<std::size_t>(-1);
+    };
+
+    EXPECT_THROW((void)json_value::parse(""), json_error);
+    EXPECT_THROW((void)json_value::parse("tru"), json_error);
+    EXPECT_THROW((void)json_value::parse("nul"), json_error);
+    EXPECT_THROW((void)json_value::parse("{\"a\": 1,}"), json_error);
+    EXPECT_THROW((void)json_value::parse("[1, 2"), json_error);
+    EXPECT_THROW((void)json_value::parse("\"unterminated"), json_error);
+    EXPECT_THROW((void)json_value::parse("\"bad\\q\""), json_error);
+    EXPECT_THROW((void)json_value::parse("\"raw\ntab\""), json_error);
+    EXPECT_THROW((void)json_value::parse("007"), json_error);
+    EXPECT_THROW((void)json_value::parse("-"), json_error);
+    EXPECT_THROW((void)json_value::parse("1."), json_error);
+    EXPECT_THROW((void)json_value::parse("1e"), json_error);
+    EXPECT_THROW((void)json_value::parse(R"("\ud834")"), json_error);  // lone high
+    EXPECT_THROW((void)json_value::parse(R"("\udd1e")"), json_error);  // lone low
+    EXPECT_THROW((void)json_value::parse(R"("\u12g4")"), json_error);
+
+    // Trailing garbage points past the valid prefix.
+    EXPECT_EQ(offset_of("42 junk"), 3u);
+}
+
+TEST(util_json, caps_nesting_depth_instead_of_overflowing)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i) {
+        deep += '[';
+    }
+    EXPECT_THROW((void)json_value::parse(deep), json_error);
+
+    std::string fine = "1";
+    for (int i = 0; i < 32; ++i) {
+        fine = "[" + fine + "]";
+    }
+    EXPECT_NO_THROW((void)json_value::parse(fine));
+}
+
+TEST(util_json, typed_accessors_throw_on_kind_mismatch)
+{
+    const json_value number = json_value::parse("3.5");
+    EXPECT_THROW((void)number.as_string(), json_error);
+    EXPECT_THROW((void)number.as_array(), json_error);
+    EXPECT_THROW((void)json_value::parse("\"s\"").as_number(), json_error);
+}
+
+TEST(util_json, reads_a_bench_shaped_document)
+{
+    const json_value doc = json_value::parse(R"({
+      "generated_unix": 1754600000,
+      "hardware_threads": 8,
+      "benches": [
+        {"name": "bench_micro_solver", "seconds": 0.123, "exit_code": 0},
+        {"name": "bench_micro_circuit", "seconds": 1.5, "exit_code": 0}
+      ],
+      "pass": true,
+      "meta": {"schema_version": 1, "git_describe": "v0-8-gabc1234"}
+    })");
+    const json_value* benches = doc.find("benches");
+    ASSERT_NE(benches, nullptr);
+    ASSERT_EQ(benches->as_array().size(), 2u);
+    EXPECT_EQ(benches->as_array()[0].find("name")->as_string(),
+              "bench_micro_solver");
+    EXPECT_DOUBLE_EQ(benches->as_array()[1].find("seconds")->as_number(), 1.5);
+    EXPECT_TRUE(doc.find("pass")->as_bool());
+    EXPECT_EQ(doc.find("meta")->find("git_describe")->as_string(), "v0-8-gabc1234");
+}
+
+} // namespace

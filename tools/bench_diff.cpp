@@ -1,0 +1,262 @@
+// bench_diff -- the perf-regression ledger's comparator.
+//
+// Compares a BENCH_*.json artifact against a baseline under per-metric
+// tolerances and exits non-zero when anything regressed -- the missing
+// half of the bench story: run_benches.sh has always *produced* artifacts,
+// but nothing ever *compared* them across commits, so the bench trajectory
+// was write-only. CI runs this twice per artifact: against a byte-identical
+// copy (must pass) and against a doctored copy with a 20% slowdown (must
+// fail), then against the committed bench/baselines/ under --ratios-only.
+//
+// Comparison model: both documents are flattened to dotted numeric paths
+// ("benches.bench_micro_solver.seconds", "disabled_over_bare"; array
+// elements keyed by their "name" member when present, by index otherwise;
+// booleans as 0/1). Direction is inferred from the leaf name -- throughput
+// (`*_per_second`, `*_per_s`, `*_rate`), speedups and verdicts (`pass`)
+// regress DOWNWARD, everything else (timings, counts of failures)
+// regresses UPWARD.
+// `meta.*` and `generated_unix` are provenance, never compared. A metric
+// present in the baseline but missing from the current document is a
+// failure (silent schema drift looks exactly like a fixed regression).
+//
+// --ratios-only restricts the comparison to machine-portable metrics
+// (dimensionless ratios, verdicts, exit codes): absolute ns/iter timings
+// differ across CI machine generations, but disabled_over_bare is a
+// property of the CODE, which is what a committed baseline can honestly
+// pin.
+//
+// Usage:
+//   bench_diff [--tolerance=PCT] [--tol=PATH=PCT]... [--ratios-only]
+//              [--list] BASELINE.json CURRENT.json
+// Exit: 0 within tolerance, 1 regression or missing metric, 2 usage/parse.
+
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using synts::util::json_value;
+
+constexpr std::string_view usage =
+    R"(bench_diff -- compare a BENCH_*.json against a baseline under tolerances
+
+  bench_diff [options] BASELINE.json CURRENT.json
+
+  --tolerance=PCT  default allowed drift in percent (default 10)
+  --tol=PATH=PCT   per-metric override, PATH as printed by --list
+                   (repeatable, e.g. --tol=disabled_over_bare=2)
+  --ratios-only    compare only machine-portable metrics: dimensionless
+                   ratios (paths containing "over", "ratio", "speedup"),
+                   verdicts ("pass") and exit codes -- for committed
+                   baselines that must hold across machines
+  --list           print every compared path with baseline/current values
+
+  Exit: 0 all within tolerance; 1 regression or baseline metric missing
+  from current; 2 usage or parse error.
+)";
+
+/// Leaf metric name of a dotted path.
+std::string_view leaf(std::string_view path)
+{
+    const std::size_t dot = path.rfind('.');
+    return dot == std::string_view::npos ? path : path.substr(dot + 1);
+}
+
+bool higher_is_better(std::string_view path)
+{
+    const std::string_view l = leaf(path);
+    return l == "pass" || l.ends_with("_per_second") || l.ends_with("_per_s") ||
+           l.ends_with("_rate") || l.ends_with("per_iter_inverse") ||
+           l.find("speedup") != std::string_view::npos;
+}
+
+bool ratio_metric(std::string_view path)
+{
+    const std::string_view l = leaf(path);
+    return l == "pass" || l == "exit_code" || l.find("over") != std::string_view::npos ||
+           l.find("ratio") != std::string_view::npos ||
+           l.find("speedup") != std::string_view::npos;
+}
+
+/// Flattens numeric/boolean leaves into dotted paths. Array elements of
+/// objects carrying a string "name" member are keyed by that name (stable
+/// across reordering); other elements by index.
+void flatten(const json_value& value, const std::string& path,
+             std::map<std::string, double>& out)
+{
+    switch (value.type()) {
+    case json_value::kind::number: out[path] = value.as_number(); return;
+    case json_value::kind::boolean: out[path] = value.as_bool() ? 1.0 : 0.0; return;
+    case json_value::kind::object:
+        for (const auto& [key, member] : value.as_object()) {
+            if (path.empty() && (key == "meta" || key == "generated_unix")) {
+                continue; // provenance, not performance
+            }
+            flatten(member, path.empty() ? key : path + "." + key, out);
+        }
+        return;
+    case json_value::kind::array: {
+        const auto& elements = value.as_array();
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            std::string key;
+            if (const json_value* name = elements[i].find("name");
+                name != nullptr && name->is_string()) {
+                key = name->as_string();
+            } else {
+                key = std::to_string(i);
+            }
+            flatten(elements[i], path.empty() ? key : path + "." + key, out);
+        }
+        return;
+    }
+    case json_value::kind::string:
+    case json_value::kind::null: return; // not comparable
+    }
+}
+
+std::optional<json_value> load_json(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        return json_value::parse(buffer.str());
+    } catch (const synts::util::json_error& error) {
+        std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), error.what());
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    double tolerance_pct = 10.0;
+    std::map<std::string, double> overrides;
+    bool ratios_only = false;
+    bool list = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        const auto value_of = [&](std::string_view prefix) -> std::optional<std::string_view> {
+            if (arg.starts_with(prefix)) {
+                return arg.substr(prefix.size());
+            }
+            return std::nullopt;
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage.data(), stdout);
+            return 0;
+        }
+        if (arg == "--ratios-only") {
+            ratios_only = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (const auto v = value_of("--tolerance=")) {
+            char* end = nullptr;
+            tolerance_pct = std::strtod(std::string(*v).c_str(), &end);
+            if (v->empty() || tolerance_pct < 0.0) {
+                std::fprintf(stderr, "bench_diff: bad --tolerance\n");
+                return 2;
+            }
+        } else if (const auto v = value_of("--tol=")) {
+            const std::size_t eq = v->rfind('=');
+            if (eq == std::string_view::npos || eq == 0 || eq + 1 >= v->size()) {
+                std::fprintf(stderr, "bench_diff: --tol expects PATH=PCT\n");
+                return 2;
+            }
+            const double pct = std::strtod(std::string(v->substr(eq + 1)).c_str(), nullptr);
+            if (pct < 0.0) {
+                std::fprintf(stderr, "bench_diff: bad --tol percentage\n");
+                return 2;
+            }
+            overrides[std::string(v->substr(0, eq))] = pct;
+        } else if (arg.starts_with("--")) {
+            std::fprintf(stderr, "bench_diff: unknown flag %s\n\n%s",
+                         std::string(arg).c_str(), usage.data());
+            return 2;
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr, "bench_diff: expected BASELINE.json CURRENT.json\n\n%s",
+                     usage.data());
+        return 2;
+    }
+
+    const std::optional<json_value> baseline_doc = load_json(files[0]);
+    const std::optional<json_value> current_doc = load_json(files[1]);
+    if (!baseline_doc || !current_doc) {
+        return 2;
+    }
+
+    std::map<std::string, double> baseline;
+    std::map<std::string, double> current;
+    flatten(*baseline_doc, "", baseline);
+    flatten(*current_doc, "", current);
+
+    int regressions = 0;
+    int compared = 0;
+    for (const auto& [path, base_value] : baseline) {
+        if (ratios_only && !ratio_metric(path)) {
+            continue;
+        }
+        const auto it = current.find(path);
+        if (it == current.end()) {
+            std::fprintf(stderr, "MISSING %s (baseline %.6g, absent in current)\n",
+                         path.c_str(), base_value);
+            ++regressions;
+            continue;
+        }
+        const double cur_value = it->second;
+        ++compared;
+
+        const auto override_it = overrides.find(path);
+        const double tol =
+            (override_it != overrides.end() ? override_it->second : tolerance_pct) /
+            100.0;
+        const bool higher_better = higher_is_better(path);
+
+        bool regressed = false;
+        if (base_value == 0.0) {
+            // No ratio exists; additive: any upward move of a lower-better
+            // metric off a zero baseline (exit_code 0 -> 1) is a regression.
+            regressed = !higher_better && cur_value > 1e-12;
+        } else if (higher_better) {
+            regressed = cur_value < base_value * (1.0 - tol);
+        } else {
+            regressed = cur_value > base_value * (1.0 + tol);
+        }
+
+        if (list || regressed) {
+            const double ratio = base_value != 0.0 ? cur_value / base_value : 0.0;
+            std::fprintf(regressed ? stderr : stdout,
+                         "%s %s: baseline %.6g, current %.6g (%.3fx, tol %.1f%%%s)\n",
+                         regressed ? "REGRESSED" : "ok", path.c_str(), base_value,
+                         cur_value, ratio, tol * 100.0,
+                         higher_better ? ", higher-better" : "");
+        }
+        if (regressed) {
+            ++regressions;
+        }
+    }
+
+    std::printf("bench_diff: %d metric%s compared, %d regression%s\n", compared,
+                compared == 1 ? "" : "s", regressions, regressions == 1 ? "" : "s");
+    return regressions > 0 ? 1 : 0;
+}

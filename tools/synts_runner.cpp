@@ -15,17 +15,23 @@
 //                --summary-csv=summary.csv --json=sweep.json
 //   (one line; wrapped here for width)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
+#include "runtime/fleet_watch.h"
 #include "runtime/sweep.h"
 #include "runtime/sweep_io.h"
 #include "storage/artifact_store.h"
@@ -95,7 +101,14 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
   --metrics[=FMT]     after the run, print the whole metrics registry --
                       pool.*, cache.tier<N>.*, store.*, sweep.* counters,
                       gauges and latency histograms (p50/p95/p99); FMT:
-                      table (default), csv, json
+                      table (default), csv, json, prom (Prometheus/
+                      OpenMetrics text exposition, synts_* names)
+  --sample=MS[:FILE]  sample the metrics registry every MS milliseconds
+                      during the run (background thread, fixed-capacity
+                      per-series rings, drop-oldest) and write the JSONL
+                      timeline -- one object per tick with totals and
+                      derived per-second rates -- to FILE (default
+                      metrics_timeline.jsonl). Implies telemetry on.
   --trace=FILE        record spans (sweep cells, cache builds/computes)
                       during the run and write Chrome trace-event JSON to
                       FILE (open in Perfetto or chrome://tracing)
@@ -103,6 +116,15 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
                       recorded in DIR's store (per-shard cells-done/owned
                       progress, completion marks) and exit; DIR defaults to
                       the --store directory, else .synts-store
+  --watch[=DIR]       standalone: live fleet view over DIR's store (DIR
+                      defaults like --status), reprinted every --sample
+                      period (default 1000 ms) with per-shard cells/s, ETA,
+                      and a STALLED flag once a shard's progress frame is
+                      older than --stall-ms. Exits 0 when every sweep is
+                      complete (or none is recorded), 3 on the first
+                      detected stall.
+  --stall-ms=N        --watch staleness threshold in milliseconds, N >= 1
+                      (default 10000 -- 40x the publisher's 250 ms cadence)
   --list-benchmarks   print every registered workload name (one per line:
                       the SPLASH-2 profiles, then the scenario-family
                       instances) and exit
@@ -110,8 +132,8 @@ constexpr std::string_view usage = R"(synts_runner -- batched SynTS experiment s
   --help              this text
 
   Value flags accept both --flag=VALUE and --flag VALUE, except --store,
-  --cache-stats, --metrics and --status, whose bare spellings select their
-  defaults (use = to pass a value).
+  --cache-stats, --metrics, --status and --watch, whose bare spellings
+  select their defaults (use = to pass a value).
 )";
 
 std::optional<std::string_view> flag_value(std::string_view arg, std::string_view name)
@@ -201,7 +223,8 @@ runtime::sweep_shard parse_shard(std::string_view token)
                                 static_cast<std::size_t>(count)};
 }
 
-/// "table" / "csv" / "json" for --metrics (same tokens as --cache-stats).
+/// "table" / "csv" / "json" / "prom" for --metrics (--cache-stats shares
+/// the first three).
 obs::metrics_format parse_metrics_format(std::string_view token)
 {
     if (token == "table") {
@@ -212,6 +235,9 @@ obs::metrics_format parse_metrics_format(std::string_view token)
     }
     if (token == "json") {
         return obs::metrics_format::json;
+    }
+    if (token == "prom") {
+        return obs::metrics_format::prom;
     }
     throw std::invalid_argument("bad --metrics format: \"" + std::string(token) + "\"");
 }
@@ -246,6 +272,11 @@ int main(int argc, char** argv)
     std::string trace_path;
     bool status = false;
     std::string status_dir;
+    bool watch = false;
+    std::string watch_dir;
+    std::uint64_t stall_ms = 10'000;
+    std::optional<std::uint64_t> sample_period_ms;
+    std::string sample_path = "metrics_timeline.jsonl";
     workload::workload_registry& registry = workload::workload_registry::global();
 
     try {
@@ -258,6 +289,18 @@ int main(int argc, char** argv)
                 throw std::invalid_argument(std::string(flag) + " expects a value");
             }
             return argv[++i];
+        };
+        // "MS" or "MS:FILE" for --sample.
+        const auto parse_sample = [&](std::string_view v) {
+            const std::size_t colon = v.find(':');
+            sample_period_ms = parse_positive(
+                "--sample", colon == std::string_view::npos ? v : v.substr(0, colon));
+            if (colon != std::string_view::npos) {
+                if (colon + 1 >= v.size()) {
+                    throw std::invalid_argument("--sample: empty FILE after ':'");
+                }
+                sample_path = v.substr(colon + 1);
+            }
         };
         for (; i < argc; ++i) {
             const std::string_view arg = argv[i];
@@ -306,6 +349,19 @@ int main(int argc, char** argv)
             } else if (const auto v = flag_value(arg, "status")) {
                 status = true;
                 status_dir = *v;
+            } else if (arg == "--watch") {
+                watch = true;
+            } else if (const auto v = flag_value(arg, "watch")) {
+                watch = true;
+                watch_dir = *v;
+            } else if (arg == "--stall-ms") {
+                stall_ms = parse_positive(arg, take(arg));
+            } else if (const auto v = flag_value(arg, "stall-ms")) {
+                stall_ms = parse_positive("--stall-ms", *v);
+            } else if (arg == "--sample") {
+                parse_sample(take(arg));
+            } else if (const auto v = flag_value(arg, "sample")) {
+                parse_sample(*v);
             } else if (arg == "--benchmarks" || arg == "--benchmark") {
                 benchmarks_csv = take(arg);
             } else if (const auto v = flag_value(arg, "benchmarks")) {
@@ -402,14 +458,51 @@ int main(int argc, char** argv)
             return 0;
         }
 
+        if (watch) {
+            // Standalone watchdog loop: --status plus the time axis. Reads
+            // only the store, so it can watch a fleet of shard processes
+            // from any machine sharing the directory.
+            const std::string dir = !watch_dir.empty()  ? watch_dir
+                                    : !store_dir.empty() ? store_dir
+                                                         : ".synts-store";
+            const storage::artifact_store watch_store(dir);
+            runtime::watch_config watch_cfg;
+            watch_cfg.stall_ns = stall_ms * 1'000'000ull;
+            runtime::fleet_watch watcher(watch_store, watch_cfg);
+            const std::chrono::milliseconds period(sample_period_ms.value_or(1000));
+            for (;;) {
+                const runtime::watch_report report = watcher.tick(obs::now_ns());
+                std::fputs(runtime::render_watch_report(report).c_str(), stdout);
+                std::fflush(stdout);
+                if (report.sweeps.empty()) {
+                    return 0; // nothing to watch; don't spin forever in CI
+                }
+                if (report.any_stalled) {
+                    return 3;
+                }
+                if (report.all_complete) {
+                    return 0;
+                }
+                std::this_thread::sleep_for(period);
+            }
+        }
+
         // Telemetry switches on BEFORE the pool/cache/store exist so their
         // instruments observe the whole run. Counters are always live; this
         // flag arms the clock-reading paths (latency histograms, spans).
-        if (metrics.has_value() || !trace_path.empty()) {
+        if (metrics.has_value() || !trace_path.empty() || sample_period_ms.has_value()) {
             obs::set_enabled(true);
         }
         if (!trace_path.empty()) {
             obs::trace_recorder::global().set_enabled(true);
+        }
+        std::unique_ptr<obs::sampler> sampler;
+        if (sample_period_ms.has_value()) {
+            obs::sampler_config sampler_cfg;
+            sampler_cfg.period = std::chrono::milliseconds(*sample_period_ms);
+            sampler = std::make_unique<obs::sampler>(obs::metrics_registry::global(),
+                                                     sampler_cfg);
+            sampler->start();
         }
 
         runtime::experiment_cache& cache = runtime::experiment_cache::process_cache();
@@ -462,6 +555,9 @@ int main(int argc, char** argv)
                 }
             }
         }
+        if (sampler != nullptr) {
+            sampler->stop(); // guaranteed final tick: end-of-run totals
+        }
         if (cache_stats) {
             // Registry-sourced: the process-wide counters are the single
             // source of truth (byte-identical layout to the sink-sourced
@@ -488,6 +584,20 @@ int main(int argc, char** argv)
             write_file(trace_path, [](std::ostream& out) {
                 obs::trace_recorder::global().write_chrome_trace(out);
             });
+        }
+        if (sampler != nullptr) {
+            write_file(sample_path, [&](std::ostream& out) {
+                sampler->write_timeline_jsonl(out);
+            });
+        }
+        // Slow-cell outliers (cells beyond k x p99 of characterize.cell_ns)
+        // go to stderr: a health signal, not part of any machine-parsed
+        // stdout document. Only populated when telemetry was on.
+        if (const obs::health_monitor& slow = obs::health_monitor::cell_monitor();
+            slow.event_count() > 0) {
+            std::ostringstream log;
+            slow.write_log(log);
+            std::fputs(log.str().c_str(), stderr);
         }
         if (!pareto_csv_path.empty()) {
             write_file(pareto_csv_path,
