@@ -1,0 +1,329 @@
+// bench_speculation -- the speculation quality + cancel-latency gate.
+//
+// Three phases, one JSON document on stdout (scripts/run_benches.sh
+// captures it as BENCH_speculation.json; progress goes to stderr):
+//
+//  1. WARM LADDER WALK. A four-rung lock ladder is demanded rung by rung,
+//     once without and once with the speculator (drained between rungs so
+//     hit accounting is deterministic: every observe's prediction settles
+//     before the walk arrives there). Reports spec_hit_rate
+//     (hits / launched -- 3/4 on this walk: three rungs arrive on
+//     speculated cells, the last rung's prediction is never claimed) and
+//     wasted_work_ratio (wasted_ns / speculated-walk wall time; 0 on a
+//     clean walk -- nothing is squashed). Wall-clock speedup is reported
+//     for information only: it is core-count-dependent, ~1.0 on a
+//     single-hardware-thread machine.
+//
+//  2. CANCEL LATENCY. With program artifacts pre-warmed, a cancellable
+//     stage characterization is launched, cancelled mid-run, and timed
+//     from cancel() to settle. The characterizer polls its token every
+//     interval, so the latency must sit well under one CHUNK of intervals
+//     -- the gate: best-of-rounds latency <= one chunk grain
+//     (full-characterization time / total chunk count, the partition the
+//     batched walk actually uses). This is the bound that makes
+//     speculation preemption cheap: demand never waits longer than one
+//     grain for a squashed worker.
+//
+//  3. BIT IDENTITY. One sweep run twice -- speculation off, speculation on
+//     (single pair, so the idle gate deterministically opens and
+//     speculation really launches mid-sweep) -- must emit byte-identical
+//     JSON. Speculation may only change WHEN cells are computed, never
+//     what they contain.
+//
+// Exit: non-zero when any gate fails (hits == 0, cancel latency over the
+// grain, or an identity mismatch) so CI fails instead of recording a
+// broken ledger entry.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cancel.h"
+#include "runtime/experiment_cache.h"
+#include "runtime/speculator.h"
+#include "runtime/sweep.h"
+#include "runtime/sweep_io.h"
+#include "runtime/thread_pool.h"
+#include "workload/registry.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace synts;
+using clock_type = std::chrono::steady_clock;
+
+constexpr int ladder_rungs = 4;
+constexpr int cancel_rounds = 3;
+constexpr auto walk_stage = circuit::pipe_stage::decode;
+
+double seconds_since(clock_type::time_point t0)
+{
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/// Registers the bench's private ladder (distinct hold_scale so its
+/// identity never collides with other registrants) and returns the rung
+/// keys in walk order.
+std::vector<workload::workload_key> register_bench_ladder()
+{
+    workload::workload_registry& registry = workload::workload_registry::global();
+    std::vector<workload::workload_key> rungs;
+    for (int rung = 1; rung <= ladder_rungs; ++rung) {
+        workload::lock_ladder_params params;
+        params.base_contention = 0.1 + 0.05 * rung;
+        params.hold_scale = 2.0;
+        const std::string name = "bench_spec_" + std::to_string(rung);
+        if (!registry.contains(name)) {
+            workload::register_lock_ladder(registry, name, params);
+        }
+        rungs.push_back(registry.key(name));
+    }
+    return rungs;
+}
+
+/// The batched characterizer's chunk partition for `thread_count` threads
+/// over `interval_count` intervals on `workers` pool workers (mirrors
+/// core/characterization.cpp's sizing: ~4 chunks per worker, spread over
+/// the threads, clamped to [1, interval_count]).
+std::size_t total_chunks(std::size_t thread_count, std::size_t interval_count,
+                         std::size_t workers)
+{
+    const std::size_t target = 4 * (workers == 0 ? 1 : workers);
+    std::size_t per_thread = (target + thread_count - 1) / thread_count;
+    if (per_thread < 1) {
+        per_thread = 1;
+    }
+    if (per_thread > interval_count) {
+        per_thread = interval_count;
+    }
+    return per_thread * thread_count;
+}
+
+} // namespace
+
+int main()
+{
+    const std::vector<workload::workload_key> rungs = register_bench_ladder();
+
+    // ---- phase 1: warm ladder walk -------------------------------------
+    std::fprintf(stderr, "== phase 1: warm ladder walk (%d rungs)\n", ladder_rungs);
+
+    double demand_walk_s = 0.0;
+    {
+        runtime::experiment_cache cache;
+        const auto t0 = clock_type::now();
+        for (const workload::workload_key& rung : rungs) {
+            (void)cache.get_or_create(rung, walk_stage);
+        }
+        demand_walk_s = seconds_since(t0);
+    }
+    std::fprintf(stderr, "   demand walk: %.3f s\n", demand_walk_s);
+
+    double speculated_walk_s = 0.0;
+    std::uint64_t launched = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t wasted_ns = 0;
+    {
+        runtime::thread_pool pool(2);
+        runtime::experiment_cache cache;
+        runtime::speculator engine(pool, cache, /*max_inflight=*/1);
+        const auto t0 = clock_type::now();
+        for (const workload::workload_key& rung : rungs) {
+            engine.observe(rung, walk_stage, {});
+            (void)cache.get_or_create(rung, walk_stage);
+            engine.drain(); // deterministic: the prediction settles first
+        }
+        speculated_walk_s = seconds_since(t0);
+        launched = engine.launched();
+        hits = engine.hits();
+        cancelled = engine.cancelled();
+        wasted_ns = engine.wasted_ns();
+    }
+    const double spec_hit_rate =
+        launched > 0 ? static_cast<double>(hits) / static_cast<double>(launched) : 0.0;
+    const double wasted_work_ratio =
+        speculated_walk_s > 0.0
+            ? static_cast<double>(wasted_ns) / (speculated_walk_s * 1e9)
+            : 0.0;
+    const double walk_speedup =
+        speculated_walk_s > 0.0 ? demand_walk_s / speculated_walk_s : 0.0;
+    std::fprintf(stderr,
+                 "   speculated walk: %.3f s (%llu launched, %llu hits, "
+                 "%llu cancelled)\n",
+                 speculated_walk_s, static_cast<unsigned long long>(launched),
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(cancelled));
+
+    // ---- phase 2: cancel latency ---------------------------------------
+    std::fprintf(stderr, "== phase 2: cancel latency (%d rounds)\n", cancel_rounds);
+
+    runtime::experiment_cache cancel_cache;
+    core::experiment_config cancel_cfg;
+    const auto program = cancel_cache.get_or_create_program(rungs[0], cancel_cfg);
+    const std::size_t chunks = total_chunks(
+        cancel_cfg.thread_count, program->interval_count(),
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1));
+
+    // Full-characterization reference on the warm program: the stage get
+    // pays characterization only, which is what a cancel interrupts.
+    const auto t_full0 = clock_type::now();
+    (void)cancel_cache.get_or_create(rungs[0], walk_stage, cancel_cfg);
+    const double t_full_s = seconds_since(t_full0);
+    const double chunk_grain_s = t_full_s / static_cast<double>(chunks);
+    std::fprintf(stderr, "   full stage characterization: %.3f s, %zu chunks, "
+                 "grain %.4f s\n",
+                 t_full_s, chunks, chunk_grain_s);
+
+    // Rounds cancel a FRESH stage key mid-characterization. The first two
+    // reuse the warm program (sibling stages); the third pays a new
+    // program (different seed) to also cover the cross-program path.
+    struct round_spec {
+        circuit::pipe_stage stage;
+        std::uint64_t seed;
+    };
+    const round_spec round_specs[cancel_rounds] = {
+        {circuit::pipe_stage::simple_alu, 0},
+        {circuit::pipe_stage::complex_alu, 0},
+        {circuit::pipe_stage::decode, 1},
+    };
+
+    double cancel_latency_s = -1.0;
+    int valid_rounds = 0;
+    for (int round = 0; round < cancel_rounds; ++round) {
+        core::experiment_config cfg = cancel_cfg;
+        if (round_specs[round].seed != 0) {
+            cfg.seed = cancel_cfg.seed + round_specs[round].seed;
+            (void)cancel_cache.get_or_create_program(rungs[0], cfg); // pre-warm
+        }
+        runtime::cancel_source source;
+        std::atomic<bool> completed{false};
+        const auto launch = clock_type::now();
+        std::thread worker([&] {
+            try {
+                (void)cancel_cache.get_or_create(rungs[0], round_specs[round].stage,
+                                                 cfg, nullptr, nullptr,
+                                                 source.token());
+                completed.store(true);
+            } catch (const runtime::operation_cancelled&) {
+            }
+        });
+        // Let the characterization get well underway before pulling the
+        // trigger (30% of the reference duration).
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(0.3 * t_full_s));
+        const auto c0 = clock_type::now();
+        (void)source.cancel("bench cancel");
+        worker.join();
+        const double latency = seconds_since(c0);
+        (void)launch;
+        if (completed.load()) {
+            std::fprintf(stderr,
+                         "   round %d: finished before the cancel (invalid)\n",
+                         round + 1);
+            continue;
+        }
+        ++valid_rounds;
+        if (cancel_latency_s < 0.0 || latency < cancel_latency_s) {
+            cancel_latency_s = latency;
+        }
+        std::fprintf(stderr, "   round %d: cancel settled in %.4f s\n", round + 1,
+                     latency);
+    }
+    const bool cancel_ok =
+        valid_rounds > 0 && cancel_latency_s <= chunk_grain_s;
+
+    // ---- phase 3: bit identity -----------------------------------------
+    std::fprintf(stderr, "== phase 3: sweep bit identity\n");
+
+    runtime::sweep_spec spec;
+    spec.benchmarks = {rungs[0]};
+    spec.stages = {walk_stage};
+    spec.policies = {core::policy_kind::synts_offline, core::policy_kind::no_ts};
+    spec.theta_multipliers = {0.5, 1.0, 2.0};
+
+    std::string baseline_json;
+    {
+        runtime::thread_pool pool(2);
+        runtime::experiment_cache cache;
+        const runtime::sweep_scheduler scheduler(pool, cache);
+        std::ostringstream out;
+        runtime::write_sweep_json(scheduler.run(spec), out);
+        baseline_json = out.str();
+    }
+    std::string speculated_json;
+    std::uint64_t sweep_launched = 0;
+    {
+        runtime::thread_pool pool(2);
+        runtime::experiment_cache cache;
+        runtime::speculator engine(pool, cache, /*max_inflight=*/2);
+        runtime::sweep_options options;
+        options.speculate = &engine;
+        const runtime::sweep_scheduler scheduler(pool, cache);
+        std::ostringstream out;
+        runtime::write_sweep_json(scheduler.run(spec, options), out);
+        engine.drain();
+        sweep_launched = engine.launched();
+        speculated_json = out.str();
+    }
+    const bool identity_ok =
+        !baseline_json.empty() && baseline_json == speculated_json;
+    std::fprintf(stderr, "   identity %s (%llu speculations during the sweep)\n",
+                 identity_ok ? "ok" : "MISMATCH",
+                 static_cast<unsigned long long>(sweep_launched));
+
+    const bool hits_ok = hits > 0;
+    const bool pass = hits_ok && cancel_ok && identity_ok;
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"speculation\",\n");
+    std::printf("  \"ladder_rungs\": %d,\n", ladder_rungs);
+    std::printf("  \"demand_walk_seconds\": %.4f,\n", demand_walk_s);
+    std::printf("  \"speculated_walk_seconds\": %.4f,\n", speculated_walk_s);
+    std::printf("  \"walk_speedup\": %.4f,\n", walk_speedup);
+    std::printf("  \"spec_launched\": %llu,\n",
+                static_cast<unsigned long long>(launched));
+    std::printf("  \"spec_hits\": %llu,\n", static_cast<unsigned long long>(hits));
+    std::printf("  \"spec_cancelled\": %llu,\n",
+                static_cast<unsigned long long>(cancelled));
+    std::printf("  \"spec_hit_rate\": %.4f,\n", spec_hit_rate);
+    std::printf("  \"wasted_ns\": %llu,\n",
+                static_cast<unsigned long long>(wasted_ns));
+    std::printf("  \"wasted_work_ratio\": %.6f,\n", wasted_work_ratio);
+    std::printf("  \"full_characterization_seconds\": %.4f,\n", t_full_s);
+    std::printf("  \"total_chunks\": %zu,\n", chunks);
+    std::printf("  \"chunk_grain_seconds\": %.4f,\n", chunk_grain_s);
+    std::printf("  \"cancel_rounds_valid\": %d,\n", valid_rounds);
+    std::printf("  \"cancel_latency_seconds\": %.4f,\n",
+                cancel_latency_s < 0.0 ? 0.0 : cancel_latency_s);
+    std::printf("  \"cancel_within_grain\": %s,\n", cancel_ok ? "true" : "false");
+    std::printf("  \"sweep_speculations\": %llu,\n",
+                static_cast<unsigned long long>(sweep_launched));
+    std::printf("  \"identity\": %s,\n", identity_ok ? "true" : "false");
+    std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+    std::printf("}\n");
+
+    if (!hits_ok) {
+        std::fprintf(stderr, "FAIL: warm ladder walk recorded zero speculative hits\n");
+    }
+    if (!cancel_ok) {
+        std::fprintf(stderr,
+                     "FAIL: cancel latency %.4f s over the %.4f s chunk grain "
+                     "(%d valid rounds)\n",
+                     cancel_latency_s, chunk_grain_s, valid_rounds);
+    }
+    if (!identity_ok) {
+        std::fprintf(stderr, "FAIL: speculated sweep JSON diverged from baseline\n");
+    }
+    if (pass) {
+        std::fprintf(stderr,
+                     "PASS: hit rate %.2f, cancel latency %.4f s (grain %.4f s), "
+                     "bit-identical sweep\n",
+                     spec_hit_rate, cancel_latency_s, chunk_grain_s);
+    }
+    return pass ? 0 : 1;
+}

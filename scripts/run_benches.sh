@@ -8,7 +8,9 @@
 # (serialize/deserialize throughput plus cold vs warm vs resumed sweep
 # timings and the zero-compute / bit-identity verdicts) as
 # BENCH_storage.json, then the telemetry overhead gate (disabled
-# instrumentation must cost <= 2% over bare) as BENCH_obs.json. Finally
+# instrumentation must cost <= 2% over bare) as BENCH_obs.json, then the
+# speculation gate (warm-ladder hit rate, cancel latency <= one chunk
+# grain, sweep bit-identity) as BENCH_speculation.json. Finally
 # every BENCH_*.json is stamped with a `meta` provenance block (UTC
 # timestamp, host, hardware threads, git describe).
 #
@@ -130,6 +132,25 @@ if [[ -x "${obs_bench}" ]]; then
     cat "${obs_out}"
 else
     echo "skip bench_obs: not built" >&2
+fi
+
+# -- speculation quality + cancel-latency gate -------------------------------
+# bench_speculation emits its own JSON (warm-ladder hit rate, wasted-work
+# ratio, cancel-to-settle latency vs the chunk grain, sweep bit-identity
+# verdict) on stdout and gates hits > 0, latency <= one chunk grain, and
+# byte-identical sweep JSON itself, exiting non-zero on violation.
+spec_bench="${build_dir}/bench_speculation"
+spec_out="BENCH_speculation.json"
+if [[ -x "${spec_bench}" ]]; then
+    echo "== bench_speculation" >&2
+    if ! "${spec_bench}" > "${spec_out}"; then
+        echo "FAIL bench_speculation" >&2
+        failures=$((failures + 1))
+    fi
+    echo "wrote ${spec_out}" >&2
+    cat "${spec_out}"
+else
+    echo "skip bench_speculation: not built" >&2
 fi
 
 # -- provenance stamping -----------------------------------------------------

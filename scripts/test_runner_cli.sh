@@ -81,6 +81,12 @@ expect_usage_error sample_zero --sample=0
 expect_usage_error sample_garbage --sample=abc
 expect_usage_error sample_empty_file --sample=100:
 expect_usage_error stall_ms_zero --stall-ms=0
+# --speculate: zero in-flight speculations is a typo (the bare flag means
+# 1), junk must not parse, and --merge computes nothing to speculate on.
+expect_usage_error speculate_zero --speculate=0
+expect_usage_error speculate_garbage --speculate=abc
+expect_usage_error speculate_trailing --speculate=2x
+expect_usage_error speculate_with_merge --store=ignored --merge --speculate
 
 # --list-benchmarks: the ten SPLASH-2 names plus the scenario families.
 LIST="$WORK/list.txt"
@@ -137,6 +143,34 @@ if "$RUNNER" --benchmarks=lock_ladder --stages=simple_alu --policies=nominal,syn
     if [ "$ok" -eq 1 ]; then echo "ok scenario_sweep_warm_store"; else failures=$((failures + 1)); fi
 else
     echo "FAIL scenario_sweep: runner exited non-zero" >&2
+    failures=$((failures + 1))
+fi
+
+# --speculate must never change a single output byte: the same ladder
+# sweep with and without idle-worker speculation emits identical JSON
+# (modulo the volatile meta line), and the speculated run reports its
+# spec stats on stdout.
+SPEC_DEFS="--define=lock_ladder:name=cli_spec_1,base_contention=0.3 \
+  --define=lock_ladder:name=cli_spec_2,base_contention=0.5"
+SPEC_ARGS="--benchmarks=cli_spec_1,cli_spec_2 --stages=simple_alu --policies=nominal,synts_offline"
+PLAIN="$WORK/plain.json"
+SPECULATED="$WORK/speculated.json"
+SPEC_OUT="$WORK/speculated.out"
+if "$RUNNER" $SPEC_DEFS $SPEC_ARGS --quiet --json="$PLAIN" >/dev/null 2>&1 &&
+   "$RUNNER" $SPEC_DEFS $SPEC_ARGS --speculate=2 --json="$SPECULATED" >"$SPEC_OUT" 2>&1; then
+    ok=1
+    if ! cmp -s <(grep -v '"meta"' "$PLAIN") <(grep -v '"meta"' "$SPECULATED"); then
+        echo "FAIL speculate_identity: speculated JSON differs from plain run" >&2
+        ok=0
+    fi
+    if ! grep -q '^speculation: .* launched, .* hits' "$SPEC_OUT"; then
+        echo "FAIL speculate_identity: no speculation stats line on stdout:" >&2
+        tail -n5 "$SPEC_OUT" >&2
+        ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then echo "ok speculate_byte_identical"; else failures=$((failures + 1)); fi
+else
+    echo "FAIL speculate_identity: a runner invocation exited non-zero" >&2
     failures=$((failures + 1))
 fi
 

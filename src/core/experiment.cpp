@@ -32,11 +32,12 @@ std::uint64_t experiment_config::digest() const noexcept
 std::shared_ptr<const program_artifacts>
 make_program_artifacts(const workload::workload_key& workload,
                        const experiment_config& config,
-                       const util::parallel_for_fn& parallel)
+                       const util::parallel_for_fn& parallel,
+                       const util::cancel_token& cancel)
 {
     const program_characterizer characterizer(config.characterization.core);
     return std::make_shared<const program_artifacts>(characterizer.characterize(
-        workload, config.thread_count, config.seed, parallel));
+        workload, config.thread_count, config.seed, parallel, cancel));
 }
 
 namespace {
@@ -61,7 +62,8 @@ benchmark_experiment::benchmark_experiment(const workload::workload_key& workloa
 
 benchmark_experiment::benchmark_experiment(
     std::shared_ptr<const program_artifacts> artifacts, circuit::pipe_stage stage,
-    const experiment_config& config, const util::parallel_for_fn& parallel)
+    const experiment_config& config, const util::parallel_for_fn& parallel,
+    const util::cancel_token& cancel)
     : workload_(checked_artifacts(artifacts).workload), stage_(stage), config_(config),
       artifacts_(std::move(artifacts)), lib_(circuit::cell_library::standard_22nm()),
       vm_(config.voltage_class_spread), engine_(config.sampling)
@@ -78,7 +80,8 @@ benchmark_experiment::benchmark_experiment(
     }
 
     const characterizer chars(lib_, vm_, config_.characterization);
-    characterization_ = chars.characterize(*artifacts_, stage, parallel);
+    characterization_ = chars.characterize(*artifacts_, stage, parallel,
+                                           /*worker_hint=*/0, cancel);
 
     space_ = config_space::paper_grid(characterization_.tnom_ps);
 

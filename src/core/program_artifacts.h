@@ -24,6 +24,7 @@
 
 #include "arch/multicore.h"
 #include "arch/trace.h"
+#include "util/cancellation.h"
 #include "util/parallel.h"
 #include "workload/registry.h"
 
@@ -97,11 +98,15 @@ public:
     /// std::out_of_range. Deterministic in (workload, thread_count, seed,
     /// core config); `parallel` fans per-thread work out without changing
     /// the result. benchmark_id call sites convert implicitly (the built-in
-    /// ten are always registered).
+    /// ten are always registered). `cancel` (inert by default) is polled at
+    /// the phase boundaries -- before generation and between generation and
+    /// profiling -- and unwinds as util::operation_cancelled with no
+    /// partial artifacts escaping.
     [[nodiscard]] program_artifacts characterize(const workload::workload_key& workload,
                                                  std::size_t thread_count,
                                                  std::uint64_t seed,
-                                                 const util::parallel_for_fn& parallel = {}) const;
+                                                 const util::parallel_for_fn& parallel = {},
+                                                 const util::cancel_token& cancel = {}) const;
 
     /// Profiles an externally generated trace (the legacy one-shot path of
     /// characterizer::characterize(program_trace, stage)); the benchmark and

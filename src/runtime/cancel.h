@@ -1,0 +1,34 @@
+// cancel.h -- the runtime's interruptible-task contract.
+//
+// The primitive lives in util/cancellation.h so the characterization
+// pipeline (a layer below the runtime) can poll tokens without naming
+// runtime types -- the same split as util/parallel.h vs thread_pool. This
+// header gives the runtime surface its canonical names: every runtime API
+// that accepts or produces cancellation state (thread_pool::submit's
+// token overload, sweep_options::cancel, experiment_cache::get_or_create,
+// the speculator) spells them runtime::cancel_token / cancel_source.
+//
+// Contract summary (details on each site):
+//
+//   * inert by default -- a default-constructed token never cancels, and
+//     every tokenless call path is the exact pre-cancellation code path;
+//   * parent -> child linking: cancel_source(parent_token) builds a source
+//     the parent's cancel() propagates into, so cancelling a sweep cancels
+//     its per-cell tasks, and cancelling those abandons the chunked
+//     characterization walk within one poll grain;
+//   * cancellation unwinds as util::operation_cancelled. Catching it means
+//     "abandoned on request": caches drop the half-built entry (waiters
+//     retry or take over -- never parked), stores publish nothing, and a
+//     queued pool task is dropped without starting.
+
+#pragma once
+
+#include "util/cancellation.h"
+
+namespace synts::runtime {
+
+using util::cancel_source;
+using util::cancel_token;
+using util::operation_cancelled;
+
+} // namespace synts::runtime

@@ -58,6 +58,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -68,6 +69,7 @@
 
 #include "core/experiment.h"
 #include "obs/metrics.h"
+#include "runtime/cancel.h"
 #include "runtime/thread_pool.h"
 #include "util/hashing.h"
 
@@ -175,56 +177,102 @@ public:
     /// dropped so a later call can retry. `sink`, when given, receives the
     /// call's hit/miss in addition to the tier's global counters (see
     /// cache_traffic).
+    ///
+    /// Cancellation (`token`; inert by default -- the tokenless path is the
+    /// pre-cancellation code path):
+    ///   * this CALLER cancelled: throws operation_cancelled, whether it
+    ///     was about to construct or was waiting on another owner;
+    ///   * the OWNER it waits on was cancelled (e.g. a speculative miss
+    ///     preempted by demand): the owner's unwind erased the entry, so
+    ///     the waiter is never left parked -- it retries the lookup and
+    ///     typically becomes the new owner, constructing the value itself.
+    ///     This is the hand-off: demand work inherits a key a cancelled
+    ///     speculation abandoned, at the price of restarting the factory.
+    ///     Counting caveat: such a retry records one hit (the wait) AND
+    ///     then whatever the retry records -- attribution sinks see the
+    ///     work that happened, not one logical call.
     template <typename Factory>
     [[nodiscard]] Ptr get_or_create(const Key& key, Factory&& factory,
-                                    tier_traffic* sink = nullptr)
+                                    tier_traffic* sink = nullptr,
+                                    const util::cancel_token& token = {})
     {
         shard& home = shard_for(key);
 
-        std::promise<Ptr> construction;
-        std::shared_future<Ptr> entry;
-        bool owner = false;
-        {
-            std::lock_guard lock(home.mutex);
-            auto it = home.entries.find(key);
-            if (it != home.entries.end()) {
-                entry = it->second;
-            } else {
-                entry = construction.get_future().share();
-                home.entries.emplace(key, entry);
-                owner = true;
-            }
-        }
+        for (;;) {
+            token.throw_if_cancelled();
 
-        if (!owner) {
-            hits_.fetch_add(1, std::memory_order_relaxed);
-            if (registry_hits_ != nullptr) {
-                registry_hits_->add(1);
-            }
-            if (sink != nullptr) {
-                sink->hits.fetch_add(1, std::memory_order_relaxed);
-            }
-            return entry.get(); // blocks while the owner constructs; rethrows
-        }
-
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        if (registry_misses_ != nullptr) {
-            registry_misses_->add(1);
-        }
-        if (sink != nullptr) {
-            sink->misses.fetch_add(1, std::memory_order_relaxed);
-        }
-        try {
-            construction.set_value(factory());
-        } catch (...) {
-            construction.set_exception(std::current_exception());
+            std::promise<Ptr> construction;
+            std::shared_future<Ptr> entry;
+            bool owner = false;
             {
                 std::lock_guard lock(home.mutex);
-                home.entries.erase(key);
+                auto it = home.entries.find(key);
+                if (it != home.entries.end()) {
+                    entry = it->second;
+                } else {
+                    entry = construction.get_future().share();
+                    home.entries.emplace(key, entry);
+                    owner = true;
+                }
             }
-            throw;
+
+            if (!owner) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                if (registry_hits_ != nullptr) {
+                    registry_hits_->add(1);
+                }
+                if (sink != nullptr) {
+                    sink->hits.fetch_add(1, std::memory_order_relaxed);
+                }
+                try {
+                    if (token.can_cancel()) {
+                        // A cancellable waiter must not block indefinitely
+                        // on a future its own cancel can never settle, so
+                        // it alternates short waits with token polls.
+                        while (entry.wait_for(std::chrono::milliseconds(1)) !=
+                               std::future_status::ready) {
+                            token.throw_if_cancelled();
+                        }
+                    }
+                    return entry.get(); // blocks while the owner constructs
+                } catch (const util::operation_cancelled&) {
+                    // Own cancel: propagate. Owner's cancel: the entry was
+                    // erased by the owner's unwind -- retry (hand-off).
+                    token.throw_if_cancelled();
+                    continue;
+                }
+            }
+
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            if (registry_misses_ != nullptr) {
+                registry_misses_->add(1);
+            }
+            if (sink != nullptr) {
+                sink->misses.fetch_add(1, std::memory_order_relaxed);
+            }
+            try {
+                construction.set_value(factory());
+            } catch (...) {
+                construction.set_exception(std::current_exception());
+                {
+                    std::lock_guard lock(home.mutex);
+                    home.entries.erase(key);
+                }
+                throw;
+            }
+            return entry.get();
         }
-        return entry.get();
+    }
+
+    /// True while `key` is resident -- settled OR still under construction.
+    /// A snapshot only (the speculator's don't-duplicate probe), never a
+    /// reservation.
+    [[nodiscard]] bool contains(const Key& key) const
+    {
+        shard& home = *shards_[util::hash_mix(key.digest(), shards_.size()) &
+                               (shards_.size() - 1)];
+        std::lock_guard lock(home.mutex);
+        return home.entries.contains(key);
     }
 
     [[nodiscard]] std::uint64_t hit_count() const noexcept
@@ -302,22 +350,46 @@ public:
     /// either way) and must outlive the call. `traffic`, when given,
     /// receives this call's traffic on every tier it touches, so callers
     /// sharing the cache can attribute hits/misses/computes to themselves
-    /// (see cache_traffic).
+    /// (see cache_traffic). `cancel`, when linked, is observed at every
+    /// phase boundary of a miss's construction and inside the
+    /// characterization walk; a cancelled owner unwinds with
+    /// operation_cancelled, publishes nothing to any tier, and waiting
+    /// callers retry/take over (see memo_tier::get_or_create).
     [[nodiscard]] experiment_ptr get_or_create(const workload::workload_key& workload,
                                                circuit::pipe_stage stage,
                                                const core::experiment_config& config = {},
                                                thread_pool* pool = nullptr,
-                                               cache_traffic* traffic = nullptr);
+                                               cache_traffic* traffic = nullptr,
+                                               const cancel_token& cancel = {});
 
     /// Returns the cached stage-independent artifacts for
     /// (workload, config.workload_digest()), constructing them on this
     /// thread if absent. With a store attached, a memory miss probes the
-    /// disk tier before computing (see file comment). `traffic` as above.
+    /// disk tier before computing (see file comment). `traffic` and
+    /// `cancel` as above.
     [[nodiscard]] program_ptr
     get_or_create_program(const workload::workload_key& workload,
                           const core::experiment_config& config = {},
                           thread_pool* pool = nullptr,
-                          cache_traffic* traffic = nullptr);
+                          cache_traffic* traffic = nullptr,
+                          const cancel_token& cancel = {});
+
+    /// True while the stage-tier entry for (workload, stage, config) is
+    /// resident (settled or under construction). A snapshot, not a
+    /// reservation -- the speculator's don't-recompute probe.
+    [[nodiscard]] bool contains(const workload::workload_key& workload,
+                                circuit::pipe_stage stage,
+                                const core::experiment_config& config = {}) const
+    {
+        return stage_tier_.contains({workload, stage, config.digest()});
+    }
+
+    /// Program-tier residency probe; same snapshot caveat as contains().
+    [[nodiscard]] bool contains_program(const workload::workload_key& workload,
+                                        const core::experiment_config& config = {}) const
+    {
+        return program_tier_.contains({workload, config.workload_digest()});
+    }
 
     /// Attaches (or, with nullptr, detaches) the persistent disk tier.
     /// Not synchronized against in-flight lookups: attach before handing

@@ -1,0 +1,234 @@
+#include "runtime/speculator.h"
+
+#include <cctype>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist_builder.h"
+#include "obs/metrics.h"
+#include "workload/registry.h"
+
+namespace synts::runtime {
+
+namespace {
+
+/// Ladder-next prediction: a workload whose name ends in a rung number
+/// ("lock_ladder_3") predicts the next rung ("lock_ladder_4"). Returns
+/// nullopt when the name has no trailing digits (not a ladder instance) or
+/// the number does not parse.
+std::optional<std::string> next_rung_name(const std::string& name)
+{
+    std::size_t begin = name.size();
+    while (begin > 0 && (std::isdigit(static_cast<unsigned char>(name[begin - 1])) != 0)) {
+        --begin;
+    }
+    if (begin == name.size()) {
+        return std::nullopt;
+    }
+    try {
+        const unsigned long long rung = std::stoull(name.substr(begin));
+        return name.substr(0, begin) + std::to_string(rung + 1);
+    } catch (const std::exception&) {
+        return std::nullopt; // rung number out of range
+    }
+}
+
+} // namespace
+
+speculator::speculator(thread_pool& pool, experiment_cache& cache,
+                       std::size_t max_inflight)
+    : pool_(&pool), cache_(&cache),
+      max_inflight_(max_inflight == 0 ? 1 : max_inflight),
+      obs_launched_(&obs::metrics_registry::global().counter_at("spec.launched")),
+      obs_hits_(&obs::metrics_registry::global().counter_at("spec.hits")),
+      obs_cancelled_(&obs::metrics_registry::global().counter_at("spec.cancelled")),
+      obs_wasted_ns_(&obs::metrics_registry::global().counter_at("spec.wasted_ns"))
+{
+}
+
+speculator::~speculator()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopped_ = true;
+    }
+    (void)root_.cancel("speculator stopped");
+    drain();
+}
+
+void speculator::observe(const workload::workload_key& workload,
+                         circuit::pipe_stage stage,
+                         const core::experiment_config& config)
+{
+    const experiment_key key{workload, stage, config.digest()};
+    std::lock_guard lock(mutex_);
+    reap_locked();
+
+    if (published_.erase(key) > 0) {
+        // A completed speculation materialized exactly what demand now
+        // asks for; the cache get that follows this observe() is a pure
+        // memory hit.
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_hits_->add(1);
+    } else if (inflight_.contains(key)) {
+        // Demand landed on an in-flight speculative construction: it will
+        // join as a cache waiter, so the speculation is now on the demand
+        // critical path -- count the hit and let it run.
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        obs_hits_->add(1);
+    } else if (!cache_->contains(workload, stage, config)) {
+        // A genuine demand miss is about to construct: the workers belong
+        // to it. Squash everything speculative (queued tasks drop without
+        // starting; running ones unwind within one characterization
+        // interval and publish nothing).
+        for (auto& [unused, entry] : inflight_) {
+            (void)entry.handle.try_cancel("preempted by demand");
+        }
+    }
+
+    if (!stopped_) {
+        launch_predictions_locked(workload, stage, config);
+    }
+}
+
+void speculator::cancel_inflight(std::string_view reason)
+{
+    std::lock_guard lock(mutex_);
+    for (auto& [unused, entry] : inflight_) {
+        (void)entry.handle.try_cancel(reason);
+    }
+}
+
+void speculator::drain()
+{
+    for (;;) {
+        std::vector<std::shared_future<void>> pending;
+        {
+            std::lock_guard lock(mutex_);
+            reap_locked();
+            if (inflight_.empty()) {
+                return;
+            }
+            pending.reserve(inflight_.size());
+            for (auto& [unused, entry] : inflight_) {
+                pending.push_back(entry.done);
+            }
+        }
+        for (std::shared_future<void>& done : pending) {
+            // Help while waiting (the sweep scheduler's discipline): drain
+            // may run on a pool worker or a fully-busy pool, where plain
+            // blocking would wait on a task stuck behind the waiter.
+            while (done.wait_for(std::chrono::seconds(0)) !=
+                   std::future_status::ready) {
+                if (!pool_->run_one_task()) {
+                    (void)done.wait_for(std::chrono::milliseconds(1));
+                }
+            }
+        }
+    }
+}
+
+void speculator::reap_locked()
+{
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.done.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            ++it;
+            continue;
+        }
+        try {
+            it->second.done.get();
+            // Success: the task already recorded itself in published_.
+        } catch (const operation_cancelled&) {
+            cancelled_.fetch_add(1, std::memory_order_relaxed);
+            obs_cancelled_->add(1);
+            const std::uint64_t waste = obs::now_ns() - it->second.start_ns;
+            wasted_ns_.fetch_add(waste, std::memory_order_relaxed);
+            obs_wasted_ns_->add(static_cast<std::int64_t>(waste));
+        } catch (...) {
+            // A speculative failure is silent -- demand will retry the key
+            // itself and surface the real error; the time is still waste.
+            const std::uint64_t waste = obs::now_ns() - it->second.start_ns;
+            wasted_ns_.fetch_add(waste, std::memory_order_relaxed);
+            obs_wasted_ns_->add(static_cast<std::int64_t>(waste));
+        }
+        it = inflight_.erase(it);
+    }
+}
+
+void speculator::launch_predictions_locked(const workload::workload_key& workload,
+                                           circuit::pipe_stage stage,
+                                           const core::experiment_config& config)
+{
+    // Idle gate, checked ONCE per observe: speculation only rides truly
+    // idle workers. Launched predictions themselves raise pending_count,
+    // so the gate must not be re-checked between launches.
+    if (pool_->pending_count() != 0) {
+        return;
+    }
+
+    std::vector<experiment_key> candidates;
+    // Next ladder rung first: it needs fresh program artifacts, so it is
+    // the expensive prediction -- exactly the one worth starting early.
+    if (const std::optional<std::string> next = next_rung_name(workload.name)) {
+        const workload::workload_registry& registry =
+            workload::workload_registry::global();
+        if (registry.contains(*next)) {
+            candidates.push_back(
+                experiment_key{registry.key(*next), stage, config.digest()});
+        }
+    }
+    // Then the sibling stages of the demanded workload: they share its
+    // program artifacts, so each costs only a stage characterization.
+    for (std::size_t s = 0; s < circuit::pipe_stage_count; ++s) {
+        const auto sibling = static_cast<circuit::pipe_stage>(s);
+        if (sibling != stage) {
+            candidates.push_back(experiment_key{workload, sibling, config.digest()});
+        }
+    }
+
+    for (const experiment_key& candidate : candidates) {
+        if (inflight_.size() >= max_inflight_) {
+            return;
+        }
+        if (inflight_.contains(candidate) || published_.contains(candidate) ||
+            cache_->contains(candidate.workload, candidate.stage, config)) {
+            continue;
+        }
+        launch_locked(candidate, config);
+    }
+}
+
+void speculator::launch_locked(const experiment_key& key,
+                               const core::experiment_config& config)
+{
+    const workload::workload_key workload = key.workload;
+    const circuit::pipe_stage stage = key.stage;
+    inflight_entry entry;
+    entry.start_ns = obs::now_ns();
+    try {
+        entry.handle = pool_->submit(
+            root_.token(), [this, workload, stage, config](const cancel_token& token) {
+                // No pool fan-out inside (nullptr executor): a speculative
+                // construction must never recruit workers demand could
+                // claim. Bit-identity is unaffected -- characterization is
+                // executor-independent.
+                (void)cache_->get_or_create(workload, stage, config,
+                                            /*pool=*/nullptr, /*traffic=*/nullptr,
+                                            token);
+                const std::lock_guard lock(mutex_);
+                published_.insert(experiment_key{workload, stage, config.digest()});
+            });
+    } catch (const pool_stopped&) {
+        return; // pool is draining; nothing was enqueued
+    }
+    entry.done = entry.handle.future().share();
+    launched_.fetch_add(1, std::memory_order_relaxed);
+    obs_launched_->add(1);
+    inflight_.emplace(key, std::move(entry));
+}
+
+} // namespace synts::runtime

@@ -1,0 +1,172 @@
+// speculator.h -- idle-worker speculative cell execution.
+//
+// The paper's premise at the runtime's own scale: run ahead of confirmed
+// demand and recover cheaply when wrong. When the pool's workers are idle,
+// the speculator predicts the cells a sweep is likely to ask for next --
+// the next rung of a scenario ladder (a workload whose name ends in a rung
+// number), and the sibling pipe stages of the workload just requested,
+// which share its program artifacts -- and computes them under
+// low-priority cancellable tokens, publishing results into the SAME keyed
+// experiment_cache tiers demand would fill. The moment real demand needs a
+// worker, in-flight speculation is cancelled (queued speculative tasks are
+// dropped without starting; running ones unwind within one
+// characterization interval). The shape is Prophet's speculative-thread
+// model (PAPERS.md) on the adevs interrupt discipline (SNIPPETS.md
+// snippet 1): spawn likely-next work, validate against demand, squash on
+// mis-speculation.
+//
+// Correctness contract:
+//
+//   * speculation NEVER changes what a key maps to. It calls the same
+//     experiment_cache::get_or_create a demand lookup would, so a
+//     speculative entry is bit-identical to a demanded one and sweep JSON
+//     is byte-identical with speculation on or off;
+//   * only COMPLETE artifacts are ever published: a cancelled speculative
+//     construction unwinds out of the cache factory, which drops the
+//     half-built entry (waiters retry or take over) and publishes nothing
+//     to memory or disk -- a torn cell cannot exist;
+//   * a demand lookup that lands on an in-flight speculative key JOINS the
+//     construction as a cache waiter (counted as a speculative hit) -- the
+//     speculation is then doing demand-critical work and is not preempted.
+//
+// Measurability (obs registry, spec.* taxonomy): spec.launched /
+// spec.hits / spec.cancelled counters and spec.wasted_ns (nanoseconds
+// spent in speculative constructions that did not complete).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/experiment.h"
+#include "runtime/cancel.h"
+#include "runtime/experiment_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace synts::obs {
+class counter;
+} // namespace synts::obs
+
+namespace synts::runtime {
+
+/// Idle-worker speculation engine. One instance serves one pool + cache
+/// pairing; sweep_options::speculate (or any direct caller) reports demand
+/// through observe(). Thread-safe: observe() may be called concurrently
+/// from every sweep worker. Both the pool and the cache must outlive the
+/// speculator.
+class speculator {
+public:
+    /// `max_inflight` bounds concurrent speculative constructions (>= 1;
+    /// 0 is clamped to 1). Keep it below the worker count: speculation is
+    /// the idle-cycle scavenger, never the load.
+    speculator(thread_pool& pool, experiment_cache& cache,
+               std::size_t max_inflight = 1);
+
+    /// Cancels outstanding speculation and drains it before returning.
+    ~speculator();
+
+    speculator(const speculator&) = delete;
+    speculator& operator=(const speculator&) = delete;
+
+    /// Reports one demand lookup of (workload, stage, config) -- call
+    /// BEFORE the demand's own cache get. Effects, in order:
+    ///
+    ///   * a previously completed speculation of this key records a hit
+    ///     (once per speculated key);
+    ///   * an in-flight speculation of this key records a hit and is left
+    ///     running -- the demand joins it as a cache waiter;
+    ///   * otherwise, if the key is not already cached, every in-flight
+    ///     speculation is cancelled: demand needs the workers now;
+    ///   * finally, predictions seeded by this key (next ladder rung,
+    ///     sibling stages) are launched -- but only while the pool has no
+    ///     queued demand and the in-flight budget has room.
+    void observe(const workload::workload_key& workload, circuit::pipe_stage stage,
+                 const core::experiment_config& config);
+
+    /// Cancels every in-flight speculation (reason "preempted by demand"
+    /// unless overridden). Queued speculative tasks are dropped without
+    /// starting. Does not block; the cancelled tasks settle asynchronously.
+    void cancel_inflight(std::string_view reason = "preempted by demand");
+
+    /// Blocks until every launched speculative task settled (completed,
+    /// dropped, or unwound). Benches call this to make hit accounting
+    /// deterministic; the destructor calls it after cancelling.
+    void drain();
+
+    /// Speculative constructions launched.
+    [[nodiscard]] std::uint64_t launched() const noexcept
+    {
+        return launched_.load(std::memory_order_relaxed);
+    }
+    /// Demand lookups served by (completed or joined) speculation.
+    [[nodiscard]] std::uint64_t hits() const noexcept
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    /// Speculative constructions cancelled before completing.
+    [[nodiscard]] std::uint64_t cancelled() const noexcept
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+    /// Nanoseconds spent in speculative constructions that did not
+    /// complete (the squashed-work bill; hits are the other side).
+    [[nodiscard]] std::uint64_t wasted_ns() const noexcept
+    {
+        return wasted_ns_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct key_hash {
+        std::size_t operator()(const experiment_key& key) const noexcept
+        {
+            return static_cast<std::size_t>(key.digest());
+        }
+    };
+    struct inflight_entry {
+        cancellable_task<void> handle;
+        std::shared_future<void> done;
+        std::uint64_t start_ns = 0;
+    };
+
+    /// Harvests settled in-flight entries: counts cancellations/waste and
+    /// removes them. Caller holds mutex_.
+    void reap_locked();
+    /// Launches predictions seeded by the given demand key while the idle
+    /// gate and budget allow. Caller holds mutex_.
+    void launch_predictions_locked(const workload::workload_key& workload,
+                                   circuit::pipe_stage stage,
+                                   const core::experiment_config& config);
+    /// Starts one speculative construction of `key`. Caller holds mutex_.
+    void launch_locked(const experiment_key& key,
+                       const core::experiment_config& config);
+
+    thread_pool* pool_;
+    experiment_cache* cache_;
+    std::size_t max_inflight_;
+
+    std::mutex mutex_;
+    /// Root source every speculative task's token is linked under; the
+    /// destructor's cancel fans out to all of them.
+    cancel_source root_;
+    bool stopped_ = false;
+    std::unordered_map<experiment_key, inflight_entry, key_hash> inflight_;
+    /// Keys whose speculative construction completed and has not yet been
+    /// claimed by a demand lookup (each key yields at most one hit).
+    std::unordered_set<experiment_key, key_hash> published_;
+
+    std::atomic<std::uint64_t> launched_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> cancelled_{0};
+    std::atomic<std::uint64_t> wasted_ns_{0};
+
+    obs::counter* obs_launched_;
+    obs::counter* obs_hits_;
+    obs::counter* obs_cancelled_;
+    obs::counter* obs_wasted_ns_;
+};
+
+} // namespace synts::runtime

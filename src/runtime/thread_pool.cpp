@@ -23,6 +23,7 @@ thread_pool::thread_pool(std::size_t worker_count)
     : obs_executed_(&obs::metrics_registry::global().counter_at("pool.tasks_executed")),
       obs_steals_(&obs::metrics_registry::global().counter_at("pool.steals")),
       obs_enqueued_(&obs::metrics_registry::global().counter_at("pool.tasks_enqueued")),
+      obs_dropped_(&obs::metrics_registry::global().counter_at("pool.tasks_dropped")),
       obs_queue_depth_(&obs::metrics_registry::global().gauge_at("pool.queue_depth")),
       obs_task_ns_(&obs::metrics_registry::global().histogram_at("pool.task_ns"))
 {
@@ -68,25 +69,49 @@ thread_pool::~thread_pool()
 
 void thread_pool::enqueue(unique_task task)
 {
-    std::size_t target = tls_worker_pool == this ? tls_worker_index : npos;
+    const bool from_worker = tls_worker_pool == this;
+    std::size_t target = from_worker ? tls_worker_index : npos;
     if (target == npos) {
         target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
     }
     {
-        std::lock_guard lock(queues_[target]->mutex);
-        queues_[target]->tasks.push_front(std::move(task));
-    }
-    {
-        // The increment must be ordered against the workers' predicate
-        // check under sleep_mutex_, or a notify can land in the window
-        // between a worker seeing pending_ == 0 and blocking -- a lost
-        // wakeup that strands a queued task forever.
-        std::lock_guard lock(sleep_mutex_);
+        // sleep_mutex_ is held across the whole {gate, push, increment}
+        // sequence, for two reasons:
+        //
+        //   * the increment must be ordered against the workers' predicate
+        //     check under sleep_mutex_, or a notify can land in the window
+        //     between a worker seeing pending_ == 0 and blocking -- a lost
+        //     wakeup that strands a queued task forever;
+        //   * the destructor sets stopping_ under this same mutex, so an
+        //     EXTERNAL submit either fully lands before the drain flag (and
+        //     workers cannot exit while pending_ > 0, so it runs before
+        //     join) or observes the flag here and throws pool_stopped with
+        //     nothing enqueued. Without the gate this race was UB.
+        //
+        // Worker self-submissions stay exempt: the drain contract promises
+        // that follow-ups submitted by in-flight tasks run before join.
+        // Lock order sleep_mutex_ -> queue mutex is acyclic: workers take
+        // the queue mutexes and sleep_mutex_ separately, never nested the
+        // other way.
+        std::unique_lock lock(sleep_mutex_);
+        if (!from_worker && stopping_.load(std::memory_order_acquire)) {
+            throw pool_stopped("thread_pool: submit after shutdown began");
+        }
+        {
+            std::lock_guard queue_lock(queues_[target]->mutex);
+            queues_[target]->tasks.push_front(std::move(task));
+        }
         obs_queue_depth_->set(static_cast<std::int64_t>(
             pending_.fetch_add(1, std::memory_order_release) + 1));
     }
     obs_enqueued_->add(1);
     wake_.notify_one();
+}
+
+void thread_pool::note_dropped_task() noexcept
+{
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    obs_dropped_->add(1);
 }
 
 void thread_pool::execute_task(unique_task& task)
@@ -248,7 +273,15 @@ void thread_pool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t participants =
         std::min(worker_count(), block_count > 0 ? block_count - 1 : 0);
     for (std::size_t p = 0; p < participants; ++p) {
-        enqueue(unique_task([ctl, drain] { drain(*ctl); }));
+        try {
+            enqueue(unique_task([ctl, drain] { drain(*ctl); }));
+        } catch (const pool_stopped&) {
+            // Recruiting raced pool shutdown. Unwinding here would leave
+            // already-recruited participants holding `body` past the
+            // caller's frame, so degrade instead: stop recruiting and let
+            // the caller drain every unclaimed block itself below.
+            break;
+        }
     }
 
     drain(*ctl);

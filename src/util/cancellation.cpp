@@ -1,0 +1,86 @@
+#include "util/cancellation.h"
+
+#include <utility>
+
+namespace synts::util {
+
+namespace detail {
+
+bool cancel_cascade(const std::shared_ptr<cancel_state>& state,
+                    std::string_view reason) noexcept
+{
+    std::vector<std::weak_ptr<cancel_state>> children;
+    {
+        std::lock_guard lock(state->mutex);
+        if (state->cancelled.load(std::memory_order_relaxed)) {
+            return false; // already cancelled; the first reason stands
+        }
+        try {
+            state->reason.assign(reason);
+        } catch (...) {
+            // Allocation failure leaves the reason empty; the flag (the
+            // part correctness depends on) is still set below.
+        }
+        // The flag flips UNDER the mutex that guards child linking, so a
+        // child linked concurrently either sees cancelled already set (and
+        // self-cancels at link time) or is in `children` here -- never
+        // neither.
+        state->cancelled.store(true, std::memory_order_release);
+        children = std::move(state->children);
+        state->children.clear();
+    }
+    for (const std::weak_ptr<cancel_state>& weak : children) {
+        if (const std::shared_ptr<cancel_state> child = weak.lock()) {
+            (void)cancel_cascade(child, reason);
+        }
+    }
+    return true;
+}
+
+} // namespace detail
+
+std::string cancel_token::reason() const
+{
+    if (!cancelled()) {
+        return {};
+    }
+    std::lock_guard lock(state_->mutex);
+    return state_->reason;
+}
+
+void cancel_token::throw_if_cancelled() const
+{
+    if (cancelled()) {
+        std::string why = reason();
+        throw operation_cancelled(why.empty() ? "cancelled" : why);
+    }
+}
+
+cancel_source::cancel_source(const cancel_token& parent)
+    : state_(std::make_shared<detail::cancel_state>())
+{
+    if (parent.state_ == nullptr) {
+        return; // inert parent: independent source
+    }
+    std::string parent_reason;
+    bool parent_cancelled = false;
+    {
+        std::lock_guard lock(parent.state_->mutex);
+        if (parent.state_->cancelled.load(std::memory_order_relaxed)) {
+            parent_cancelled = true;
+            parent_reason = parent.state_->reason;
+        } else {
+            parent.state_->children.push_back(state_);
+        }
+    }
+    if (parent_cancelled) {
+        (void)cancel(parent_reason.empty() ? "cancelled" : parent_reason);
+    }
+}
+
+bool cancel_source::cancel(std::string_view reason) noexcept
+{
+    return detail::cancel_cascade(state_, reason);
+}
+
+} // namespace synts::util

@@ -1,0 +1,134 @@
+// cancellation.h -- layer-neutral cooperative cancellation.
+//
+// The runtime's interruptible-task contract (runtime/cancel.h re-exports
+// these names as runtime::cancel_token etc.) rests on a primitive that the
+// characterization pipeline can poll without naming the runtime layer --
+// the same reason util/parallel.h exists. The shape follows the adevs
+// optimistic simulator's LogicalProcess (SNIPPETS.md snippet 1): work runs
+// ahead holding an interrupt flag it polls at cheap boundaries, the
+// controller flips the flag to abandon it, and nothing is committed by an
+// interrupted run.
+//
+//   cancel_source  owns the flag: cancel(reason) flips it exactly once and
+//                  fans out to every linked child source, so cancelling a
+//                  sweep cancels its cells.
+//   cancel_token   a cheap, copyable observer handle. The DEFAULT token is
+//                  inert: cancelled() is constant false with no atomic
+//                  access, so tokenless call paths stay byte-identical in
+//                  behavior and essentially free in cost.
+//
+// Polling discipline: long-running work calls token.throw_if_cancelled()
+// at natural chunk boundaries (per characterization interval, per sweep
+// cell, between pipeline phases) and lets operation_cancelled unwind. The
+// flag itself is a lock-free atomic; the mutex guards only the reason
+// string and the child list, neither of which is touched on the poll fast
+// path.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synts::util {
+
+/// Thrown by throw_if_cancelled() (and by anything that observes a cancel
+/// and unwinds). Deliberately NOT derived from a domain error: catching it
+/// means "the work was abandoned on request", never "the work failed".
+class operation_cancelled : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// Shared state of one source and all its tokens.
+struct cancel_state {
+    std::atomic<bool> cancelled{false};
+    /// Guards `reason` and `children` only -- never taken on the poll path.
+    std::mutex mutex;
+    std::string reason;
+    std::vector<std::weak_ptr<cancel_state>> children;
+};
+
+/// Flips `state` (if not already flipped) and recursively cancels its
+/// linked children. Returns true when THIS call did the flip.
+bool cancel_cascade(const std::shared_ptr<cancel_state>& state,
+                    std::string_view reason) noexcept;
+
+} // namespace detail
+
+/// Observer handle on a cancel_source's flag. Copyable, cheap to pass by
+/// value; a default-constructed token is inert (never cancelled).
+class cancel_token {
+public:
+    cancel_token() = default;
+
+    /// True when this token is linked to a source at all. False = inert:
+    /// cancelled() can never become true, so hot loops may skip polling
+    /// entirely.
+    [[nodiscard]] bool can_cancel() const noexcept { return state_ != nullptr; }
+
+    /// True once the owning source (or any linked ancestor) cancelled.
+    /// Lock-free; safe to poll from any thread at any frequency.
+    [[nodiscard]] bool cancelled() const noexcept
+    {
+        return state_ != nullptr && state_->cancelled.load(std::memory_order_acquire);
+    }
+
+    /// The reason passed to cancel(); empty while not cancelled (or inert).
+    [[nodiscard]] std::string reason() const;
+
+    /// Throws operation_cancelled(reason) once cancelled; no-op otherwise.
+    /// This is the poll point long-running work places at chunk boundaries.
+    void throw_if_cancelled() const;
+
+private:
+    friend class cancel_source;
+    explicit cancel_token(std::shared_ptr<detail::cancel_state> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::cancel_state> state_;
+};
+
+/// Owner of one cancellation flag. Copyable (copies share the flag);
+/// destroying every source does NOT cancel -- outstanding tokens simply
+/// never fire, matching the inert-by-default contract.
+class cancel_source {
+public:
+    /// A fresh, independent source.
+    cancel_source() : state_(std::make_shared<detail::cancel_state>()) {}
+
+    /// A source LINKED under `parent`: cancelling the parent's source
+    /// cancels this one too (parent -> child propagation only; cancelling
+    /// the child never touches the parent). A parent that is already
+    /// cancelled cancels the new source immediately, so there is no window
+    /// in which a child of a dead parent runs uninterruptible. An inert
+    /// parent token yields an ordinary independent source.
+    explicit cancel_source(const cancel_token& parent);
+
+    /// The observer handle to hand to the work.
+    [[nodiscard]] cancel_token token() const noexcept { return cancel_token(state_); }
+
+    /// Flips the flag (idempotent; the FIRST call's reason wins and is the
+    /// one tokens report) and propagates to every linked child. Returns
+    /// true when this call did the flip, false when already cancelled.
+    bool cancel(std::string_view reason = "cancelled") noexcept;
+
+    /// True once cancel() ran (on this source or a linked ancestor).
+    [[nodiscard]] bool cancelled() const noexcept
+    {
+        return state_->cancelled.load(std::memory_order_acquire);
+    }
+
+private:
+    std::shared_ptr<detail::cancel_state> state_;
+};
+
+} // namespace synts::util

@@ -1,0 +1,317 @@
+// Tests for the cooperative cancellation contract (util/cancellation +
+// runtime re-exports): token/source semantics incl. parent->child
+// propagation, the thread-pool task path (running tasks observe
+// cooperatively, queued tasks drop without starting, post-shutdown
+// external submit throws pool_stopped deterministically), the cache
+// owner-cancel hand-off (waiters are never left parked), and the
+// end-to-end guarantee that a cancelled construction publishes nothing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/cancel.h"
+#include "runtime/experiment_cache.h"
+#include "runtime/sweep.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace synts;
+using runtime::cancel_source;
+using runtime::cancel_token;
+using runtime::operation_cancelled;
+using runtime::thread_pool;
+
+// --- token / source semantics -------------------------------------------
+
+TEST(runtime_cancel, default_token_is_inert)
+{
+    const cancel_token token;
+    EXPECT_FALSE(token.can_cancel());
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_TRUE(token.reason().empty());
+    EXPECT_NO_THROW(token.throw_if_cancelled());
+}
+
+TEST(runtime_cancel, source_cancels_exactly_once_and_preserves_reason)
+{
+    cancel_source source;
+    const cancel_token token = source.token();
+    EXPECT_TRUE(token.can_cancel());
+    EXPECT_FALSE(token.cancelled());
+
+    EXPECT_TRUE(source.cancel("first reason"));
+    EXPECT_FALSE(source.cancel("second reason")); // already decided
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), "first reason");
+    EXPECT_THROW(token.throw_if_cancelled(), operation_cancelled);
+}
+
+TEST(runtime_cancel, cancelling_parent_cascades_to_child)
+{
+    cancel_source parent;
+    const cancel_source child(parent.token());
+    const cancel_source grandchild(child.token());
+    EXPECT_FALSE(grandchild.token().cancelled());
+
+    EXPECT_TRUE(parent.cancel("sweep abandoned"));
+    EXPECT_TRUE(child.token().cancelled());
+    EXPECT_TRUE(grandchild.token().cancelled());
+    EXPECT_EQ(grandchild.token().reason(), "sweep abandoned");
+}
+
+TEST(runtime_cancel, child_of_already_cancelled_parent_is_born_cancelled)
+{
+    cancel_source parent;
+    (void)parent.cancel("too late");
+    const cancel_source child(parent.token());
+    EXPECT_TRUE(child.token().cancelled());
+    EXPECT_EQ(child.token().reason(), "too late");
+}
+
+TEST(runtime_cancel, child_cancel_does_not_propagate_upward)
+{
+    cancel_source parent;
+    cancel_source child(parent.token());
+    EXPECT_TRUE(child.cancel());
+    EXPECT_TRUE(child.token().cancelled());
+    EXPECT_FALSE(parent.token().cancelled());
+}
+
+TEST(runtime_cancel, child_of_inert_token_is_an_independent_root)
+{
+    cancel_source child{cancel_token{}};
+    EXPECT_TRUE(child.token().can_cancel());
+    EXPECT_FALSE(child.token().cancelled());
+    EXPECT_TRUE(child.cancel());
+    EXPECT_TRUE(child.token().cancelled());
+}
+
+// --- thread-pool task path ----------------------------------------------
+
+TEST(runtime_cancel, running_task_observes_cancel_cooperatively)
+{
+    thread_pool pool(2);
+    std::atomic<bool> started{false};
+    auto task = pool.submit(cancel_token{}, [&started](const cancel_token& token) {
+        started.store(true);
+        while (!token.cancelled()) {
+            std::this_thread::yield();
+        }
+        token.throw_if_cancelled();
+    });
+    while (!started.load()) {
+        std::this_thread::yield();
+    }
+    EXPECT_TRUE(task.try_cancel("demand needs the worker"));
+    EXPECT_THROW(task.get(), operation_cancelled);
+    EXPECT_EQ(pool.dropped_count(), 0u); // it ran; it was not dropped
+}
+
+TEST(runtime_cancel, queued_task_cancelled_before_start_is_dropped)
+{
+    thread_pool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<bool> ran{false};
+
+    // Occupy the only worker so the cancellable task stays queued.
+    auto blocker = pool.submit([open] { open.get(); });
+    auto task = pool.submit(cancel_token{}, [&ran](const cancel_token&) {
+        ran.store(true);
+    });
+    EXPECT_TRUE(task.try_cancel());
+    gate.set_value();
+
+    EXPECT_THROW(task.get(), operation_cancelled);
+    blocker.get();
+    EXPECT_FALSE(ran.load()); // the body never started
+    EXPECT_EQ(pool.dropped_count(), 1u);
+}
+
+TEST(runtime_cancel, token_submit_without_token_parameter_still_works)
+{
+    thread_pool pool(2);
+    auto task = pool.submit(cancel_token{}, [] { return 17; });
+    EXPECT_EQ(task.get(), 17);
+    EXPECT_TRUE(task.token().can_cancel());
+}
+
+TEST(runtime_cancel, task_token_links_under_the_passed_parent)
+{
+    thread_pool pool(2);
+    cancel_source sweep;
+    std::atomic<bool> started{false};
+    auto task = pool.submit(sweep.token(), [&started](const cancel_token& token) {
+        started.store(true);
+        while (!token.cancelled()) {
+            std::this_thread::yield();
+        }
+        token.throw_if_cancelled();
+    });
+    while (!started.load()) {
+        std::this_thread::yield();
+    }
+    (void)sweep.cancel("whole sweep cancelled"); // parent, not the handle
+    EXPECT_THROW(task.get(), operation_cancelled);
+}
+
+TEST(runtime_cancel, external_submit_after_shutdown_throws_pool_stopped)
+{
+    // Satellite pin: destruction began + external submit == deterministic
+    // pool_stopped, never a silent drop or UB. A gated task holds the
+    // drain so the destructor is reliably mid-shutdown while we probe.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    auto pool = std::make_unique<thread_pool>(1);
+    thread_pool* raw = pool.get();
+    (void)raw->submit([open] { open.get(); });
+
+    std::thread destroyer([p = std::move(pool)]() mutable { p.reset(); });
+    bool caught = false;
+    for (int i = 0; i < 10000 && !caught; ++i) {
+        try {
+            (void)raw->submit([] {});
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        } catch (const runtime::pool_stopped&) {
+            caught = true;
+        }
+    }
+    gate.set_value();
+    destroyer.join();
+    EXPECT_TRUE(caught);
+}
+
+// --- cache owner-cancel hand-off ----------------------------------------
+
+struct tiny_key {
+    std::uint64_t id = 0;
+    [[nodiscard]] std::uint64_t digest() const noexcept { return id * 0x9e3779b97f4a7c15ull; }
+    bool operator==(const tiny_key&) const = default;
+};
+
+TEST(runtime_cancel, cancelled_owner_hands_off_to_inert_waiter)
+{
+    runtime::memo_tier<tiny_key, std::shared_ptr<int>> tier(1);
+    cancel_source owner_source;
+    std::promise<void> owner_inside;
+    std::promise<void> owner_release;
+    std::shared_future<void> release = owner_release.get_future().share();
+    std::atomic<int> factory_runs{0};
+
+    std::thread owner([&] {
+        EXPECT_THROW(
+            (void)tier.get_or_create(
+                tiny_key{7},
+                [&]() -> std::shared_ptr<int> {
+                    factory_runs.fetch_add(1);
+                    owner_inside.set_value();
+                    release.get();
+                    owner_source.token().throw_if_cancelled();
+                    return std::make_shared<int>(1);
+                },
+                nullptr, owner_source.token()),
+            operation_cancelled);
+    });
+    owner_inside.get_future().get(); // owner is mid-construction
+
+    std::thread waiter([&] {
+        // Inert token: the pre-cancellation demand path. It must NOT stay
+        // parked when the owner unwinds -- it retries and takes over.
+        auto value = tier.get_or_create(tiny_key{7}, [&]() -> std::shared_ptr<int> {
+            factory_runs.fetch_add(1);
+            return std::make_shared<int>(2);
+        });
+        EXPECT_EQ(*value, 2);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10)); // let it park
+    (void)owner_source.cancel("speculation preempted");
+    owner_release.set_value();
+    owner.join();
+    waiter.join();
+    EXPECT_EQ(factory_runs.load(), 2); // hand-off restarted the factory
+    EXPECT_EQ(tier.size(), 1u);        // and the retry published
+}
+
+TEST(runtime_cancel, cancellable_waiter_unblocks_on_its_own_cancel)
+{
+    runtime::memo_tier<tiny_key, std::shared_ptr<int>> tier(1);
+    std::promise<void> owner_inside;
+    std::promise<void> owner_release;
+    std::shared_future<void> release = owner_release.get_future().share();
+
+    std::thread owner([&] {
+        auto value = tier.get_or_create(tiny_key{3}, [&]() -> std::shared_ptr<int> {
+            owner_inside.set_value();
+            release.get();
+            return std::make_shared<int>(9);
+        });
+        EXPECT_EQ(*value, 9);
+    });
+    owner_inside.get_future().get();
+
+    cancel_source waiter_source;
+    std::thread waiter([&] {
+        EXPECT_THROW((void)tier.get_or_create(
+                         tiny_key{3},
+                         [&]() -> std::shared_ptr<int> { return std::make_shared<int>(0); },
+                         nullptr, waiter_source.token()),
+                     operation_cancelled);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (void)waiter_source.cancel("caller gave up");
+    waiter.join(); // must return despite the owner still being parked
+    owner_release.set_value();
+    owner.join();
+}
+
+// --- end-to-end: cancelled construction publishes nothing ---------------
+
+TEST(runtime_cancel, precancelled_cache_get_publishes_nothing_then_demand_succeeds)
+{
+    runtime::experiment_cache cache;
+    cancel_source source;
+    (void)source.cancel("cancelled before start");
+
+    EXPECT_THROW((void)cache.get_or_create(workload::benchmark_id::radix,
+                                           circuit::pipe_stage::decode, {}, nullptr,
+                                           nullptr, source.token()),
+                 operation_cancelled);
+    EXPECT_FALSE(cache.contains(workload::benchmark_id::radix,
+                                circuit::pipe_stage::decode));
+    EXPECT_FALSE(cache.contains_program(workload::benchmark_id::radix));
+
+    // Demand with an inert token finds a clean slate and constructs.
+    const auto experiment = cache.get_or_create(workload::benchmark_id::radix,
+                                                circuit::pipe_stage::decode);
+    EXPECT_NE(experiment, nullptr);
+    EXPECT_TRUE(cache.contains(workload::benchmark_id::radix,
+                               circuit::pipe_stage::decode));
+}
+
+TEST(runtime_cancel, precancelled_sweep_throws_and_attests_no_result)
+{
+    runtime::sweep_spec spec;
+    spec.benchmarks = {workload::benchmark_id::radix};
+    spec.stages = {circuit::pipe_stage::decode};
+    spec.policies = {core::policy_kind::synts_offline};
+
+    thread_pool pool(2);
+    runtime::experiment_cache cache;
+    const runtime::sweep_scheduler scheduler(pool, cache);
+
+    cancel_source source;
+    (void)source.cancel("operator abort");
+    runtime::sweep_options options;
+    options.cancel = source.token();
+    EXPECT_THROW((void)scheduler.run(spec, options), operation_cancelled);
+    EXPECT_EQ(pool.dropped_count(), spec.expanded_pairs().size());
+}
+
+} // namespace

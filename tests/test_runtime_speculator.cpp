@@ -1,0 +1,229 @@
+// Tests for runtime/speculator: prediction (next ladder rung, sibling
+// stages), hit accounting on a warm ladder walk, demand joining an
+// in-flight speculation, preemption by a genuine demand miss, the
+// never-torn guarantee (a cancelled speculation leaves no cache entry),
+// and sweep bit-identity with speculation enabled.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "runtime/experiment_cache.h"
+#include "runtime/speculator.h"
+#include "runtime/sweep.h"
+#include "runtime/sweep_io.h"
+#include "runtime/thread_pool.h"
+#include "workload/registry.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+using namespace synts;
+using runtime::experiment_cache;
+using runtime::speculator;
+using runtime::thread_pool;
+
+// Registers rungs `first..last` of a ladder named `<prefix>_<rung>` in the
+// process-global registry. The registry rejects duplicate names AND
+// duplicate identities (family + params), so each test passes a distinct
+// `salt` to keep its rung parameters unique across the binary.
+workload::workload_key register_ladder(const std::string& prefix, double salt,
+                                       int first, int last)
+{
+    workload::workload_registry& registry = workload::workload_registry::global();
+    workload::workload_key head;
+    for (int rung = first; rung <= last; ++rung) {
+        workload::lock_ladder_params params;
+        params.base_contention = 0.1 + 0.05 * rung;
+        params.hold_scale = salt;
+        const std::string name = prefix + "_" + std::to_string(rung);
+        if (!registry.contains(name)) {
+            workload::register_lock_ladder(registry, name, params);
+        }
+        if (rung == first) {
+            head = registry.key(name);
+        }
+    }
+    return head;
+}
+
+TEST(runtime_speculator, predicts_next_ladder_rung_and_hits_on_the_walk)
+{
+    const workload::workload_key rung1 = register_ladder("spec_walk", 1.01, 1, 3);
+    const workload::workload_key rung2 =
+        workload::workload_registry::global().key("spec_walk_2");
+
+    thread_pool pool(2);
+    experiment_cache cache;
+    speculator spec(pool, cache, /*max_inflight=*/1);
+    constexpr auto stage = circuit::pipe_stage::decode;
+
+    // Demand rung 1: the pool is idle, so the speculator should predict
+    // and launch rung 2 (ladder-next outranks sibling stages).
+    spec.observe(rung1, stage, {});
+    const auto demanded = cache.get_or_create(rung1, stage);
+    EXPECT_NE(demanded, nullptr);
+    spec.drain();
+    EXPECT_GE(spec.launched(), 1u);
+    EXPECT_TRUE(cache.contains(rung2, stage));
+
+    // The walk arrives at rung 2: a speculative hit, served from cache.
+    spec.observe(rung2, stage, {});
+    EXPECT_EQ(spec.hits(), 1u);
+    // Settle the follow-on speculation this observe seeded (rung 3): its
+    // own construction records tier misses we must not confuse with
+    // demand's, so snapshot the counter only after it is done.
+    spec.drain();
+    const std::uint64_t misses_before = cache.miss_count();
+    const auto warm = cache.get_or_create(rung2, stage);
+    EXPECT_NE(warm, nullptr);
+    EXPECT_EQ(cache.miss_count(), misses_before); // no construction on demand
+}
+
+TEST(runtime_speculator, predicts_sibling_stages_which_share_program_artifacts)
+{
+    thread_pool pool(2);
+    experiment_cache cache;
+    speculator spec(pool, cache, /*max_inflight=*/2);
+
+    // "radix" has no trailing digits -- no ladder prediction -- so the
+    // speculations are the two sibling stages of the demanded pair.
+    spec.observe(workload::benchmark_id::radix, circuit::pipe_stage::decode, {});
+    const auto demanded =
+        cache.get_or_create(workload::benchmark_id::radix, circuit::pipe_stage::decode);
+    EXPECT_NE(demanded, nullptr);
+    spec.drain();
+
+    EXPECT_EQ(spec.launched(), 2u);
+    EXPECT_TRUE(
+        cache.contains(workload::benchmark_id::radix, circuit::pipe_stage::simple_alu));
+    EXPECT_TRUE(
+        cache.contains(workload::benchmark_id::radix, circuit::pipe_stage::complex_alu));
+
+    // Walking onto a sibling is a hit and costs no stage construction.
+    const std::uint64_t misses_before = cache.miss_count();
+    spec.observe(workload::benchmark_id::radix, circuit::pipe_stage::simple_alu, {});
+    EXPECT_EQ(spec.hits(), 1u);
+    (void)cache.get_or_create(workload::benchmark_id::radix,
+                              circuit::pipe_stage::simple_alu);
+    EXPECT_EQ(cache.miss_count(), misses_before);
+}
+
+TEST(runtime_speculator, demand_joins_inflight_speculation_as_cache_waiter)
+{
+    const workload::workload_key rung1 = register_ladder("spec_join", 1.02, 1, 2);
+    const workload::workload_key rung2 =
+        workload::workload_registry::global().key("spec_join_2");
+
+    thread_pool pool(2);
+    experiment_cache cache;
+    speculator spec(pool, cache, /*max_inflight=*/1);
+    constexpr auto stage = circuit::pipe_stage::decode;
+
+    spec.observe(rung1, stage, {}); // launches rung 2 speculatively
+    ASSERT_EQ(spec.launched(), 1u);
+
+    // Demand rung 2 immediately: whether the speculation is still
+    // in-flight (demand joins as a waiter) or already published, the
+    // observe records exactly one hit and the get returns the entry the
+    // speculation constructed -- never a second construction.
+    spec.observe(rung2, stage, {});
+    EXPECT_EQ(spec.hits(), 1u);
+    const auto experiment = cache.get_or_create(rung2, stage);
+    EXPECT_NE(experiment, nullptr);
+    spec.drain();
+    EXPECT_EQ(spec.launched(), 1u); // joining never relaunches
+    EXPECT_EQ(spec.cancelled(), 0u);
+}
+
+TEST(runtime_speculator, genuine_demand_miss_preempts_and_leaves_no_torn_entry)
+{
+    const workload::workload_key rung1 = register_ladder("spec_squash", 1.03, 1, 2);
+    const workload::workload_key rung2 =
+        workload::workload_registry::global().key("spec_squash_2");
+
+    thread_pool pool(2);
+    experiment_cache cache;
+    speculator spec(pool, cache, /*max_inflight=*/1);
+    constexpr auto stage = circuit::pipe_stage::decode;
+
+    spec.observe(rung1, stage, {}); // speculation on rung 2 begins
+    ASSERT_EQ(spec.launched(), 1u);
+
+    // Demand swerves off the ladder: "radix" is a genuine miss, so every
+    // in-flight speculation is squashed to free the workers.
+    spec.observe(workload::benchmark_id::radix, stage, {});
+    spec.drain();
+    if (spec.cancelled() > 0) {
+        // The squash won the race: the abandoned construction must have
+        // published NOTHING -- no torn cell, demand would rebuild cleanly.
+        EXPECT_FALSE(cache.contains(rung2, stage));
+        EXPECT_GT(spec.wasted_ns(), 0u);
+    } else {
+        // The speculation settled before the cancel landed; then its
+        // artifact is complete and resident.
+        EXPECT_TRUE(cache.contains(rung2, stage));
+    }
+}
+
+TEST(runtime_speculator, destructor_cancels_and_drains_outstanding_work)
+{
+    const workload::workload_key rung1 = register_ladder("spec_dtor", 1.04, 1, 2);
+    thread_pool pool(2);
+    experiment_cache cache;
+    {
+        speculator spec(pool, cache, /*max_inflight=*/1);
+        spec.observe(rung1, circuit::pipe_stage::decode, {});
+        // Destroyed with the speculation possibly mid-construction.
+    }
+    // The pool outlives the speculator and is still fully usable.
+    auto probe = pool.submit([] { return 5; });
+    EXPECT_EQ(probe.get(), 5);
+}
+
+TEST(runtime_speculator, sweep_with_speculation_is_bit_identical)
+{
+    const workload::workload_key rung1 = register_ladder("spec_ident", 1.05, 1, 3);
+    // Single pair: its task observes an otherwise-idle pool, so the idle
+    // gate deterministically opens and speculation actually launches
+    // (ladder-next rung 2 plus a sibling stage) DURING the sweep.
+    runtime::sweep_spec spec;
+    spec.benchmarks = {rung1};
+    spec.stages = {circuit::pipe_stage::decode};
+    spec.policies = {core::policy_kind::synts_offline, core::policy_kind::no_ts};
+    spec.theta_multipliers = {0.5, 1.0};
+
+    std::string baseline;
+    {
+        thread_pool pool(2);
+        experiment_cache cache;
+        const runtime::sweep_scheduler scheduler(pool, cache);
+        const runtime::sweep_result result = scheduler.run(spec);
+        std::ostringstream out;
+        runtime::write_sweep_json(result, out);
+        baseline = out.str();
+    }
+
+    std::string speculated;
+    std::uint64_t launched = 0;
+    {
+        thread_pool pool(2);
+        experiment_cache cache;
+        speculator engine(pool, cache, /*max_inflight=*/2);
+        runtime::sweep_options options;
+        options.speculate = &engine;
+        const runtime::sweep_scheduler scheduler(pool, cache);
+        const runtime::sweep_result result = scheduler.run(spec, options);
+        engine.drain();
+        launched = engine.launched();
+        std::ostringstream out;
+        runtime::write_sweep_json(result, out);
+        speculated = out.str();
+    }
+
+    EXPECT_GT(launched, 0u); // speculation actually happened...
+    EXPECT_EQ(baseline, speculated); // ...and changed not one byte
+}
+
+} // namespace
