@@ -1,0 +1,18 @@
+// Fixture: differencing two reads of a live counter accessor is flagged;
+// subtracting a plain local is not.
+// pseudo-path: src/runtime/fixture.cpp
+// expect: counter-diff x1
+
+struct cache_like {
+    unsigned long hit_count() const { return 0; }
+};
+
+unsigned long stat_delta(const cache_like& c, unsigned long before)
+{
+    return c.hit_count() - before;
+}
+
+unsigned long fine(unsigned long after, unsigned long before)
+{
+    return after - before;
+}

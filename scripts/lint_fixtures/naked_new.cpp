@@ -1,0 +1,31 @@
+// Fixture: a naked owning `new` is flagged; smart-pointer initializers,
+// reset(), and a documented suppression are not.
+// pseudo-path: src/obs/fixture.cpp
+// expect: naked-new x1
+
+#include <memory>
+
+struct chunk {
+    int payload[16] = {};
+};
+
+chunk* flagged()
+{
+    return new chunk();
+}
+
+std::unique_ptr<chunk> fine_owned()
+{
+    return std::unique_ptr<chunk>(new chunk());
+}
+
+void fine_reset(std::unique_ptr<chunk>& slot)
+{
+    slot.reset(new chunk());
+}
+
+chunk* fine_audited()
+{
+    // Ownership transfers to a lock-free chain in the real code.
+    return new chunk(); // synts-lint: allow(naked-new)
+}

@@ -1,0 +1,14 @@
+// Fixture: the std::mutex-only condition_variable is flagged; the _any
+// flavor (which waits on annotated mutexes) is not.
+// pseudo-path: src/obs/fixture.cpp
+// expect: raw-condvar x1
+
+#include <condition_variable>
+
+struct flagged {
+    std::condition_variable cv;
+};
+
+struct fine {
+    std::condition_variable_any cv;
+};

@@ -1,0 +1,19 @@
+// Fixture: raw std:: locking primitives in src/ must be flagged, and an
+// inline suppression must silence exactly its own line.
+// pseudo-path: src/runtime/fixture.cpp
+// expect: raw-mutex x3
+
+#include <mutex>
+
+struct flagged {
+    std::mutex m;
+    void touch()
+    {
+        const std::lock_guard lock(m);
+        std::unique_lock other(m, std::defer_lock);
+    }
+};
+
+struct audited {
+    std::mutex m; // synts-lint: allow(raw-mutex) -- fixture: suppression works
+};

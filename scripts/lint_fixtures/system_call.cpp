@@ -1,0 +1,20 @@
+// Fixture: shelling out is flagged wherever it appears; a method merely
+// NAMED system_x is not.
+// pseudo-path: tools/fixture.cpp
+// expect: system-call x1
+
+#include <cstdlib>
+
+int flagged(const char* command)
+{
+    return std::system(command);
+}
+
+struct model {
+    int system_order() const { return 2; }
+};
+
+int fine(const model& m)
+{
+    return m.system_order();
+}

@@ -1,0 +1,17 @@
+// Fixture: unsigned size() subtraction in a storage decode path is
+// flagged; the restructured comparison is not.
+// pseudo-path: src/storage/fixture.cpp
+// expect: unchecked-size x1
+
+#include <cstddef>
+#include <vector>
+
+std::size_t flagged(const std::vector<unsigned char>& payload)
+{
+    return payload.size() - 8;
+}
+
+bool fine(const std::vector<unsigned char>& payload, std::size_t need)
+{
+    return payload.size() < need;
+}

@@ -42,7 +42,7 @@ void health_monitor::log(std::uint64_t value_ns, std::string detail)
     event.threshold_ns = threshold_.load(std::memory_order_relaxed);
     event.detail = std::move(detail);
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     if (events_.size() >= opts_.capacity) {
         events_.erase(events_.begin());
         ++dropped_;
@@ -52,19 +52,19 @@ void health_monitor::log(std::uint64_t value_ns, std::string detail)
 
 std::vector<health_event> health_monitor::events() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     return events_;
 }
 
 std::uint64_t health_monitor::event_count() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     return dropped_ + events_.size();
 }
 
 void health_monitor::write_log(std::ostream& out) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     if (dropped_ > 0) {
         out << "... " << dropped_ << " older slow-cell events dropped\n";
     }

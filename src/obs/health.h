@@ -22,12 +22,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_safety.h"
 
 namespace synts::obs {
 
@@ -95,9 +95,11 @@ private:
     std::atomic<std::uint64_t> notes_{0};
     std::atomic<std::uint64_t> threshold_{0};
 
-    mutable std::mutex mutex_; ///< guards events_ and dropped_
-    std::vector<health_event> events_;
-    std::uint64_t dropped_ = 0;
+    /// Rare-path leaf lock: taken only when a sample actually flagged.
+    mutable util::annotated_mutex mutex_{util::lock_rank::health_events,
+                                         "health_monitor.events"};
+    std::vector<health_event> events_ SYNTS_GUARDED_BY(mutex_);
+    std::uint64_t dropped_ SYNTS_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII probe like scoped_timer, but also feeds a health_monitor. The

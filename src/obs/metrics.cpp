@@ -135,7 +135,7 @@ void latency_histogram::reset() noexcept
 
 counter& metrics_registry::counter_at(std::string_view name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         it = counters_.emplace(std::string(name), std::make_unique<counter>()).first;
@@ -145,7 +145,7 @@ counter& metrics_registry::counter_at(std::string_view name)
 
 gauge& metrics_registry::gauge_at(std::string_view name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         it = gauges_.emplace(std::string(name), std::make_unique<gauge>()).first;
@@ -155,7 +155,7 @@ gauge& metrics_registry::gauge_at(std::string_view name)
 
 latency_histogram& metrics_registry::histogram_at(std::string_view name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         it = histograms_.emplace(std::string(name), std::make_unique<latency_histogram>())
@@ -166,7 +166,7 @@ latency_histogram& metrics_registry::histogram_at(std::string_view name)
 
 std::vector<metric_sample> metrics_registry::snapshot() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     std::vector<metric_sample> samples;
     samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
     for (const auto& [name, c] : counters_) {
@@ -203,7 +203,7 @@ std::vector<metric_sample> metrics_registry::snapshot() const
 
 void metrics_registry::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     for (auto& [name, c] : counters_) {
         c->reset();
     }

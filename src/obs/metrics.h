@@ -43,10 +43,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_safety.h"
 
 namespace synts::obs {
 
@@ -293,10 +294,16 @@ public:
     [[nodiscard]] static metrics_registry& global();
 
 private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_;
-    std::map<std::string, std::unique_ptr<latency_histogram>, std::less<>> histograms_;
+    /// Guards interning only -- instrument IO is striped atomics on stable
+    /// handles, never under this lock.
+    mutable util::annotated_mutex mutex_{util::lock_rank::metrics_registry,
+                                         "metrics_registry"};
+    std::map<std::string, std::unique_ptr<counter>, std::less<>> counters_
+        SYNTS_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<gauge>, std::less<>> gauges_
+        SYNTS_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<latency_histogram>, std::less<>> histograms_
+        SYNTS_GUARDED_BY(mutex_);
 };
 
 /// Renders a snapshot as a console table, CSV rows (name, type, value,

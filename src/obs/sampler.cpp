@@ -23,7 +23,7 @@ sampler::~sampler() { stop(); }
 void sampler::start()
 {
     {
-        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        const util::mutex_lock lock(wake_mutex_);
         if (running_) {
             return;
         }
@@ -36,7 +36,7 @@ void sampler::start()
 void sampler::stop()
 {
     {
-        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        const util::mutex_lock lock(wake_mutex_);
         if (!running_ && !thread_.joinable()) {
             // Never started: still take the final tick below so a
             // constructed-but-unstarted sampler records its end state --
@@ -50,7 +50,7 @@ void sampler::stop()
         thread_.join();
     }
     {
-        const std::lock_guard<std::mutex> lock(wake_mutex_);
+        const util::mutex_lock lock(wake_mutex_);
         running_ = false;
     }
     // The guaranteed final tick: a run shorter than one period still ends
@@ -62,8 +62,18 @@ void sampler::run_loop()
 {
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(wake_mutex_);
-            if (wake_.wait_for(lock, config_.period, [this] { return stopping_; })) {
+            util::cv_mutex_lock lock(wake_mutex_);
+            // Explicit wait_until loop rather than the predicate overload:
+            // the predicate would read the guarded `stopping_` from inside
+            // the libstdc++ wait, where the thread-safety analysis cannot
+            // see the lock is held. An absolute deadline keeps the total
+            // sleep equal to one period across spurious wakes.
+            const auto deadline = std::chrono::steady_clock::now() + config_.period;
+            bool timed_out = false;
+            while (!stopping_ && !timed_out) {
+                timed_out = wake_.wait_until(lock, deadline) == std::cv_status::timeout;
+            }
+            if (stopping_) {
                 return; // stop() takes the final tick after the join
             }
         }
@@ -89,7 +99,7 @@ void sampler::sample_now()
     const std::vector<metric_sample> snapshot = registry_->snapshot();
     const std::uint64_t t_ns = now_ns();
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     tick_times_.push(sample_point{t_ns, static_cast<double>(ticks_)});
     ++ticks_;
     for (const metric_sample& sample : snapshot) {
@@ -116,13 +126,13 @@ void sampler::sample_now()
 
 std::uint64_t sampler::tick_count() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     return ticks_;
 }
 
 std::vector<std::string> sampler::series_names() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     std::vector<std::string> names;
     names.reserve(series_.size());
     for (const auto& [name, data] : series_) {
@@ -133,7 +143,7 @@ std::vector<std::string> sampler::series_names() const
 
 std::optional<series_view> sampler::series(std::string_view name) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     const auto it = series_.find(name);
     if (it == series_.end()) {
         return std::nullopt;
@@ -172,7 +182,7 @@ std::optional<double> rate_between(const sample_point& prev, const sample_point&
 
 std::optional<double> sampler::rate_per_second(std::string_view name) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     const auto it = series_.find(name);
     if (it == series_.end() || it->second.ring.size() < 2) {
         return std::nullopt;
@@ -183,7 +193,7 @@ std::optional<double> sampler::rate_per_second(std::string_view name) const
 
 std::optional<double> sampler::interval_hit_rate(std::string_view prefix) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     const auto last_delta = [this](const std::string& name) -> std::optional<double> {
         const auto it = series_.find(name);
         if (it == series_.end() || it->second.ring.size() < 2) {
@@ -202,7 +212,7 @@ std::optional<double> sampler::interval_hit_rate(std::string_view prefix) const
 
 void sampler::write_timeline_jsonl(std::ostream& out) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::mutex_lock lock(mutex_);
 
     // Tick-major reassembly: every point of one tick shares the t_ns read
     // once in sample_now(), so grouping by timestamp reconstructs the tick

@@ -38,7 +38,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,6 +45,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_safety.h"
 
 namespace synts::obs {
 
@@ -196,22 +196,31 @@ private:
 
     void run_loop();
     void append_locked(const std::string& name, metric_sample::kind kind,
-                       std::uint64_t t_ns, double value);
+                       std::uint64_t t_ns, double value) SYNTS_REQUIRES(mutex_);
 
     metrics_registry* registry_;
     sampler_config config_;
 
-    mutable std::mutex mutex_; ///< guards series_ and tick bookkeeping
-    std::map<std::string, series_data, std::less<>> series_;
-    std::uint64_t ticks_ = 0;
+    /// Guards series_ and tick bookkeeping. Ranked ABOVE metrics_registry:
+    /// sample_now snapshots the registry first, then appends under this --
+    /// the registry lock is released before this one is taken, but a
+    /// strict order is declared anyway so the two can never interleave.
+    mutable util::annotated_mutex mutex_{util::lock_rank::sampler_series,
+                                         "sampler.series"};
+    std::map<std::string, series_data, std::less<>> series_ SYNTS_GUARDED_BY(mutex_);
+    std::uint64_t ticks_ SYNTS_GUARDED_BY(mutex_) = 0;
     /// (t_ns, global tick index) of each retained tick -- the timeline's
     /// spine, so JSONL lines keep their true tick numbers across wraparound.
-    sample_ring tick_times_;
+    sample_ring tick_times_ SYNTS_GUARDED_BY(mutex_);
 
-    std::mutex wake_mutex_;
-    std::condition_variable wake_;
-    bool stopping_ = false;
-    bool running_ = false;
+    /// Leaf lock of the tick thread's sleep/stop protocol; released before
+    /// every sample_now call.
+    util::annotated_mutex wake_mutex_{util::lock_rank::sampler_wake, "sampler.wake"};
+    std::condition_variable_any wake_;
+    bool stopping_ SYNTS_GUARDED_BY(wake_mutex_) = false;
+    bool running_ SYNTS_GUARDED_BY(wake_mutex_) = false;
+    /// start()/stop() are externally serialized (the runner's setup path);
+    /// joinable() is read outside the lock by design.
     std::thread thread_;
 };
 

@@ -94,7 +94,7 @@ trace_recorder::thread_buffer& trace_recorder::buffer_for_current_thread()
             return *static_cast<thread_buffer*>(binding.buffer);
         }
     }
-    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    const util::mutex_lock lock(buffers_mutex_);
     auto buffer = std::make_unique<thread_buffer>();
     buffer->tid = static_cast<std::uint32_t>(buffers_.size());
     buffer->head = std::make_unique<chunk>();
@@ -125,7 +125,9 @@ void trace_recorder::append(std::string name, std::uint64_t ts_ns, std::uint64_t
     if (index % chunk::capacity == 0 && index != 0) {
         // Current tail is full; link a fresh chunk. Only this thread
         // writes, so tail is safe to advance without the buffers mutex.
-        chunk* fresh = new chunk();
+        // Raw new: ownership transfers to the chain through the atomic
+        // `next` link; ~thread_buffer reclaims the chain iteratively.
+        chunk* fresh = new chunk(); // synts-lint: allow(naked-new)
         buffer.tail->next.store(fresh, std::memory_order_release);
         buffer.tail = fresh;
     }
@@ -158,7 +160,7 @@ void trace_recorder::instant_event(std::string name, std::uint64_t ts_ns)
 
 std::size_t trace_recorder::event_count() const
 {
-    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    const util::mutex_lock lock(buffers_mutex_);
     std::size_t count = 0;
     for (const std::unique_ptr<thread_buffer>& buffer : buffers_) {
         count += static_cast<std::size_t>(buffer->committed.load(std::memory_order_acquire));
@@ -168,7 +170,7 @@ std::size_t trace_recorder::event_count() const
 
 std::vector<trace_recorder::event> trace_recorder::events() const
 {
-    const std::lock_guard<std::mutex> lock(buffers_mutex_);
+    const util::mutex_lock lock(buffers_mutex_);
     std::vector<event> out;
     for (const std::unique_ptr<thread_buffer>& buffer : buffers_) {
         const std::uint64_t committed = buffer->committed.load(std::memory_order_acquire);

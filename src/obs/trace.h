@@ -33,11 +33,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/thread_safety.h"
 
 namespace synts::obs {
 
@@ -119,8 +120,11 @@ private:
     std::uint64_t epoch_ns_;
     std::uint64_t id_; ///< process-unique, guards TLS cache reuse across recorders
 
-    mutable std::mutex buffers_mutex_;
-    std::vector<std::unique_ptr<thread_buffer>> buffers_;
+    /// Leaf lock over the buffer LIST only (taken once per (thread,
+    /// recorder) pair); event appends are lock-free per-thread.
+    mutable util::annotated_mutex buffers_mutex_{util::lock_rank::trace_buffers,
+                                                 "trace_recorder.buffers"};
+    std::vector<std::unique_ptr<thread_buffer>> buffers_ SYNTS_GUARDED_BY(buffers_mutex_);
 };
 
 /// RAII span: records one "X" event on destruction covering its lifetime.

@@ -62,7 +62,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -205,7 +204,7 @@ public:
             std::shared_future<Ptr> entry;
             bool owner = false;
             {
-                std::lock_guard lock(home.mutex);
+                const util::mutex_lock lock(home.mutex);
                 auto it = home.entries.find(key);
                 if (it != home.entries.end()) {
                     entry = it->second;
@@ -255,7 +254,7 @@ public:
             } catch (...) {
                 construction.set_exception(std::current_exception());
                 {
-                    std::lock_guard lock(home.mutex);
+                    const util::mutex_lock lock(home.mutex);
                     home.entries.erase(key);
                 }
                 throw;
@@ -271,7 +270,7 @@ public:
     {
         shard& home = *shards_[util::hash_mix(key.digest(), shards_.size()) &
                                (shards_.size() - 1)];
-        std::lock_guard lock(home.mutex);
+        const util::mutex_lock lock(home.mutex);
         return home.entries.contains(key);
     }
 
@@ -288,8 +287,9 @@ public:
     {
         std::size_t total = 0;
         for (const auto& s : shards_) {
-            std::lock_guard lock(s->mutex);
-            total += s->entries.size();
+            shard& home = *s;
+            const util::mutex_lock lock(home.mutex);
+            total += home.entries.size();
         }
         return total;
     }
@@ -297,8 +297,9 @@ public:
     void clear()
     {
         for (const auto& s : shards_) {
-            std::lock_guard lock(s->mutex);
-            s->entries.clear();
+            shard& home = *s;
+            const util::mutex_lock lock(home.mutex);
+            home.entries.clear();
         }
     }
 
@@ -310,8 +311,14 @@ private:
         }
     };
     struct shard {
-        std::mutex mutex;
-        std::unordered_map<Key, std::shared_future<Ptr>, key_hash> entries;
+        /// Held only for map operations -- factories run outside, waiters
+        /// block on the shared_future, never on the shard. A leaf below
+        /// pool_queue (enqueue never runs under a shard lock) and above
+        /// speculator (observe() probes contains() under its own mutex).
+        util::annotated_mutex mutex{util::lock_rank::cache_shard,
+                                    "experiment_cache.shard"};
+        std::unordered_map<Key, std::shared_future<Ptr>, key_hash> entries
+            SYNTS_GUARDED_BY(mutex);
     };
 
     [[nodiscard]] shard& shard_for(const Key& key) noexcept

@@ -52,7 +52,7 @@ speculator::speculator(thread_pool& pool, experiment_cache& cache,
 speculator::~speculator()
 {
     {
-        std::lock_guard lock(mutex_);
+        const util::mutex_lock lock(mutex_);
         stopped_ = true;
     }
     (void)root_.cancel("speculator stopped");
@@ -64,7 +64,7 @@ void speculator::observe(const workload::workload_key& workload,
                          const core::experiment_config& config)
 {
     const experiment_key key{workload, stage, config.digest()};
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     reap_locked();
 
     if (published_.erase(key) > 0) {
@@ -96,7 +96,7 @@ void speculator::observe(const workload::workload_key& workload,
 
 void speculator::cancel_inflight(std::string_view reason)
 {
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     for (auto& [unused, entry] : inflight_) {
         (void)entry.handle.try_cancel(reason);
     }
@@ -107,7 +107,7 @@ void speculator::drain()
     for (;;) {
         std::vector<std::shared_future<void>> pending;
         {
-            std::lock_guard lock(mutex_);
+            const util::mutex_lock lock(mutex_);
             reap_locked();
             if (inflight_.empty()) {
                 return;
@@ -219,7 +219,7 @@ void speculator::launch_locked(const experiment_key& key,
                 (void)cache_->get_or_create(workload, stage, config,
                                             /*pool=*/nullptr, /*traffic=*/nullptr,
                                             token);
-                const std::lock_guard lock(mutex_);
+                const util::mutex_lock lock(mutex_);
                 published_.insert(experiment_key{workload, stage, config.digest()});
             });
     } catch (const pool_stopped&) {

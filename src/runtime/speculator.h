@@ -38,7 +38,6 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -134,29 +133,35 @@ private:
 
     /// Harvests settled in-flight entries: counts cancellations/waste and
     /// removes them. Caller holds mutex_.
-    void reap_locked();
+    void reap_locked() SYNTS_REQUIRES(mutex_);
     /// Launches predictions seeded by the given demand key while the idle
     /// gate and budget allow. Caller holds mutex_.
     void launch_predictions_locked(const workload::workload_key& workload,
                                    circuit::pipe_stage stage,
-                                   const core::experiment_config& config);
+                                   const core::experiment_config& config)
+        SYNTS_REQUIRES(mutex_);
     /// Starts one speculative construction of `key`. Caller holds mutex_.
     void launch_locked(const experiment_key& key,
-                       const core::experiment_config& config);
+                       const core::experiment_config& config) SYNTS_REQUIRES(mutex_);
 
     thread_pool* pool_;
     experiment_cache* cache_;
     std::size_t max_inflight_;
 
-    std::mutex mutex_;
+    /// The LOWEST rank in the table: launch paths call into the registry,
+    /// the cache's shard probes, cancel sources, and pool submit while
+    /// holding it, so every other mutex must rank above.
+    util::annotated_mutex mutex_{util::lock_rank::speculator, "speculator"};
     /// Root source every speculative task's token is linked under; the
-    /// destructor's cancel fans out to all of them.
+    /// destructor's cancel fans out to all of them. Internally synchronized
+    /// (its cancel_state carries the cancel_tree lock), so not guarded.
     cancel_source root_;
-    bool stopped_ = false;
-    std::unordered_map<experiment_key, inflight_entry, key_hash> inflight_;
+    bool stopped_ SYNTS_GUARDED_BY(mutex_) = false;
+    std::unordered_map<experiment_key, inflight_entry, key_hash> inflight_
+        SYNTS_GUARDED_BY(mutex_);
     /// Keys whose speculative construction completed and has not yet been
     /// claimed by a demand lookup (each key yields at most one hit).
-    std::unordered_set<experiment_key, key_hash> published_;
+    std::unordered_set<experiment_key, key_hash> published_ SYNTS_GUARDED_BY(mutex_);
 
     std::atomic<std::uint64_t> launched_{0};
     std::atomic<std::uint64_t> hits_{0};

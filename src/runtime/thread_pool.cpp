@@ -44,7 +44,7 @@ thread_pool::thread_pool(std::size_t worker_count)
         // workers MUST be stopped and joined before the exception leaves,
         // or their std::thread destructors call std::terminate.
         {
-            std::lock_guard lock(sleep_mutex_);
+            const util::mutex_lock lock(sleep_mutex_);
             stopping_.store(true, std::memory_order_release);
         }
         wake_.notify_all();
@@ -58,7 +58,7 @@ thread_pool::thread_pool(std::size_t worker_count)
 thread_pool::~thread_pool()
 {
     {
-        std::lock_guard lock(sleep_mutex_);
+        const util::mutex_lock lock(sleep_mutex_);
         stopping_.store(true, std::memory_order_release);
     }
     wake_.notify_all();
@@ -93,13 +93,14 @@ void thread_pool::enqueue(unique_task task)
         // Lock order sleep_mutex_ -> queue mutex is acyclic: workers take
         // the queue mutexes and sleep_mutex_ separately, never nested the
         // other way.
-        std::unique_lock lock(sleep_mutex_);
+        const util::mutex_lock lock(sleep_mutex_);
         if (!from_worker && stopping_.load(std::memory_order_acquire)) {
             throw pool_stopped("thread_pool: submit after shutdown began");
         }
         {
-            std::lock_guard queue_lock(queues_[target]->mutex);
-            queues_[target]->tasks.push_front(std::move(task));
+            worker_queue& queue = *queues_[target];
+            const util::mutex_lock queue_lock(queue.mutex);
+            queue.tasks.push_front(std::move(task));
         }
         obs_queue_depth_->set(static_cast<std::int64_t>(
             pending_.fetch_add(1, std::memory_order_release) + 1));
@@ -140,7 +141,7 @@ bool thread_pool::acquire_task(std::size_t index, unique_task& out)
 {
     {
         worker_queue& own = *queues_[index];
-        std::lock_guard lock(own.mutex);
+        const util::mutex_lock lock(own.mutex);
         if (!own.tasks.empty()) {
             out = std::move(own.tasks.front());
             own.tasks.pop_front();
@@ -149,7 +150,7 @@ bool thread_pool::acquire_task(std::size_t index, unique_task& out)
     }
     for (std::size_t hop = 1; hop < queues_.size(); ++hop) {
         worker_queue& victim = *queues_[(index + hop) % queues_.size()];
-        std::lock_guard lock(victim.mutex);
+        const util::mutex_lock lock(victim.mutex);
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.back());
             victim.tasks.pop_back();
@@ -165,7 +166,7 @@ bool thread_pool::steal_any(unique_task& out)
 {
     for (std::size_t i = 0; i < queues_.size(); ++i) {
         worker_queue& victim = *queues_[i];
-        std::lock_guard lock(victim.mutex);
+        const util::mutex_lock lock(victim.mutex);
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.back());
             victim.tasks.pop_back();
@@ -187,7 +188,9 @@ void thread_pool::worker_loop(std::size_t index)
             execute_task(task);
             continue;
         }
-        std::unique_lock lock(sleep_mutex_);
+        util::cv_mutex_lock lock(sleep_mutex_);
+        // The predicate reads only atomics (no guarded data), so the
+        // predicate overload stays analysis-clean here.
         wake_.wait(lock, [this] {
             return pending_.load(std::memory_order_acquire) > 0 ||
                    stopping_.load(std::memory_order_acquire);

@@ -24,7 +24,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
@@ -35,6 +34,7 @@
 
 #include "runtime/cancel.h"
 #include "util/parallel.h"
+#include "util/thread_safety.h"
 
 namespace synts::obs {
 class counter;
@@ -291,8 +291,9 @@ public:
 
 private:
     struct worker_queue {
-        std::mutex mutex;
-        std::deque<unique_task> tasks;
+        util::annotated_mutex mutex{util::lock_rank::pool_queue,
+                                    "thread_pool.worker_queue"};
+        std::deque<unique_task> tasks SYNTS_GUARDED_BY(mutex);
     };
 
     void enqueue(unique_task task);
@@ -311,8 +312,14 @@ private:
     std::vector<std::unique_ptr<worker_queue>> queues_;
     std::vector<std::thread> workers_;
 
-    std::mutex sleep_mutex_;
-    std::condition_variable wake_;
+    /// The sleep/shutdown gate. Guards no non-atomic data of its own (the
+    /// flags it orders are atomics); it exists so a worker's recheck-then-
+    /// park and enqueue's publish-then-notify are mutually exclusive, and
+    /// so the drain flag flips under the same lock enqueue checks it.
+    /// Ranked below pool_queue: enqueue pushes while holding the gate.
+    util::annotated_mutex sleep_mutex_{util::lock_rank::pool_sleep,
+                                       "thread_pool.sleep"};
+    std::condition_variable_any wake_;
     std::atomic<std::size_t> pending_{0};
     std::atomic<std::size_t> next_queue_{0};
     std::atomic<bool> stopping_{false};

@@ -543,8 +543,10 @@ opened_frame open_frame(std::string_view frame, payload_kind expected)
     if (frame.size() < header_size + checksum_size) {
         fail("shorter than header + checksum");
     }
-    const std::string_view body = frame.substr(0, frame.size() - checksum_size);
-    binary_reader trailer(frame.substr(frame.size() - checksum_size));
+    // Guarded: the header+checksum length check above rejects short frames.
+    const std::size_t body_size = frame.size() - checksum_size; // synts-lint: allow(unchecked-size)
+    const std::string_view body = frame.substr(0, body_size);
+    binary_reader trailer(frame.substr(body_size));
     if (trailer.u64() != checksum_bytes(body)) {
         fail("checksum mismatch");
     }

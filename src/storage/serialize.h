@@ -124,7 +124,8 @@ public:
 
     [[nodiscard]] std::size_t remaining() const noexcept
     {
-        return data_.size() - offset_;
+        // Invariant: every advance bounds-checks, so offset_ <= size().
+        return data_.size() - offset_; // synts-lint: allow(unchecked-size)
     }
     [[nodiscard]] bool at_end() const noexcept { return offset_ == data_.size(); }
 

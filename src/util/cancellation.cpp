@@ -11,12 +11,13 @@ bool cancel_cascade(const std::shared_ptr<cancel_state>& state,
 {
     std::vector<std::weak_ptr<cancel_state>> children;
     {
-        std::lock_guard lock(state->mutex);
-        if (state->cancelled.load(std::memory_order_relaxed)) {
+        cancel_state& s = *state;
+        const mutex_lock lock(s.mutex);
+        if (s.cancelled.load(std::memory_order_relaxed)) {
             return false; // already cancelled; the first reason stands
         }
         try {
-            state->reason.assign(reason);
+            s.reason.assign(reason);
         } catch (...) {
             // Allocation failure leaves the reason empty; the flag (the
             // part correctness depends on) is still set below.
@@ -25,9 +26,9 @@ bool cancel_cascade(const std::shared_ptr<cancel_state>& state,
         // child linked concurrently either sees cancelled already set (and
         // self-cancels at link time) or is in `children` here -- never
         // neither.
-        state->cancelled.store(true, std::memory_order_release);
-        children = std::move(state->children);
-        state->children.clear();
+        s.cancelled.store(true, std::memory_order_release);
+        children = std::move(s.children);
+        s.children.clear();
     }
     for (const std::weak_ptr<cancel_state>& weak : children) {
         if (const std::shared_ptr<cancel_state> child = weak.lock()) {
@@ -44,8 +45,9 @@ std::string cancel_token::reason() const
     if (!cancelled()) {
         return {};
     }
-    std::lock_guard lock(state_->mutex);
-    return state_->reason;
+    detail::cancel_state& s = *state_;
+    const mutex_lock lock(s.mutex);
+    return s.reason;
 }
 
 void cancel_token::throw_if_cancelled() const
@@ -65,12 +67,13 @@ cancel_source::cancel_source(const cancel_token& parent)
     std::string parent_reason;
     bool parent_cancelled = false;
     {
-        std::lock_guard lock(parent.state_->mutex);
-        if (parent.state_->cancelled.load(std::memory_order_relaxed)) {
+        detail::cancel_state& parent_state = *parent.state_;
+        const mutex_lock lock(parent_state.mutex);
+        if (parent_state.cancelled.load(std::memory_order_relaxed)) {
             parent_cancelled = true;
-            parent_reason = parent.state_->reason;
+            parent_reason = parent_state.reason;
         } else {
-            parent.state_->children.push_back(state_);
+            parent_state.children.push_back(state_);
         }
     }
     if (parent_cancelled) {

@@ -26,9 +26,10 @@
 
 #pragma once
 
+#include "util/thread_safety.h"
+
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -50,9 +51,11 @@ namespace detail {
 struct cancel_state {
     std::atomic<bool> cancelled{false};
     /// Guards `reason` and `children` only -- never taken on the poll path.
-    std::mutex mutex;
-    std::string reason;
-    std::vector<std::weak_ptr<cancel_state>> children;
+    /// A leaf in the rank order: cancel_cascade snapshots the children and
+    /// recurses AFTER releasing, so parent and child mutexes never nest.
+    annotated_mutex mutex{lock_rank::cancel_tree, "cancel_state"};
+    std::string reason SYNTS_GUARDED_BY(mutex);
+    std::vector<std::weak_ptr<cancel_state>> children SYNTS_GUARDED_BY(mutex);
 };
 
 /// Flips `state` (if not already flipped) and recursively cancels its

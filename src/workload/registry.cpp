@@ -28,7 +28,7 @@ workload_key builtin_key(benchmark_id id)
 
 workload_registry::workload_registry(const workload_registry& other)
 {
-    std::lock_guard lock(other.mutex_);
+    const util::mutex_lock lock(other.mutex_);
     entries_ = other.entries_;
     by_name_ = other.by_name_;
     by_id_ = other.by_id_;
@@ -43,7 +43,7 @@ void workload_registry::add(workload_key key, profile_factory factory)
         throw std::invalid_argument("workload_registry: null profile factory for \"" +
                                     key.name + "\"");
     }
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     if (by_name_.contains(key.name)) {
         throw std::invalid_argument("workload_registry: duplicate workload name \"" +
                                     key.name + "\"");
@@ -69,13 +69,13 @@ workload_key workload_registry::register_defined(std::string_view definition)
 
 bool workload_registry::contains(std::string_view name) const
 {
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     return by_name_.contains(std::string(name));
 }
 
 workload_key workload_registry::key(std::string_view name) const
 {
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     const auto it = by_name_.find(std::string(name));
     if (it == by_name_.end()) {
         throw std::out_of_range("workload_registry: unknown workload \"" +
@@ -89,7 +89,7 @@ benchmark_profile workload_registry::make_profile(const workload_key& key,
 {
     profile_factory factory;
     {
-        std::lock_guard lock(mutex_);
+        const util::mutex_lock lock(mutex_);
         const auto it = by_id_.find(key.id);
         if (it == by_id_.end()) {
             throw std::out_of_range("workload_registry: unknown workload \"" + key.name +
@@ -104,7 +104,7 @@ benchmark_profile workload_registry::make_profile(const workload_key& key,
 
 std::vector<workload_key> workload_registry::keys() const
 {
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     std::vector<workload_key> keys;
     keys.reserve(entries_.size());
     for (const entry& e : entries_) {
@@ -115,7 +115,7 @@ std::vector<workload_key> workload_registry::keys() const
 
 std::size_t workload_registry::size() const
 {
-    std::lock_guard lock(mutex_);
+    const util::mutex_lock lock(mutex_);
     return entries_.size();
 }
 

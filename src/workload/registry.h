@@ -33,12 +33,12 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_safety.h"
 #include "workload/splash2.h"
 
 namespace synts::workload {
@@ -132,10 +132,16 @@ private:
         profile_factory factory;
     };
 
-    mutable std::mutex mutex_;
-    std::vector<entry> entries_;                            ///< registration order
-    std::unordered_map<std::string, std::size_t> by_name_;  ///< name -> entries_ index
-    std::unordered_map<std::uint64_t, std::size_t> by_id_;  ///< id -> entries_ index
+    /// A leaf lock held only for map access -- factories are copied out and
+    /// invoked unlocked. The speculator takes it under its own mutex
+    /// (rank speculator < workload_registry).
+    mutable util::annotated_mutex mutex_{util::lock_rank::workload_registry,
+                                         "workload_registry"};
+    std::vector<entry> entries_ SYNTS_GUARDED_BY(mutex_);   ///< registration order
+    std::unordered_map<std::string, std::size_t> by_name_
+        SYNTS_GUARDED_BY(mutex_);                           ///< name -> entries_ index
+    std::unordered_map<std::uint64_t, std::size_t> by_id_
+        SYNTS_GUARDED_BY(mutex_);                           ///< id -> entries_ index
 };
 
 } // namespace synts::workload

@@ -22,7 +22,9 @@ protected:
     static void SetUpTestSuite()
     {
         core::experiment_config cfg;
-        experiment = new benchmark_experiment(workload::benchmark_id::barnes,
+        // gtest static-fixture idiom; TearDownTestSuite deletes it.
+        experiment = new benchmark_experiment( // synts-lint: allow(naked-new)
+            workload::benchmark_id::barnes,
                                               circuit::pipe_stage::simple_alu, cfg);
     }
     static void TearDownTestSuite()

@@ -29,8 +29,10 @@ protected:
         // The architectural profiles live with the artifacts, not the
         // per-stage characterization; keep both for the SPI identity test.
         const core::program_characterizer profiler(cfg.core);
-        artifacts = new core::program_artifacts(profiler.characterize_trace(program));
-        characterization = new core::stage_characterization(
+        // gtest static-fixture idiom; TearDownTestSuite deletes both.
+        artifacts = new core::program_artifacts( // synts-lint: allow(naked-new)
+            profiler.characterize_trace(program));
+        characterization = new core::stage_characterization( // synts-lint: allow(naked-new)
             chars.characterize(*artifacts, circuit::pipe_stage::simple_alu));
     }
 

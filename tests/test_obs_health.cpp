@@ -129,8 +129,11 @@ TEST(obs_health, monitored_timer_records_and_flags_only_outliers)
     opts.refresh_interval = 1;
     obs::health_monitor monitor("test.lat_ns", hist, outliers, opts);
 
-    // Typical population: microsecond-scale timer scopes.
-    fill_typical(hist, 1000);
+    // Typical population: millisecond-scale timer scopes. The margin
+    // matters: the "fast" empty scope below must stay under 4 x p99 even
+    // when sanitizer instrumentation (ASan/UBSan CI) inflates it by an
+    // order of magnitude, while the 20 ms sleep still lands far beyond.
+    fill_typical(hist, 1'000'000);
 
     int details_built = 0;
     {
@@ -147,7 +150,7 @@ TEST(obs_health, monitored_timer_records_and_flags_only_outliers)
             ++details_built;
             return std::string("slow scope");
         });
-        // Sleep long past 4 x p99 (p99 ~ 1 us): a genuine outlier.
+        // Sleep long past 4 x p99 (p99 ~ 1 ms): a genuine outlier.
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     EXPECT_EQ(details_built, 1);
